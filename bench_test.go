@@ -1,0 +1,202 @@
+package adept_test
+
+import (
+	"testing"
+
+	"adept/internal/baseline"
+	"adept/internal/core"
+	"adept/internal/experiments"
+	"adept/internal/model"
+	"adept/internal/platform"
+	"adept/internal/sim"
+	"adept/internal/workload"
+)
+
+// The benchmarks below regenerate every table and figure of the paper's
+// evaluation (one benchmark per artifact) plus ablations of the design
+// choices DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each table/figure benchmark executes the corresponding experiment once
+// per iteration and reports the headline metric with b.ReportMetric, so the
+// bench output doubles as a results summary.
+
+func benchParams() experiments.Params {
+	p := experiments.Defaults()
+	p.Quick = true // full-scale runs are available via cmd/experiments
+	return p
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	run, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	p := benchParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := run(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// BenchmarkTable3Calibration regenerates Table 3: middleware parameter
+// measurement (message sizes, Wrep fit) against the running middleware.
+func BenchmarkTable3Calibration(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkFig2StarSmall regenerates Fig. 2: load curves for 1- vs
+// 2-server stars on DGEMM 10x10 (agent-limited regime).
+func BenchmarkFig2StarSmall(b *testing.B) { runExperiment(b, "fig2") }
+
+// BenchmarkFig3PredictedVsMeasured regenerates Fig. 3: model prediction vs
+// simulated measurement, DGEMM 10x10.
+func BenchmarkFig3PredictedVsMeasured(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFig4StarLarge regenerates Fig. 4: load curves for 1- vs
+// 2-server stars on DGEMM 200x200 (server-limited regime).
+func BenchmarkFig4StarLarge(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig5PredictedVsMeasured regenerates Fig. 5: model prediction vs
+// simulated measurement, DGEMM 200x200.
+func BenchmarkFig5PredictedVsMeasured(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkTable4Heuristic regenerates Table 4: heuristic vs optimal
+// deployments on homogeneous clusters.
+func BenchmarkTable4Heuristic(b *testing.B) { runExperiment(b, "table4") }
+
+// BenchmarkFig6Heterogeneous regenerates Fig. 6: star vs balanced vs
+// automatic deployment on the heterogenised cluster, DGEMM 310x310.
+func BenchmarkFig6Heterogeneous(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7LargeProblem regenerates Fig. 7: automatic (≈star) vs
+// balanced on the heterogenised cluster, DGEMM 1000x1000.
+func BenchmarkFig7LargeProblem(b *testing.B) { runExperiment(b, "fig7") }
+
+// --- planner micro-benchmarks and ablations -----------------------------
+
+func planningRequest(b *testing.B, nodes int, dgemmN int, seed int64) core.Request {
+	b.Helper()
+	plat, err := platform.Generate(platform.GenSpec{
+		Name: "bench", N: nodes, Bandwidth: 100, MinPower: 100, MaxPower: 800, Seed: seed,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.Request{
+		Platform: plat,
+		Costs:    model.DIETDefaults(),
+		Wapp:     workload.DGEMM{N: dgemmN}.MFlop(),
+	}
+}
+
+// BenchmarkHeuristicPlan measures Algorithm 1's planning cost on a
+// 200-node heterogeneous pool (the paper's Fig. 6 scale).
+func BenchmarkHeuristicPlan(b *testing.B) {
+	req := planningRequest(b, 200, 310, 7)
+	planner := core.NewHeuristic()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := planner.Plan(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeuristicPlanLargePool stresses planning on a 1000-node pool,
+// beyond anything in the paper.
+func BenchmarkHeuristicPlanLargePool(b *testing.B) {
+	req := planningRequest(b, 1000, 310, 11)
+	planner := core.NewHeuristic()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := planner.Plan(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationHeuristicVsGreedySwap quantifies what the swap-refiner
+// extension adds over the faithful Algorithm 1 (DESIGN.md ablation): the
+// reported metric is the refined-over-faithful throughput ratio.
+func BenchmarkAblationHeuristicVsGreedySwap(b *testing.B) {
+	req := planningRequest(b, 60, 200, 13)
+	faithful := core.NewHeuristic()
+	refined := &core.SwapRefiner{Inner: core.NewHeuristic()}
+	var gain float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fp, err := faithful.Plan(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rp, err := refined.Plan(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = rp.Capped / fp.Capped
+	}
+	b.ReportMetric(gain, "throughput-ratio")
+}
+
+// BenchmarkAblationSortNodesPoolDegree checks the cost of the paper's
+// "rank against the whole pool" sorting choice by planning across seeds.
+func BenchmarkAblationPlannerComparison(b *testing.B) {
+	req := planningRequest(b, 100, 310, 17)
+	planners := []core.Planner{
+		core.NewHeuristic(),
+		&baseline.Star{},
+		&baseline.Balanced{},
+		&baseline.OptimalDAry{},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pl := range planners {
+			if _, err := pl.Plan(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator event throughput on
+// a mid-size hierarchy under saturated load.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	req := planningRequest(b, 60, 310, 19)
+	plan, err := core.NewHeuristic().Plan(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var events int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Measure(plan.Hierarchy, req.Costs, 100, req.Wapp,
+			sim.Config{Clients: 50, Warmup: 1, Window: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Events
+	}
+	b.ReportMetric(float64(events), "events/run")
+}
+
+// BenchmarkModelEvaluate measures one throughput-model evaluation of a
+// 200-node deployment — the inner loop of every planner.
+func BenchmarkModelEvaluate(b *testing.B) {
+	req := planningRequest(b, 200, 310, 23)
+	plan, err := (&baseline.Star{}).Plan(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := plan.Hierarchy
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Evaluate(req.Costs, 100, req.Wapp)
+	}
+}

@@ -1,0 +1,150 @@
+// Command adept plans a middleware deployment for a platform description:
+// the Automatic Deployment Planning Tool the paper's future-work section
+// names. It reads a platform JSON file, runs the chosen planner, prints the
+// predicted throughput and bottleneck, and writes the GoDIET-style
+// deployment XML.
+//
+// Usage:
+//
+//	adept -platform platform.json -dgemm 310 [-planner heuristic]
+//	      [-demand 100] [-out deployment.xml] [-dot deployment.dot]
+//
+// Generate a synthetic platform to experiment with:
+//
+//	adept -gen 200 -gen-min 100 -gen-max 800 -platform out.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adept/internal/baseline"
+	"adept/internal/core"
+	"adept/internal/model"
+	"adept/internal/platform"
+	"adept/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "adept:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		platformPath = flag.String("platform", "", "platform description JSON file (required)")
+		plannerName  = flag.String("planner", "heuristic", "planner: heuristic, heuristic+swap, star, balanced, dary, exhaustive")
+		dgemmN       = flag.Int("dgemm", 310, "DGEMM problem dimension defining the service cost")
+		wapp         = flag.Float64("wapp", 0, "service cost in MFlop (overrides -dgemm when set)")
+		demand       = flag.Float64("demand", 0, "client demand in requests/second (0 = maximize)")
+		outXML       = flag.String("out", "", "write deployment XML to this file ('-' for stdout)")
+		outDOT       = flag.String("dot", "", "write Graphviz DOT rendering to this file")
+		genN         = flag.Int("gen", 0, "generate a synthetic platform with this many nodes and exit")
+		genMin       = flag.Float64("gen-min", 100, "synthetic platform: minimum node power (MFlop/s)")
+		genMax       = flag.Float64("gen-max", 800, "synthetic platform: maximum node power (MFlop/s)")
+		genBW        = flag.Float64("gen-bw", 100, "synthetic platform: link bandwidth (Mb/s)")
+		genSeed      = flag.Int64("gen-seed", 1, "synthetic platform: random seed")
+	)
+	flag.Parse()
+
+	if *genN > 0 {
+		if *platformPath == "" {
+			return fmt.Errorf("-gen requires -platform for the output path")
+		}
+		p, err := platform.Generate(platform.GenSpec{
+			Name: "generated", N: *genN, Bandwidth: *genBW,
+			MinPower: *genMin, MaxPower: *genMax, Seed: *genSeed,
+		})
+		if err != nil {
+			return err
+		}
+		if err := p.SaveJSON(*platformPath); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %s\n", *platformPath, p)
+		return nil
+	}
+
+	if *platformPath == "" {
+		flag.Usage()
+		return fmt.Errorf("missing -platform")
+	}
+	plat, err := platform.LoadJSON(*platformPath)
+	if err != nil {
+		return err
+	}
+
+	cost := *wapp
+	if cost == 0 {
+		cost = workload.DGEMM{N: *dgemmN}.MFlop()
+	}
+	req := core.Request{
+		Platform: plat,
+		Costs:    model.DIETDefaults(),
+		Wapp:     cost,
+		Demand:   workload.Demand(*demand),
+	}
+
+	planner, err := selectPlanner(*plannerName)
+	if err != nil {
+		return err
+	}
+	plan, err := planner.Plan(req)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println(plan.Summary())
+	if req.Demand.Bounded() {
+		fmt.Printf("demand-capped throughput: %.2f req/s (demand %.2f)\n", plan.Capped, *demand)
+	}
+	fmt.Printf("platform: %s\n", plat)
+	fmt.Println()
+	fmt.Print(plan.Hierarchy)
+
+	if *outXML != "" {
+		if *outXML == "-" {
+			if err := plan.Hierarchy.WriteXML(os.Stdout); err != nil {
+				return err
+			}
+		} else if err := plan.Hierarchy.SaveXML(*outXML); err != nil {
+			return err
+		} else {
+			fmt.Printf("\ndeployment XML written to %s\n", *outXML)
+		}
+	}
+	if *outDOT != "" {
+		f, err := os.Create(*outDOT)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := plan.Hierarchy.WriteDOT(f); err != nil {
+			return err
+		}
+		fmt.Printf("DOT rendering written to %s\n", *outDOT)
+	}
+	return nil
+}
+
+func selectPlanner(name string) (core.Planner, error) {
+	switch name {
+	case "heuristic":
+		return core.NewHeuristic(), nil
+	case "heuristic+swap":
+		return &core.SwapRefiner{Inner: core.NewHeuristic()}, nil
+	case "star":
+		return &baseline.Star{}, nil
+	case "balanced":
+		return &baseline.Balanced{}, nil
+	case "dary":
+		return &baseline.OptimalDAry{}, nil
+	case "exhaustive":
+		return &baseline.Exhaustive{}, nil
+	default:
+		return nil, fmt.Errorf("unknown planner %q", name)
+	}
+}

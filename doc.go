@@ -1,0 +1,27 @@
+// Package adept is ADePT — an Automatic Deployment Planning Tool for
+// hierarchical Network-Enabled-Server middleware on heterogeneous
+// platforms, reproducing Caron, Chouhan and Desprez, "Automatic Middleware
+// Deployment Planning on Heterogeneous Platforms" (INRIA RR-6566, 2008).
+//
+// The module root only carries the benchmark harness (bench_test.go) that
+// regenerates every table and figure of the paper; the implementation
+// lives under internal/ and the executables under cmd/:
+//
+//   - internal/core        — the planning heuristic (Algorithm 1)
+//   - internal/model       — the steady-state performance model (Eqs. 1–16)
+//   - internal/hierarchy   — deployment trees, adjacency matrices, XML
+//   - internal/platform    — heterogeneous platform descriptions
+//   - internal/baseline    — star / balanced / d-ary / exhaustive planners
+//   - internal/sim         — discrete-event M(r,s,w) simulator
+//   - internal/runtime     — concurrent goroutine middleware (chan/TCP)
+//   - internal/deploy      — GoDIET-style XML launcher
+//   - internal/workload    — DGEMM workloads, demands, load ramps
+//   - internal/blas        — DGEMM kernels (naive / blocked / parallel)
+//   - internal/linpack     — LU mini-benchmark for node power calibration
+//   - internal/calib       — Table 3 parameter measurement
+//   - internal/experiments — one driver per paper table/figure
+//   - internal/stats       — regression and summary statistics
+//
+// See README.md for a walkthrough and EXPERIMENTS.md for paper-vs-measured
+// results.
+package adept

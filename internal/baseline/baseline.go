@@ -1,0 +1,299 @@
+// Package baseline implements the comparison deployment planners of the
+// paper's evaluation: the intuitive star and balanced hierarchies of §5.3,
+// the optimal homogeneous complete-spanning-d-ary-tree algorithm of
+// reference [10] (Table 4's "Homo. Deg." column), an exhaustive optimal
+// search for small pools (Table 4's "Opt. Deg." column), and a seeded
+// random planner used by property tests.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"adept/internal/core"
+	"adept/internal/hierarchy"
+	"adept/internal/platform"
+)
+
+// Star deploys the most powerful node as the lone agent and every other
+// pool node as a direct server child — the paper's first intuitive
+// comparison deployment.
+type Star struct {
+	// MaxServers optionally caps how many servers are attached (0 = all).
+	MaxServers int
+}
+
+// Name implements core.Planner.
+func (*Star) Name() string { return "star" }
+
+// Plan implements core.Planner.
+func (s *Star) Plan(req core.Request) (*core.Plan, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	nodes := req.Platform.SortByPowerDesc()
+	h := hierarchy.New(req.Platform.Name + "-star")
+	rootID, err := h.AddRoot(nodes[0].Name, nodes[0].Power)
+	if err != nil {
+		return nil, err
+	}
+	limit := len(nodes) - 1
+	if s.MaxServers > 0 && s.MaxServers < limit {
+		limit = s.MaxServers
+	}
+	for _, n := range nodes[1 : 1+limit] {
+		if _, err := h.AddServer(rootID, n.Name, n.Power); err != nil {
+			return nil, err
+		}
+	}
+	return core.Finalize(s.Name(), req, h)
+}
+
+// Balanced deploys the two-level balanced hierarchy of §5.3: one top agent
+// connected to Degree agents, each connected to roughly equal numbers of
+// servers (the paper used degree 14 on 200 nodes: 1 + 14 agents + 13×14+3
+// servers). The planner is deliberately heterogeneity-naive — nodes are
+// taken in platform order, exactly how an administrator would wire an
+// "intuitive" deployment without measuring node powers.
+type Balanced struct {
+	// Degree is the top agent's number of child agents. Zero picks
+	// round(sqrt(n)) to keep the two levels balanced.
+	Degree int
+}
+
+// Name implements core.Planner.
+func (*Balanced) Name() string { return "balanced" }
+
+// Plan implements core.Planner.
+func (b *Balanced) Plan(req core.Request) (*core.Plan, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	nodes := req.Platform.Nodes
+	n := len(nodes)
+	deg := b.Degree
+	if deg <= 0 {
+		deg = int(math.Round(math.Sqrt(float64(n))))
+	}
+	if deg < 1 {
+		deg = 1
+	}
+	// Need 1 root + deg agents + at least 2 servers per agent.
+	for deg > 1 && 1+deg+2*deg > n {
+		deg--
+	}
+	if 1+deg+2*deg > n {
+		// Pool too small for two levels: degenerate to a star.
+		return (&Star{}).Plan(req)
+	}
+	h := hierarchy.New(req.Platform.Name + "-balanced")
+	rootID, err := h.AddRoot(nodes[0].Name, nodes[0].Power)
+	if err != nil {
+		return nil, err
+	}
+	agentIDs := make([]int, deg)
+	for i := 0; i < deg; i++ {
+		id, err := h.AddAgent(rootID, nodes[1+i].Name, nodes[1+i].Power)
+		if err != nil {
+			return nil, err
+		}
+		agentIDs[i] = id
+	}
+	for i, nd := range nodes[1+deg:] {
+		parent := agentIDs[i%deg]
+		if _, err := h.AddServer(parent, nd.Name, nd.Power); err != nil {
+			return nil, err
+		}
+	}
+	return core.Finalize(b.Name(), req, h)
+}
+
+// OptimalDAry implements the homogeneous-cluster algorithm of reference
+// [10] (Chouhan, Dail, Caron, Vivien, IJHPCA 2006): on a homogeneous
+// platform an optimal deployment is a complete spanning d-ary tree; the
+// algorithm searches over the degree d and the number of agent levels,
+// evaluates each candidate with the throughput model, and returns the best
+// (fewest nodes on ties). On heterogeneous platforms it still runs —
+// treating the pool in decreasing-power order with agents drawn first — but
+// optimality only holds for homogeneous pools.
+type OptimalDAry struct{}
+
+// Name implements core.Planner.
+func (*OptimalDAry) Name() string { return "optimal-dary" }
+
+// Plan implements core.Planner.
+func (o *OptimalDAry) Plan(req core.Request) (*core.Plan, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	nodes := req.Platform.SortByPowerDesc()
+	n := len(nodes)
+
+	var best *core.Plan
+	consider := func(p *core.Plan, err error) {
+		if err != nil {
+			return
+		}
+		if best == nil || p.Capped > best.Capped ||
+			(p.Capped == best.Capped && p.NodesUsed < best.NodesUsed) {
+			best = p
+		}
+	}
+
+	for d := 1; d <= n-1; d++ {
+		for levels := 1; ; levels++ {
+			agents := agentCount(d, levels)
+			if agents >= n {
+				break
+			}
+			// Bottom-level agents can hold at most bottom*d servers.
+			bottom := bottomAgents(d, levels)
+			maxServers := bottom * d
+			servers := n - agents
+			if servers > maxServers {
+				servers = maxServers
+			}
+			if servers < 1 {
+				break
+			}
+			// Non-root agents need at least two children for the final
+			// shape invariant; with servers spread round-robin over bottom
+			// agents this requires servers >= 2*bottom (levels > 1) —
+			// except the degenerate chain d == 1, which can never satisfy
+			// it beyond a single level.
+			if levels > 1 && (d < 2 || servers < 2*bottom) {
+				continue
+			}
+			h, err := buildDAry(req.Platform.Name, nodes, d, levels, servers)
+			if err != nil {
+				continue
+			}
+			consider(core.Finalize(o.Name(), req, h))
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("baseline: optimal-dary found no feasible deployment for %d nodes", n)
+	}
+	return best, nil
+}
+
+// agentCount returns 1 + d + d² + … for `levels` agent levels.
+func agentCount(d, levels int) int {
+	if d == 1 {
+		return levels
+	}
+	total, pow := 0, 1
+	for l := 0; l < levels; l++ {
+		total += pow
+		pow *= d
+	}
+	return total
+}
+
+// bottomAgents returns the number of agents on the deepest agent level.
+func bottomAgents(d, levels int) int {
+	if d == 1 {
+		return 1
+	}
+	pow := 1
+	for l := 1; l < levels; l++ {
+		pow *= d
+	}
+	return pow
+}
+
+// buildDAry constructs the complete d-ary agent tree with `levels` agent
+// levels and `servers` servers spread round-robin under the bottom agents.
+func buildDAry(name string, nodes []platform.Node, d, levels, servers int) (*hierarchy.Hierarchy, error) {
+	h := hierarchy.New(fmt.Sprintf("%s-dary-d%d-l%d", name, d, levels))
+	idx := 0
+	take := func() platform.Node { n := nodes[idx]; idx++; return n }
+
+	rootNode := take()
+	rootID, err := h.AddRoot(rootNode.Name, rootNode.Power)
+	if err != nil {
+		return nil, err
+	}
+	level := []int{rootID}
+	for l := 1; l < levels; l++ {
+		var nextLevel []int
+		for _, parent := range level {
+			for k := 0; k < d; k++ {
+				nd := take()
+				id, err := h.AddAgent(parent, nd.Name, nd.Power)
+				if err != nil {
+					return nil, err
+				}
+				nextLevel = append(nextLevel, id)
+			}
+		}
+		level = nextLevel
+	}
+	for s := 0; s < servers; s++ {
+		parent := level[s%len(level)]
+		nd := take()
+		if _, err := h.AddServer(parent, nd.Name, nd.Power); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// Random builds a valid random deployment; property tests use it as a
+// stress generator and as a sanity floor the real planners must beat.
+type Random struct {
+	Seed int64
+	// MaxNodes optionally bounds the deployment size (0 = use whole pool).
+	MaxNodes int
+}
+
+// Name implements core.Planner.
+func (*Random) Name() string { return "random" }
+
+// Plan implements core.Planner.
+func (r *Random) Plan(req core.Request) (*core.Plan, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	nodes := append([]platform.Node(nil), req.Platform.Nodes...)
+	rng.Shuffle(len(nodes), func(i, j int) { nodes[i], nodes[j] = nodes[j], nodes[i] })
+	n := len(nodes)
+	if r.MaxNodes > 1 && r.MaxNodes < n {
+		n = r.MaxNodes
+	}
+	h := hierarchy.New(req.Platform.Name + "-random")
+	rootID, err := h.AddRoot(nodes[0].Name, nodes[0].Power)
+	if err != nil {
+		return nil, err
+	}
+	agents := []int{rootID}
+	idx := 1
+	for idx < n {
+		parent := agents[rng.Intn(len(agents))]
+		// Promote to a new agent level occasionally, but only when enough
+		// nodes remain to give the new agent two server children.
+		if n-idx >= 3 && rng.Float64() < 0.2 {
+			nd := nodes[idx]
+			idx++
+			id, err := h.AddAgent(parent, nd.Name, nd.Power)
+			if err != nil {
+				return nil, err
+			}
+			for k := 0; k < 2 && idx < n; k++ {
+				if _, err := h.AddServer(id, nodes[idx].Name, nodes[idx].Power); err != nil {
+					return nil, err
+				}
+				idx++
+			}
+			agents = append(agents, id)
+			continue
+		}
+		if _, err := h.AddServer(parent, nodes[idx].Name, nodes[idx].Power); err != nil {
+			return nil, err
+		}
+		idx++
+	}
+	return core.Finalize(r.Name(), req, h)
+}

@@ -1,0 +1,216 @@
+package baseline
+
+import (
+	"fmt"
+
+	"adept/internal/core"
+	"adept/internal/hierarchy"
+	"adept/internal/model"
+)
+
+// MaxExhaustiveNodes bounds the pool size Exhaustive accepts; the search is
+// Θ(n·nⁿ) and becomes impractical beyond this.
+const MaxExhaustiveNodes = 8
+
+// parentUnused marks a pool node left out of the deployment in the parent
+// vector encoding used by the exhaustive search.
+const parentUnused = -2
+
+// Exhaustive enumerates every valid deployment over the pool (including
+// deployments that leave nodes unused) and returns the one with the highest
+// demand-capped throughput, breaking ties towards fewer nodes. It is the
+// ground-truth optimum for the small heterogeneous pools used in tests and
+// benchmarks.
+type Exhaustive struct{}
+
+// Name implements core.Planner.
+func (*Exhaustive) Name() string { return "exhaustive" }
+
+// Plan implements core.Planner.
+func (e *Exhaustive) Plan(req core.Request) (*core.Plan, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(req.Platform.Nodes)
+	if n > MaxExhaustiveNodes {
+		return nil, fmt.Errorf("baseline: exhaustive search limited to %d nodes, got %d", MaxExhaustiveNodes, n)
+	}
+
+	parent := make([]int, n) // parentUnused, -1 (root), or parent index
+	bestCapped := -1.0
+	bestUsed := 0
+	var bestVec []int
+	var bestEval model.Evaluation
+
+	check := func() {
+		ev, used, ok := evalParentVector(req, parent)
+		if !ok {
+			return
+		}
+		capped := req.Demand.Cap(ev.Rho)
+		if capped > bestCapped || (capped == bestCapped && used < bestUsed) {
+			bestCapped, bestUsed, bestEval = capped, used, ev
+			bestVec = append(bestVec[:0], parent...)
+		}
+	}
+
+	var rec func(i, rootIdx int)
+	rec = func(i, rootIdx int) {
+		if i == n {
+			check()
+			return
+		}
+		if i == rootIdx {
+			parent[i] = -1
+			rec(i+1, rootIdx)
+			return
+		}
+		parent[i] = parentUnused
+		rec(i+1, rootIdx)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			parent[i] = j
+			rec(i+1, rootIdx)
+		}
+	}
+	for rootIdx := 0; rootIdx < n; rootIdx++ {
+		rec(0, rootIdx)
+	}
+	if bestVec == nil {
+		return nil, fmt.Errorf("baseline: exhaustive search found no valid deployment")
+	}
+
+	h := buildFromParentVector(req, bestVec)
+	if h == nil {
+		return nil, fmt.Errorf("baseline: internal error rebuilding best deployment")
+	}
+	if err := h.Validate(hierarchy.Final); err != nil {
+		return nil, fmt.Errorf("baseline: exhaustive produced invalid deployment: %w", err)
+	}
+	return &core.Plan{
+		Hierarchy: h,
+		Eval:      bestEval,
+		Capped:    bestCapped,
+		NodesUsed: bestUsed,
+		Planner:   e.Name(),
+	}, nil
+}
+
+// evalParentVector validates and evaluates the deployment encoded by the
+// parent vector without materialising a hierarchy. ok is false when the
+// vector does not encode a valid deployment.
+func evalParentVector(req core.Request, parent []int) (ev model.Evaluation, used int, ok bool) {
+	n := len(parent)
+	children := make([][]int, n)
+	rootIdx := -1
+	for i, p := range parent {
+		switch {
+		case p == parentUnused:
+			continue
+		case p == -1:
+			rootIdx = i
+			used++
+		default:
+			if parent[p] == parentUnused {
+				return ev, 0, false // child of an unused node
+			}
+			children[p] = append(children[p], i)
+			used++
+		}
+	}
+	if rootIdx == -1 || used < 2 || len(children[rootIdx]) < 1 {
+		return ev, 0, false
+	}
+	// Non-root internal nodes need at least two children (paper invariant).
+	for i, p := range parent {
+		if p == parentUnused || i == rootIdx {
+			continue
+		}
+		if len(children[i]) == 1 {
+			return ev, 0, false
+		}
+	}
+	// Reachability from root must cover all used nodes (detects cycles).
+	seen := make([]bool, n)
+	stack := []int{rootIdx}
+	reach := 0
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[i] {
+			return ev, 0, false
+		}
+		seen[i] = true
+		reach++
+		stack = append(stack, children[i]...)
+	}
+	if reach != used {
+		return ev, 0, false
+	}
+
+	var agents []model.Agent
+	var servers []float64
+	nodes := req.Platform.Nodes
+	for i, p := range parent {
+		if p == parentUnused {
+			continue
+		}
+		if len(children[i]) > 0 {
+			agents = append(agents, model.Agent{Power: nodes[i].Power, Degree: len(children[i])})
+		} else {
+			servers = append(servers, nodes[i].Power)
+		}
+	}
+	if len(servers) == 0 {
+		return ev, 0, false
+	}
+	return model.Evaluate(req.Costs, req.Platform.Bandwidth, req.Wapp, agents, servers), used, true
+}
+
+// buildFromParentVector materialises the hierarchy encoded by a (validated)
+// parent vector.
+func buildFromParentVector(req core.Request, parent []int) *hierarchy.Hierarchy {
+	n := len(parent)
+	children := make([][]int, n)
+	rootIdx := -1
+	for i, p := range parent {
+		switch {
+		case p == parentUnused:
+		case p == -1:
+			rootIdx = i
+		default:
+			children[p] = append(children[p], i)
+		}
+	}
+	nodes := req.Platform.Nodes
+	h := hierarchy.New(req.Platform.Name + "-exhaustive")
+	rootID, err := h.AddRoot(nodes[rootIdx].Name, nodes[rootIdx].Power)
+	if err != nil {
+		return nil
+	}
+	var rec func(idx, id int) bool
+	rec = func(idx, id int) bool {
+		for _, c := range children[idx] {
+			var cid int
+			var err error
+			if len(children[c]) > 0 {
+				cid, err = h.AddAgent(id, nodes[c].Name, nodes[c].Power)
+			} else {
+				cid, err = h.AddServer(id, nodes[c].Name, nodes[c].Power)
+			}
+			if err != nil {
+				return false
+			}
+			if !rec(c, cid) {
+				return false
+			}
+		}
+		return true
+	}
+	if !rec(rootIdx, rootID) {
+		return nil
+	}
+	return h
+}

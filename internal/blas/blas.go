@@ -1,0 +1,199 @@
+// Package blas implements the dense linear-algebra kernels the paper's
+// evaluation is built on: DGEMM, the level-3 BLAS general matrix-matrix
+// multiplication used as the client application in every experiment, in
+// naive, cache-blocked, and parallel variants. The middleware runtime
+// executes these kernels for real during the service phase, so measured
+// deployments do genuine floating-point work.
+package blas
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	// Data holds Rows*Cols values, row-major.
+	Data []float64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) Matrix {
+	if rows < 0 || cols < 0 {
+		panic("blas: negative matrix dimension")
+	}
+	return Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// RandomMatrix fills a matrix with deterministic pseudo-random values in
+// [-1, 1).
+func RandomMatrix(rows, cols int, seed int64) Matrix {
+	m := NewMatrix(rows, cols)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range m.Data {
+		m.Data[i] = 2*rng.Float64() - 1
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m Matrix) Clone() Matrix {
+	cp := Matrix{Rows: m.Rows, Cols: m.Cols, Data: make([]float64, len(m.Data))}
+	copy(cp.Data, m.Data)
+	return cp
+}
+
+// ErrShape reports incompatible operand shapes.
+var ErrShape = errors.New("blas: incompatible matrix shapes")
+
+func checkMul(a, b Matrix, c *Matrix) error {
+	if a.Cols != b.Rows {
+		return fmt.Errorf("%w: (%dx%d)·(%dx%d)", ErrShape, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if c.Rows != a.Rows || c.Cols != b.Cols {
+		return fmt.Errorf("%w: result is %dx%d, want %dx%d", ErrShape, c.Rows, c.Cols, a.Rows, b.Cols)
+	}
+	return nil
+}
+
+// Dgemm computes C = alpha·A·B + beta·C with the naive triple loop in ikj
+// order (streaming-friendly for row-major data).
+func Dgemm(alpha float64, a, b Matrix, beta float64, c *Matrix) error {
+	if err := checkMul(a, b, c); err != nil {
+		return err
+	}
+	if beta != 1 {
+		for i := range c.Data {
+			c.Data[i] *= beta
+		}
+	}
+	n, k, m := a.Rows, a.Cols, b.Cols
+	for i := 0; i < n; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*m : (i+1)*m]
+		for kk := 0; kk < k; kk++ {
+			av := alpha * arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[kk*m : (kk+1)*m]
+			for j := 0; j < m; j++ {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+	return nil
+}
+
+// DefaultBlock is the cache-blocking tile size used by DgemmBlocked when the
+// caller passes 0.
+const DefaultBlock = 64
+
+// DgemmBlocked computes C = alpha·A·B + beta·C with square cache blocking.
+func DgemmBlocked(alpha float64, a, b Matrix, beta float64, c *Matrix, block int) error {
+	if err := checkMul(a, b, c); err != nil {
+		return err
+	}
+	if block <= 0 {
+		block = DefaultBlock
+	}
+	if beta != 1 {
+		for i := range c.Data {
+			c.Data[i] *= beta
+		}
+	}
+	n, k, m := a.Rows, a.Cols, b.Cols
+	for i0 := 0; i0 < n; i0 += block {
+		imax := min(i0+block, n)
+		for k0 := 0; k0 < k; k0 += block {
+			kmax := min(k0+block, k)
+			for j0 := 0; j0 < m; j0 += block {
+				jmax := min(j0+block, m)
+				for i := i0; i < imax; i++ {
+					arow := a.Data[i*k : (i+1)*k]
+					crow := c.Data[i*m : (i+1)*m]
+					for kk := k0; kk < kmax; kk++ {
+						av := alpha * arow[kk]
+						if av == 0 {
+							continue
+						}
+						brow := b.Data[kk*m : (kk+1)*m]
+						for j := j0; j < jmax; j++ {
+							crow[j] += av * brow[j]
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// DgemmParallel computes C = alpha·A·B + beta·C splitting row bands across
+// workers goroutines (0 means GOMAXPROCS). Each band is disjoint in C, so
+// no synchronisation beyond the final join is needed.
+func DgemmParallel(alpha float64, a, b Matrix, beta float64, c *Matrix, workers int) error {
+	if err := checkMul(a, b, c); err != nil {
+		return err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	if workers <= 1 {
+		return Dgemm(alpha, a, b, beta, c)
+	}
+	var wg sync.WaitGroup
+	rowsPer := (a.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * rowsPer
+		hi := min(lo+rowsPer, a.Rows)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			sub := Matrix{Rows: hi - lo, Cols: a.Cols, Data: a.Data[lo*a.Cols : hi*a.Cols]}
+			csub := Matrix{Rows: hi - lo, Cols: c.Cols, Data: c.Data[lo*c.Cols : hi*c.Cols]}
+			// Errors are impossible here: shapes were checked above.
+			_ = Dgemm(alpha, sub, b, beta, &csub)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return nil
+}
+
+// MatMul is the convenience form C = A·B using the blocked kernel.
+func MatMul(a, b Matrix) (Matrix, error) {
+	c := NewMatrix(a.Rows, b.Cols)
+	if err := DgemmBlocked(1, a, b, 0, &c, 0); err != nil {
+		return Matrix{}, err
+	}
+	return c, nil
+}
+
+// Flops returns the floating-point operation count of one DGEMM on the
+// given shapes (2·n·m·k).
+func Flops(n, m, k int) float64 {
+	return 2 * float64(n) * float64(m) * float64(k)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

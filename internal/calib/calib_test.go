@@ -1,0 +1,80 @@
+package calib_test
+
+import (
+	"testing"
+	"time"
+
+	"adept/internal/calib"
+	"adept/internal/model"
+	"adept/internal/runtime"
+	"adept/internal/stats"
+)
+
+func options() runtime.Options {
+	return runtime.Options{
+		Costs:     model.DIETDefaults(),
+		Bandwidth: 100,
+		Wapp:      2,
+		TimeScale: 0.005,
+	}
+}
+
+func TestMeasureMessageSizes(t *testing.T) {
+	sizes, err := calib.MeasureMessageSizes(400, 400, options(), 1, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sizes.Messages == 0 {
+		t.Fatal("no messages captured")
+	}
+	for name, v := range map[string]float64{
+		"SchedRequest":   sizes.SchedRequest,
+		"SchedReply":     sizes.SchedReply,
+		"ServiceRequest": sizes.ServiceRequest,
+		"ServiceReply":   sizes.ServiceReply,
+	} {
+		if v <= 0 {
+			t.Errorf("%s size = %g Mbit, want > 0", name, v)
+		}
+		if v > 1 {
+			t.Errorf("%s size = %g Mbit: implausibly large for a control message", name, v)
+		}
+	}
+	// The scheduling reply (candidate list) must be larger than the bare
+	// scheduling request — the agent/server asymmetry of Table 3.
+	if sizes.SchedReply <= sizes.SchedRequest {
+		t.Errorf("SchedReply (%g) should exceed SchedRequest (%g)", sizes.SchedReply, sizes.SchedRequest)
+	}
+}
+
+func TestMeasureWrepRecoversLinearLaw(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive calibration skipped in -short mode")
+	}
+	opts := options()
+	opts.TimeScale = 50 // coarse enough that Wrep(d) sleeps dominate timer noise
+	cal, err := calib.MeasureWrep(400, 400, opts, []int{1, 4, 8, 12}, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Samples < 8 {
+		t.Fatalf("only %d samples", cal.Samples)
+	}
+	if cal.Fit.R < 0.9 {
+		t.Errorf("correlation R = %.3f, want >= 0.9 (paper reports 0.97)", cal.Fit.R)
+	}
+	// The slope (Wsel) should recover the configured value within 30%.
+	want := model.DIETDefaults().AgentWsel
+	if !stats.WithinTolerance(cal.WselMFlop, want, 0.3) {
+		t.Errorf("measured Wsel = %g MFlop, configured %g (>30%% off)", cal.WselMFlop, want)
+	}
+}
+
+func TestMeasureWrepRejectsBadInput(t *testing.T) {
+	if _, err := calib.MeasureWrep(400, 400, options(), []int{3}, time.Millisecond); err == nil {
+		t.Error("single degree accepted")
+	}
+	if _, err := calib.MeasureWrep(400, 400, options(), []int{0, 2}, time.Millisecond); err == nil {
+		t.Error("zero degree accepted")
+	}
+}

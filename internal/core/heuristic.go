@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"adept/internal/hierarchy"
+	"adept/internal/model"
+)
+
+// Heuristic implements Algorithm 1 of the paper: middleware deployment
+// planning for heterogeneous nodes with homogeneous links.
+//
+// The pseudo-code in the paper is informal; this implementation keeps its
+// macro structure and procedure vocabulary (see procedures.go) and documents
+// every interpretation decision:
+//
+//  1. Nodes are sorted by scheduling power computed against the whole pool
+//     (sort_nodes, Steps 1–2). The head of the list becomes the root agent.
+//  2. Steps 3–7: if even with a single child the root's scheduling power is
+//     below min(single-server servicing power, client demand), the
+//     deployment is one agent and one server — any further server would only
+//     lower scheduling power.
+//  3. Otherwise the hierarchy grows greedily, taking nodes from the sorted
+//     list one at a time (Steps 10–38). Each new node is attached as a
+//     server under the agent that maximises the resulting demand-capped
+//     throughput. When no attachment improves throughput but scheduling
+//     power still exceeds servicing power, the most powerful leaf server
+//     whose supported_children count exceeds one is converted into an agent
+//     (shift_nodes, Steps 16–17) so that growth can continue one level
+//     deeper.
+//  4. Growth stops when the pool is exhausted, the client demand is met, or
+//     throughput starts decreasing (outer while, Step 10). The best
+//     deployment snapshot seen is returned (the paper's Steps 28–34 remove
+//     the overshooting child; reverting to the best snapshot generalises
+//     that trim).
+//
+// The returned deployment always satisfies the paper's shape invariants
+// (hierarchy.Final) and uses the fewest nodes among the snapshots achieving
+// the best capped throughput.
+type Heuristic struct{}
+
+// NewHeuristic returns the Algorithm 1 planner.
+func NewHeuristic() *Heuristic { return &Heuristic{} }
+
+// Name implements Planner.
+func (*Heuristic) Name() string { return "heuristic" }
+
+// snapshot captures the best deployment seen during growth.
+type snapshot struct {
+	hier   *hierarchy.Hierarchy
+	capped float64
+	nodes  int
+}
+
+// Plan implements Planner.
+func (p *Heuristic) Plan(req Request) (*Plan, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	c := req.Costs
+	bw := req.Platform.Bandwidth
+	wapp := req.Wapp
+
+	sorted := sortNodes(c, bw, req.Platform.Nodes)
+	root := sorted[0]
+	pool := sorted[1:]
+
+	h := hierarchy.New(deploymentName(req))
+	rootID, err := h.AddRoot(root.Name, root.Power)
+	if err != nil {
+		return nil, err
+	}
+
+	// Steps 3–5: virtual maximum scheduling power of the best node with one
+	// child versus the servicing power of the best prospective server.
+	virMaxSchPow := calcSchPow(c, bw, root.Power, 1)
+	virMaxSerPow := calcHierSerPow(c, bw, wapp, []float64{pool[0].Power})
+	minSerCV := virMaxSerPow
+	if req.Demand.Bounded() && float64(req.Demand) < minSerCV {
+		minSerCV = float64(req.Demand)
+	}
+
+	if _, err := h.AddServer(rootID, pool[0].Name, pool[0].Power); err != nil {
+		return nil, err
+	}
+	next := 1 // index of the next unused node in pool
+
+	// Step 6: agent-limited shortcut — one agent, one server.
+	if virMaxSchPow < minSerCV {
+		return Finalize(p.Name(), req, h)
+	}
+
+	// The target rate used for supported_children: the best servicing power
+	// the pool could possibly deliver (every non-root node serving), capped
+	// by the client demand. Agents that cannot schedule at this rate should
+	// not be given more children.
+	allPowers := make([]float64, len(pool))
+	for i, n := range pool {
+		allPowers[i] = n.Power
+	}
+	target := calcHierSerPow(c, bw, wapp, allPowers)
+	if req.Demand.Bounded() && float64(req.Demand) < target {
+		target = float64(req.Demand)
+	}
+	// Service-rich regime: when even the best node cannot schedule at the
+	// pool's full service rate, the target is unattainable and would block
+	// all gated growth. Algorithm 1's Step 12 recomputes the virtual
+	// maximum scheduling power with supported_children equal to 2; we
+	// pivot the target to the root's two-child scheduling power, which
+	// steers construction towards the deep low-degree trees that are
+	// optimal in this regime (cf. Table 4's degree-2 row).
+	if target > virMaxSchPow {
+		target = calcSchPow(c, bw, root.Power, 2)
+	}
+
+	best := snapshot{hier: h.Clone(), capped: cappedRho(req, h), nodes: h.Len()}
+
+	for next < len(pool) {
+		ev := h.Evaluate(c, bw, wapp)
+		// Demand met by both phases: stop, preferring fewer resources.
+		if req.Demand.Bounded() && ev.Service >= float64(req.Demand) && ev.Sched >= float64(req.Demand) {
+			break
+		}
+		// Balance reached: servicing power has caught up with scheduling
+		// power, so additional servers cannot raise ρ.
+		if ev.Service >= ev.Sched {
+			break
+		}
+
+		node := pool[next]
+		parent, promoted := p.placeNext(req, h, target, len(pool)-next)
+		if parent < 0 {
+			break
+		}
+		if _, err := h.AddServer(parent, node.Name, node.Power); err != nil {
+			return nil, err
+		}
+		next++
+
+		// A promoted agent must end with at least two children to satisfy
+		// the paper's shape invariant; feed it a second server immediately
+		// when available (inner while of Steps 18–24).
+		if promoted && next < len(pool) {
+			n2 := pool[next]
+			if _, err := h.AddServer(parent, n2.Name, n2.Power); err != nil {
+				return nil, err
+			}
+			next++
+		}
+
+		if cur := cappedRho(req, h); h.Validate(hierarchy.Final) == nil {
+			if cur > best.capped || (cur == best.capped && h.Len() < best.nodes) {
+				best = snapshot{hier: h.Clone(), capped: cur, nodes: h.Len()}
+			}
+		}
+	}
+
+	// Steps 28–34 generalised: revert to the best deployment seen.
+	return Finalize(p.Name(), req, best.hier)
+}
+
+// placeNext decides where the next pool node goes. It returns the parent
+// agent ID and whether that parent was just promoted from a server.
+// A negative parent means growth must stop.
+//
+// Three passes, in the spirit of Steps 15–26:
+//
+//  1. Gated attachment: attach under an agent whose scheduling power stays
+//     at or above the target rate with one more child (supported_children).
+//     Such a move never lowers the demand-capped throughput while the
+//     hierarchy is scheduling-rich, and it preserves the scheduling headroom
+//     a deep tree needs.
+//  2. Promotion (shift_nodes): every agent is full at the target rate —
+//     convert the most powerful leaf server that can itself support more
+//     than one child into an agent and grow under it, one level deeper.
+//  3. Ungated attachment: no agent has gated capacity and no promotion is
+//     possible (the target is out of reach for every node, which happens on
+//     small pools whose aggregate service power exceeds what any agent can
+//     schedule). Trade scheduling power down for service power as long as
+//     the move strictly improves the demand-capped throughput.
+func (p *Heuristic) placeNext(req Request, h *hierarchy.Hierarchy, target float64, remaining int) (parent int, promoted bool) {
+	c, bw := req.Costs, req.Platform.Bandwidth
+	cur := cappedRho(req, h)
+
+	// Pass 1: gated attachment under the agent that keeps the most slack.
+	bestParent := -1
+	bestSlack := math.Inf(-1)
+	for _, id := range h.Agents() {
+		a := h.MustNode(id)
+		d := len(a.Children)
+		if supportedChildren(c, bw, a.Power, target, remaining+d) <= d {
+			continue // one more child would sink this agent below target
+		}
+		slack := calcSchPow(c, bw, a.Power, d+1)
+		if slack > bestSlack {
+			bestParent, bestSlack = id, slack
+		}
+	}
+	if bestParent >= 0 {
+		return bestParent, false
+	}
+
+	// Pass 2 (Steps 16–17): promotion. Needs at least two pool nodes so the
+	// new agent can reach the two-children invariant.
+	if remaining >= 2 {
+		promoteID := -1
+		var promotePower float64
+		for _, id := range h.Servers() {
+			s := h.MustNode(id)
+			if supportedChildren(c, bw, s.Power, target, remaining) > 1 && s.Power > promotePower {
+				promoteID, promotePower = id, s.Power
+			}
+		}
+		if promoteID >= 0 {
+			if err := h.PromoteToAgent(promoteID); err == nil {
+				return promoteID, true
+			}
+		}
+	}
+
+	// Pass 3: ungated attachment, accepted only on strict improvement.
+	bestParent = -1
+	bestRho := cur
+	for _, id := range h.Agents() {
+		if rho := rhoAfterAdd(req, h, id); rho > bestRho {
+			bestParent, bestRho = id, rho
+		}
+	}
+	return bestParent, false
+}
+
+// rhoAfterAdd evaluates the demand-capped throughput the hierarchy would
+// have after attaching one more (not yet chosen) server of the next pool
+// node's power under agent id. The server's own power matters only through
+// the service term and its prediction throughput; both are evaluated on a
+// cheap copy of the model inputs rather than by mutating the hierarchy.
+func rhoAfterAdd(req Request, h *hierarchy.Hierarchy, agentID int) float64 {
+	c, bw, wapp := req.Costs, req.Platform.Bandwidth, req.Wapp
+	agents := h.ModelAgents()
+	// Agents() and ModelAgents() enumerate in the same (ID) order.
+	for i, id := range h.Agents() {
+		if id == agentID {
+			agents[i].Degree++
+			break
+		}
+	}
+	powers := h.ServerPowers()
+	powers = append(powers, nextPoolPower(req, h))
+	ev := model.Evaluate(c, bw, wapp, agents, powers)
+	return req.Demand.Cap(ev.Rho)
+}
+
+// nextPoolPower returns the power of the strongest platform node not yet
+// deployed, which is exactly the node the growth loop will attach next
+// (pool order is sorted by scheduling power, which is monotone in power).
+func nextPoolPower(req Request, h *hierarchy.Hierarchy) float64 {
+	used := make(map[string]bool, h.Len())
+	for _, n := range h.Nodes() {
+		used[n.Name] = true
+	}
+	best := 0.0
+	for _, n := range req.Platform.Nodes {
+		if !used[n.Name] && n.Power > best {
+			best = n.Power
+		}
+	}
+	return best
+}
+
+// cappedRho evaluates the hierarchy and caps ρ by the client demand.
+func cappedRho(req Request, h *hierarchy.Hierarchy) float64 {
+	ev := h.Evaluate(req.Costs, req.Platform.Bandwidth, req.Wapp)
+	return req.Demand.Cap(ev.Rho)
+}
+
+func deploymentName(req Request) string {
+	return fmt.Sprintf("%s-wapp%.3g", req.Platform.Name, req.Wapp)
+}

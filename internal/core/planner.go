@@ -1,0 +1,110 @@
+// Package core implements the paper's primary contribution: automatic
+// deployment planning for hierarchical NES middleware on heterogeneous
+// platforms (Algorithm 1 of §4), plus the planner abstractions shared with
+// the baseline planners of internal/baseline.
+//
+// A planner consumes a platform description (heterogeneous node powers,
+// homogeneous link bandwidth), the middleware cost parameters of Table 3,
+// the application service cost Wapp, and an optional client demand. It
+// produces a deployment hierarchy that maximises the completed-request
+// throughput ρ = min(ρ_sched, ρ_service), preferring the deployment using
+// the fewest resources when several reach the maximum.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"adept/internal/hierarchy"
+	"adept/internal/model"
+	"adept/internal/platform"
+	"adept/internal/workload"
+)
+
+// Request bundles everything a planner needs for one planning run.
+type Request struct {
+	// Platform is the pool of candidate nodes plus the link bandwidth.
+	Platform *platform.Platform
+	// Costs holds the middleware cost parameters (Table 3).
+	Costs model.Costs
+	// Wapp is the service cost of one application request in MFlop.
+	Wapp float64
+	// Demand optionally caps the useful throughput (client volume in
+	// requests/second); zero means plan for maximum throughput.
+	Demand workload.Demand
+}
+
+// Validate checks the request.
+func (r *Request) Validate() error {
+	if r.Platform == nil {
+		return errors.New("core: nil platform")
+	}
+	if err := r.Platform.Validate(); err != nil {
+		return err
+	}
+	if err := r.Costs.Validate(); err != nil {
+		return err
+	}
+	if r.Wapp <= 0 {
+		return fmt.Errorf("core: Wapp must be positive, got %g", r.Wapp)
+	}
+	if len(r.Platform.Nodes) < 2 {
+		return fmt.Errorf("core: need at least 2 nodes (one agent, one server), got %d", len(r.Platform.Nodes))
+	}
+	return nil
+}
+
+// Plan is a planner's output: the deployment plus its predicted performance.
+type Plan struct {
+	// Hierarchy is the deployment tree.
+	Hierarchy *hierarchy.Hierarchy
+	// Eval is the §3 model evaluation of the deployment.
+	Eval model.Evaluation
+	// Capped is min(Eval.Rho, demand): the useful throughput.
+	Capped float64
+	// NodesUsed counts the physical nodes consumed by the deployment.
+	NodesUsed int
+	// Planner names the algorithm that produced the plan.
+	Planner string
+}
+
+// XML returns the GoDIET-style deployment XML (the write_xml step).
+func (p *Plan) XML() (string, error) {
+	return p.Hierarchy.MarshalXMLString()
+}
+
+// Summary renders a one-line description for reports.
+func (p *Plan) Summary() string {
+	s := p.Hierarchy.ComputeStats()
+	return fmt.Sprintf("%s: ρ=%.2f req/s (sched=%.2f, service=%.2f, bottleneck=%s), %d nodes (%d agents, %d servers), depth %d, degree [%d,%d]",
+		p.Planner, p.Eval.Rho, p.Eval.Sched, p.Eval.Service, p.Eval.Bottleneck,
+		s.Nodes, s.Agents, s.Servers, s.Depth, s.MinDegree, s.MaxDegree)
+}
+
+// Planner is the common planning interface implemented by the heuristic and
+// by every baseline.
+type Planner interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Plan computes a deployment for the request.
+	Plan(req Request) (*Plan, error)
+}
+
+// Finalize evaluates h against the request, validates it with the paper's
+// final-deployment invariants, and wraps it in a Plan.
+func Finalize(name string, req Request, h *hierarchy.Hierarchy) (*Plan, error) {
+	if err := h.Validate(hierarchy.Final); err != nil {
+		return nil, fmt.Errorf("core: %s produced invalid deployment: %w", name, err)
+	}
+	if err := h.CheckAgainstPlatform(req.Platform); err != nil {
+		return nil, fmt.Errorf("core: %s deployment inconsistent with platform: %w", name, err)
+	}
+	eval := h.Evaluate(req.Costs, req.Platform.Bandwidth, req.Wapp)
+	return &Plan{
+		Hierarchy: h,
+		Eval:      eval,
+		Capped:    req.Demand.Cap(eval.Rho),
+		NodesUsed: h.Len(),
+		Planner:   name,
+	}, nil
+}

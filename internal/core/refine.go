@@ -1,0 +1,114 @@
+package core
+
+import (
+	"adept/internal/hierarchy"
+)
+
+// SwapRefiner is a post-planning local-search extension (beyond the paper's
+// Algorithm 1, in the direction its future-work section sketches): it takes
+// a finished plan and repeatedly tries to swap the physical node backing an
+// agent with a weaker node — either a deployed server or an unused pool
+// node — keeping the tree shape fixed. On service-limited deployments this
+// releases powerful nodes from scheduling duty back into serving, which
+// Algorithm 1 cannot do because it always drafts the most powerful nodes as
+// agents first.
+//
+// The refiner only ever improves the demand-capped throughput; when no swap
+// improves it the input plan is returned unchanged.
+type SwapRefiner struct {
+	// Inner produces the plan to refine.
+	Inner Planner
+	// MaxRounds bounds the improvement loop (0 means a generous default).
+	MaxRounds int
+}
+
+// Name implements Planner.
+func (r *SwapRefiner) Name() string { return r.Inner.Name() + "+swap" }
+
+// Plan implements Planner.
+func (r *SwapRefiner) Plan(req Request) (*Plan, error) {
+	plan, err := r.Inner.Plan(req)
+	if err != nil {
+		return nil, err
+	}
+	rounds := r.MaxRounds
+	if rounds <= 0 {
+		rounds = 2 * len(req.Platform.Nodes)
+	}
+	h := plan.Hierarchy.Clone()
+	bestCapped := plan.Capped
+
+	for round := 0; round < rounds; round++ {
+		swapped, newCapped := r.bestSwap(req, h, bestCapped)
+		if swapped == nil {
+			break
+		}
+		h = swapped
+		bestCapped = newCapped
+	}
+	if bestCapped <= plan.Capped {
+		return plan, nil
+	}
+	refined, err := Finalize(r.Name(), req, h)
+	if err != nil {
+		return nil, err
+	}
+	return refined, nil
+}
+
+// bestSwap tries every (agent, replacement) pair and returns the hierarchy
+// after the single best strictly improving swap, or nil when none improves.
+func (r *SwapRefiner) bestSwap(req Request, h *hierarchy.Hierarchy, cur float64) (*hierarchy.Hierarchy, float64) {
+	deployed := make(map[string]int, h.Len()) // name -> node ID
+	for _, n := range h.Nodes() {
+		deployed[n.Name] = n.ID
+	}
+
+	type cand struct {
+		name  string
+		power float64
+		id    int // deployed server ID, or -1 for an unused pool node
+	}
+	var cands []cand
+	for _, pn := range req.Platform.Nodes {
+		if id, ok := deployed[pn.Name]; ok {
+			if h.MustNode(id).Role == hierarchy.RoleServer {
+				cands = append(cands, cand{pn.Name, pn.Power, id})
+			}
+			continue
+		}
+		cands = append(cands, cand{pn.Name, pn.Power, -1})
+	}
+
+	var best *hierarchy.Hierarchy
+	bestRho := cur
+	for _, aid := range h.Agents() {
+		agent := h.MustNode(aid)
+		for _, cd := range cands {
+			if cd.power >= agent.Power {
+				continue // only release power, never hoard more of it
+			}
+			trial := h.Clone()
+			swapNodeBacking(trial, aid, cd.id, cd.name, cd.power, agent.Name, agent.Power)
+			if trial.Validate(hierarchy.Final) != nil {
+				continue
+			}
+			if rho := cappedRho(req, trial); rho > bestRho {
+				best, bestRho = trial, rho
+			}
+		}
+	}
+	return best, bestRho
+}
+
+// swapNodeBacking re-backs agent aid with the candidate physical node; when
+// the candidate is a deployed server (sid >= 0) the two nodes exchange
+// backings, otherwise the agent's old backing simply leaves the deployment.
+func swapNodeBacking(h *hierarchy.Hierarchy, aid, sid int, candName string, candPower float64, agentName string, agentPower float64) {
+	// IDs and node data come from the live hierarchy, so SetBacking cannot
+	// fail here.
+	_ = h.SetBacking(aid, candName, candPower)
+	if sid >= 0 {
+		_ = h.SetBacking(sid, agentName, agentPower)
+	}
+}

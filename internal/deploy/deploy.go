@@ -1,0 +1,98 @@
+// Package deploy is the GoDIET analog: it consumes the deployment XML the
+// planner emits (the write_xml hand-off of Algorithm 1), instantiates the
+// middleware on a chosen transport, and launches it. Where GoDIET ran
+// ssh/scp against Grid'5000, this package starts the goroutine runtime of
+// internal/runtime — the same role in our substituted stack.
+package deploy
+
+import (
+	"fmt"
+	"io"
+
+	"adept/internal/hierarchy"
+	"adept/internal/runtime"
+)
+
+// TransportKind selects how deployed elements communicate.
+type TransportKind string
+
+const (
+	// TransportChan wires elements with in-process channels.
+	TransportChan TransportKind = "chan"
+	// TransportTCP wires elements over loopback TCP with gob encoding.
+	TransportTCP TransportKind = "tcp"
+)
+
+// Config bundles everything needed to launch a deployment.
+type Config struct {
+	// Transport selects the wire; empty defaults to TransportChan.
+	Transport TransportKind
+	// Metered wraps the transport with traffic accounting (calibration).
+	Metered bool
+	// Options are the runtime's middleware options.
+	Options runtime.Options
+}
+
+// Deployment is a launched middleware platform plus its handles.
+type Deployment struct {
+	// System is the running middleware.
+	System *runtime.System
+	// Hierarchy is the deployed tree.
+	Hierarchy *hierarchy.Hierarchy
+	// Meter is non-nil when Config.Metered was set.
+	Meter *runtime.MeteredTransport
+}
+
+// Stop shuts the platform down.
+func (d *Deployment) Stop() {
+	d.System.Stop()
+}
+
+// newTransport builds the configured transport stack.
+func newTransport(cfg Config) (runtime.Transport, *runtime.MeteredTransport, error) {
+	var base runtime.Transport
+	switch cfg.Transport {
+	case TransportChan, "":
+		base = runtime.NewChanTransport()
+	case TransportTCP:
+		base = runtime.NewTCPTransport()
+	default:
+		return nil, nil, fmt.Errorf("deploy: unknown transport %q", cfg.Transport)
+	}
+	if cfg.Metered {
+		m := runtime.NewMeteredTransport(base)
+		return m, m, nil
+	}
+	return base, nil, nil
+}
+
+// Launch deploys an in-memory hierarchy.
+func Launch(h *hierarchy.Hierarchy, cfg Config) (*Deployment, error) {
+	tr, meter, err := newTransport(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := runtime.Deploy(h, tr, cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{System: sys, Hierarchy: h, Meter: meter}, nil
+}
+
+// LaunchXML deploys from a GoDIET-style XML stream.
+func LaunchXML(r io.Reader, cfg Config) (*Deployment, error) {
+	h, err := hierarchy.ParseXML(r)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: %w", err)
+	}
+	return Launch(h, cfg)
+}
+
+// LaunchXMLFile deploys from a deployment XML file on disk.
+func LaunchXMLFile(path string, cfg Config) (*Deployment, error) {
+	h, err := hierarchy.LoadXML(path)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: %w", err)
+	}
+	return Launch(h, cfg)
+}

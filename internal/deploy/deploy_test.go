@@ -1,0 +1,131 @@
+package deploy_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"adept/internal/deploy"
+	"adept/internal/hierarchy"
+	"adept/internal/model"
+	"adept/internal/runtime"
+)
+
+func sampleHierarchy(t *testing.T) *hierarchy.Hierarchy {
+	t.Helper()
+	h := hierarchy.New("dep")
+	root, err := h.AddRoot("agent-0", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"sed-0", "sed-1"} {
+		if _, err := h.AddServer(root, n, 400); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+func options() runtime.Options {
+	return runtime.Options{
+		Costs:     model.DIETDefaults(),
+		Bandwidth: 100,
+		Wapp:      2,
+		TimeScale: 0.001,
+	}
+}
+
+func TestLaunchAndDrive(t *testing.T) {
+	dep, err := deploy.Launch(sampleHierarchy(t), deploy.Config{Options: options()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Stop()
+	stats, err := dep.System.RunClients(2, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed == 0 {
+		t.Error("no completions through launched deployment")
+	}
+}
+
+func TestLaunchXMLRoundTrip(t *testing.T) {
+	h := sampleHierarchy(t)
+	xml, err := h.MarshalXMLString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := deploy.LaunchXML(strings.NewReader(xml), deploy.Config{Options: options()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Stop()
+	if dep.Hierarchy.Len() != h.Len() {
+		t.Errorf("launched %d elements, want %d", dep.Hierarchy.Len(), h.Len())
+	}
+}
+
+func TestLaunchXMLFile(t *testing.T) {
+	h := sampleHierarchy(t)
+	path := filepath.Join(t.TempDir(), "dep.xml")
+	if err := h.SaveXML(path); err != nil {
+		t.Fatal(err)
+	}
+	dep, err := deploy.LaunchXMLFile(path, deploy.Config{Options: options()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep.Stop()
+}
+
+func TestLaunchXMLFileMissing(t *testing.T) {
+	if _, err := deploy.LaunchXMLFile(filepath.Join(t.TempDir(), "nope.xml"), deploy.Config{Options: options()}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLaunchRejectsBadTransport(t *testing.T) {
+	if _, err := deploy.Launch(sampleHierarchy(t), deploy.Config{Transport: "carrier-pigeon", Options: options()}); err == nil {
+		t.Error("unknown transport accepted")
+	}
+}
+
+func TestLaunchXMLRejectsGarbage(t *testing.T) {
+	if _, err := deploy.LaunchXML(strings.NewReader("not xml"), deploy.Config{Options: options()}); err == nil {
+		t.Error("garbage XML accepted")
+	}
+}
+
+func TestMeteredLaunch(t *testing.T) {
+	dep, err := deploy.Launch(sampleHierarchy(t), deploy.Config{Metered: true, Options: options()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Stop()
+	if dep.Meter == nil {
+		t.Fatal("metered launch returned nil meter")
+	}
+	if _, err := dep.System.RunClients(1, 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if dep.Meter.TotalMessages() == 0 {
+		t.Error("meter saw no traffic")
+	}
+}
+
+func TestTCPLaunch(t *testing.T) {
+	dep, err := deploy.Launch(sampleHierarchy(t), deploy.Config{Transport: deploy.TransportTCP, Options: options()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Stop()
+	stats, err := dep.System.RunClients(2, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed == 0 {
+		t.Error("no completions over TCP deployment")
+	}
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"adept/internal/calib"
+	"adept/internal/runtime"
+	"adept/internal/workload"
+)
+
+// Table3 regenerates the middleware parameter calibration of Table 3 by
+// measurement against the running middleware: message sizes from metered
+// transport capture, Wrep(d) from a linear fit of timed reply treatment,
+// with the configured DIET values shown alongside for comparison.
+func Table3(p Params) (Report, error) {
+	opts := runtime.Options{
+		Costs:        p.Costs,
+		Bandwidth:    p.Bandwidth,
+		Wapp:         workload.DGEMM{N: 100}.MFlop(),
+		TimeScale:    0.02,
+		ReplyTimeout: 2 * time.Second,
+	}
+	capture := 500 * time.Millisecond
+	perDegree := 1200 * time.Millisecond
+	degrees := []int{1, 2, 4, 8, 12, 16}
+	if p.Quick {
+		capture = 150 * time.Millisecond
+		perDegree = 250 * time.Millisecond
+		degrees = []int{1, 4, 8}
+	}
+
+	sizes, err := calib.MeasureMessageSizes(p.NodePower, p.NodePower, opts, 1, capture)
+	if err != nil {
+		return Report{}, fmt.Errorf("table3: %w", err)
+	}
+	// The Wrep timing measurement needs a coarser time scale: at the
+	// throughput-measurement scale the Wrep(d) sleeps are sub-microsecond
+	// and drown in OS timer noise (±~1ms), exactly as a too-fine stopwatch
+	// would on the real testbed. Scale 50 puts the per-child slope at
+	// ~0.7ms/child, an order of magnitude above the noise floor.
+	wrepOpts := opts
+	wrepOpts.TimeScale = 50.0
+	wrep, err := calib.MeasureWrep(p.NodePower, p.NodePower, wrepOpts, degrees, perDegree)
+	if err != nil {
+		return Report{}, fmt.Errorf("table3: %w", err)
+	}
+
+	c := p.Costs
+	rep := Report{
+		ID:      "table3",
+		Title:   "Measured middleware parameters (paper Table 3 methodology)",
+		Columns: []string{"element", "parameter", "measured", "configured (Table 3)"},
+		Rows: [][]string{
+			{"agent", "Sreq (Mb)", fmtF(sizes.SchedRequest), fmtF(c.AgentSreq)},
+			{"agent", "Srep (Mb)", fmtF(sizes.SchedReply), fmtF(c.AgentSrep)},
+			{"agent", "Wfix (MFlop)", fmtF(wrep.WfixMFlop), fmtF(c.AgentWfix)},
+			{"agent", "Wsel (MFlop/child)", fmtF(wrep.WselMFlop), fmtF(c.AgentWsel)},
+			{"server", "Sreq (Mb)", fmtF(sizes.ServiceRequest), fmtF(c.ServerSreq)},
+			{"server", "Srep (Mb)", fmtF(sizes.ServiceReply), fmtF(c.ServerSrep)},
+		},
+		Notes: []string{
+			fmt.Sprintf("captured %d messages; Wrep fit over %d samples, correlation R = %.3f (paper: 0.97)",
+				sizes.Messages, wrep.Samples, wrep.Fit.R),
+			"measured message sizes are gob wire bytes (paper: tcpdump+Ethereal captures, CORBA encoding), so absolute values differ; the agent/server asymmetry and the linear Wrep(d) law are the reproduced results",
+		},
+	}
+	return rep, nil
+}

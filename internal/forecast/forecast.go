@@ -1,0 +1,262 @@
+// Package forecast implements execution-time forecasting for server
+// performance prediction — the paper's future-work item "we should study
+// another approach with statistical mathematical function to forecast the
+// execution time" (§6). The paper's model assumes a known Wapp; these
+// estimators learn it from observed executions, the way DIET's FAST/CoRI
+// subsystem forecasts service times.
+//
+// Three estimator families are provided:
+//
+//   - Mean: running arithmetic mean — the baseline.
+//   - EWMA: exponentially weighted moving average, tracking drift (e.g. a
+//     background job stealing cycles, as in the §5.3 heterogenisation).
+//   - SizeModel: least-squares regression of time against a problem-size
+//     feature (n³ for DGEMM), predicting unseen problem sizes.
+//
+// All estimators are safe for concurrent use.
+package forecast
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Estimator predicts the execution time of the next request.
+type Estimator interface {
+	// Observe records one completed execution.
+	Observe(seconds float64)
+	// Predict returns the forecast execution time in seconds, and false
+	// when no forecast is available yet.
+	Predict() (float64, bool)
+	// Name identifies the estimator in reports.
+	Name() string
+}
+
+// Mean is the running-average estimator.
+type Mean struct {
+	mu    sync.Mutex
+	sum   float64
+	count int
+}
+
+// NewMean returns an empty running-average estimator.
+func NewMean() *Mean { return &Mean{} }
+
+// Name implements Estimator.
+func (*Mean) Name() string { return "mean" }
+
+// Observe implements Estimator.
+func (m *Mean) Observe(seconds float64) {
+	if seconds < 0 || math.IsNaN(seconds) {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sum += seconds
+	m.count++
+}
+
+// Predict implements Estimator.
+func (m *Mean) Predict() (float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.count == 0 {
+		return 0, false
+	}
+	return m.sum / float64(m.count), true
+}
+
+// EWMA is the exponentially-weighted moving-average estimator.
+type EWMA struct {
+	mu    sync.Mutex
+	alpha float64
+	value float64
+	seen  bool
+}
+
+// NewEWMA returns an EWMA estimator with smoothing factor alpha in (0, 1];
+// larger alpha weighs recent observations more.
+func NewEWMA(alpha float64) (*EWMA, error) {
+	if alpha <= 0 || alpha > 1 || math.IsNaN(alpha) {
+		return nil, fmt.Errorf("forecast: alpha %g out of (0, 1]", alpha)
+	}
+	return &EWMA{alpha: alpha}, nil
+}
+
+// Name implements Estimator.
+func (*EWMA) Name() string { return "ewma" }
+
+// Observe implements Estimator.
+func (e *EWMA) Observe(seconds float64) {
+	if seconds < 0 || math.IsNaN(seconds) {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.seen {
+		e.value = seconds
+		e.seen = true
+		return
+	}
+	e.value = e.alpha*seconds + (1-e.alpha)*e.value
+}
+
+// Predict implements Estimator.
+func (e *EWMA) Predict() (float64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.value, e.seen
+}
+
+// SizeModel regresses execution time against a problem-size feature, so a
+// server that has executed DGEMM at n = 100 and n = 200 can forecast
+// n = 310 without ever having run it. The feature for DGEMM is n³ (the
+// flop count dominates), but any monotone feature works.
+type SizeModel struct {
+	mu sync.Mutex
+	// accumulated sums for incremental least squares
+	n, sx, sy, sxx, sxy float64
+}
+
+// NewSizeModel returns an empty size-regression estimator.
+func NewSizeModel() *SizeModel { return &SizeModel{} }
+
+// Name identifies the estimator.
+func (*SizeModel) Name() string { return "size-model" }
+
+// ObserveSize records one execution of `seconds` at the given size feature.
+func (s *SizeModel) ObserveSize(feature, seconds float64) {
+	if seconds < 0 || feature < 0 || math.IsNaN(feature) || math.IsNaN(seconds) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	s.sx += feature
+	s.sy += seconds
+	s.sxx += feature * feature
+	s.sxy += feature * seconds
+}
+
+// PredictSize forecasts the execution time at the given size feature.
+// It needs at least two observations with distinct features.
+func (s *SizeModel) PredictSize(feature float64) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n < 2 {
+		return 0, errors.New("forecast: size model needs at least two observations")
+	}
+	det := s.n*s.sxx - s.sx*s.sx
+	if det == 0 {
+		return 0, errors.New("forecast: size model needs two distinct problem sizes")
+	}
+	slope := (s.n*s.sxy - s.sx*s.sy) / det
+	intercept := (s.sy - slope*s.sx) / s.n
+	pred := intercept + slope*feature
+	if pred < 0 {
+		pred = 0
+	}
+	return pred, nil
+}
+
+// DGEMMFeature returns the regression feature for an n×n DGEMM: n³.
+func DGEMMFeature(n int) float64 {
+	fn := float64(n)
+	return fn * fn * fn
+}
+
+// Window keeps the last k observations and predicts with a trimmed mean,
+// robust to the occasional outlier (GC pause, co-scheduled job).
+type Window struct {
+	mu   sync.Mutex
+	buf  []float64
+	next int
+	full bool
+}
+
+// NewWindow returns a sliding-window estimator over k observations, k >= 1.
+func NewWindow(k int) (*Window, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("forecast: window size %d < 1", k)
+	}
+	return &Window{buf: make([]float64, k)}, nil
+}
+
+// Name implements Estimator.
+func (*Window) Name() string { return "window" }
+
+// Observe implements Estimator.
+func (w *Window) Observe(seconds float64) {
+	if seconds < 0 || math.IsNaN(seconds) {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf[w.next] = seconds
+	w.next++
+	if w.next == len(w.buf) {
+		w.next = 0
+		w.full = true
+	}
+}
+
+// Predict implements Estimator: the mean of the window with the single
+// largest observation discarded once the window holds 3+ samples.
+func (w *Window) Predict() (float64, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := w.next
+	if w.full {
+		n = len(w.buf)
+	}
+	if n == 0 {
+		return 0, false
+	}
+	sum, max := 0.0, math.Inf(-1)
+	for _, v := range w.buf[:n] {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if n >= 3 {
+		return (sum - max) / float64(n-1), true
+	}
+	return sum / float64(n), true
+}
+
+// Error metrics for comparing estimators on a trace.
+
+// MAPE returns the mean absolute percentage error of predictions against
+// actuals; the slices must have equal nonzero length and positive actuals.
+func MAPE(predicted, actual []float64) (float64, error) {
+	if len(predicted) != len(actual) || len(predicted) == 0 {
+		return 0, errors.New("forecast: MAPE needs equal-length nonempty slices")
+	}
+	sum := 0.0
+	for i := range predicted {
+		if actual[i] <= 0 {
+			return 0, fmt.Errorf("forecast: non-positive actual %g at %d", actual[i], i)
+		}
+		sum += math.Abs(predicted[i]-actual[i]) / actual[i]
+	}
+	return sum / float64(len(predicted)), nil
+}
+
+// Replay feeds a trace through an estimator one step ahead and returns the
+// predictions made before each observation (the honest evaluation order).
+func Replay(e Estimator, trace []float64) (predictions []float64, covered int) {
+	predictions = make([]float64, 0, len(trace))
+	for _, v := range trace {
+		if p, ok := e.Predict(); ok {
+			predictions = append(predictions, p)
+			covered++
+		} else {
+			predictions = append(predictions, v) // cold start: no penalty
+		}
+		e.Observe(v)
+	}
+	return predictions, covered
+}

@@ -1,0 +1,237 @@
+package forecast_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"adept/internal/forecast"
+)
+
+func TestMeanEstimator(t *testing.T) {
+	m := forecast.NewMean()
+	if _, ok := m.Predict(); ok {
+		t.Error("empty estimator predicted")
+	}
+	for _, v := range []float64{1, 2, 3} {
+		m.Observe(v)
+	}
+	p, ok := m.Predict()
+	if !ok || p != 2 {
+		t.Errorf("Predict = %g, %v; want 2, true", p, ok)
+	}
+	m.Observe(-1)         // ignored
+	m.Observe(math.NaN()) // ignored
+	if p, _ := m.Predict(); p != 2 {
+		t.Errorf("invalid observations changed prediction to %g", p)
+	}
+}
+
+func TestEWMATracksDrift(t *testing.T) {
+	e, err := forecast.NewEWMA(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := forecast.NewMean()
+	// A level shift: 1.0 for 20 samples, then 4.0 for 20 samples (the
+	// §5.3 background-load scenario).
+	for i := 0; i < 20; i++ {
+		e.Observe(1)
+		m.Observe(1)
+	}
+	for i := 0; i < 20; i++ {
+		e.Observe(4)
+		m.Observe(4)
+	}
+	pe, _ := e.Predict()
+	pm, _ := m.Predict()
+	if math.Abs(pe-4) > 0.01 {
+		t.Errorf("EWMA after shift = %g, want ≈4", pe)
+	}
+	if math.Abs(pm-2.5) > 0.01 {
+		t.Errorf("mean after shift = %g, want 2.5", pm)
+	}
+	if math.Abs(pe-4) >= math.Abs(pm-4) {
+		t.Error("EWMA should track the shift better than the mean")
+	}
+}
+
+func TestEWMARejectsBadAlpha(t *testing.T) {
+	for _, a := range []float64{0, -0.1, 1.1, math.NaN()} {
+		if _, err := forecast.NewEWMA(a); err == nil {
+			t.Errorf("alpha %g accepted", a)
+		}
+	}
+}
+
+func TestSizeModelExtrapolatesDGEMM(t *testing.T) {
+	s := forecast.NewSizeModel()
+	// Perfect flop-rate world: time = n³ / rate.
+	rate := 400e6
+	for _, n := range []int{50, 100, 150, 200} {
+		s.ObserveSize(forecast.DGEMMFeature(n), 2*forecast.DGEMMFeature(n)/rate)
+	}
+	pred, err := s.PredictSize(forecast.DGEMMFeature(310))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * forecast.DGEMMFeature(310) / rate
+	if math.Abs(pred-want)/want > 0.001 {
+		t.Errorf("predicted %g for n=310, want %g", pred, want)
+	}
+}
+
+func TestSizeModelErrors(t *testing.T) {
+	s := forecast.NewSizeModel()
+	if _, err := s.PredictSize(1); err == nil {
+		t.Error("empty model predicted")
+	}
+	s.ObserveSize(8, 1)
+	s.ObserveSize(8, 1.2)
+	if _, err := s.PredictSize(27); err == nil {
+		t.Error("single-size model predicted")
+	}
+}
+
+func TestSizeModelClampsNegative(t *testing.T) {
+	s := forecast.NewSizeModel()
+	s.ObserveSize(1, 10)
+	s.ObserveSize(2, 1)
+	// Steeply negative slope: extrapolation below zero clamps to 0.
+	pred, err := s.PredictSize(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred != 0 {
+		t.Errorf("negative extrapolation = %g, want clamp to 0", pred)
+	}
+}
+
+func TestWindowTrimsOutlier(t *testing.T) {
+	w, err := forecast.NewWindow(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{1, 1, 1, 1, 50} { // one GC pause
+		w.Observe(v)
+	}
+	p, ok := w.Predict()
+	if !ok || p != 1 {
+		t.Errorf("trimmed prediction = %g, want 1", p)
+	}
+}
+
+func TestWindowWrapAround(t *testing.T) {
+	w, err := forecast.NewWindow(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{9, 9, 9, 2, 2, 2} {
+		w.Observe(v)
+	}
+	if p, _ := w.Predict(); p != 2 {
+		t.Errorf("window should have forgotten old samples, got %g", p)
+	}
+}
+
+func TestWindowRejectsBadSize(t *testing.T) {
+	if _, err := forecast.NewWindow(0); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	got, err := forecast.MAPE([]float64{110, 90}, []float64{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("MAPE = %g, want 0.1", got)
+	}
+	if _, err := forecast.MAPE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := forecast.MAPE([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero actual accepted")
+	}
+}
+
+func TestReplayOneStepAhead(t *testing.T) {
+	trace := []float64{1, 1, 1, 4, 4, 4}
+	e, _ := forecast.NewEWMA(0.9)
+	preds, covered := forecast.Replay(e, trace)
+	if len(preds) != len(trace) {
+		t.Fatalf("%d predictions for %d samples", len(preds), len(trace))
+	}
+	if covered != len(trace)-1 {
+		t.Errorf("covered = %d, want %d (first sample is cold start)", covered, len(trace)-1)
+	}
+	mape, err := forecast.MAPE(preds, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mape > 0.6 {
+		t.Errorf("EWMA MAPE = %g on a step trace, too high", mape)
+	}
+}
+
+// Property: the mean estimator's prediction equals the arithmetic mean of
+// the valid observations.
+func TestPropertyMeanMatchesArithmetic(t *testing.T) {
+	f := func(xs []float64) bool {
+		m := forecast.NewMean()
+		var sum float64
+		var n int
+		for _, x := range xs {
+			m.Observe(x)
+			if x >= 0 && !math.IsNaN(x) {
+				sum += x
+				n++
+			}
+		}
+		p, ok := m.Predict()
+		if n == 0 {
+			return !ok
+		}
+		want := sum / float64(n)
+		return ok && (math.Abs(p-want) <= 1e-9*math.Max(1, math.Abs(want)) ||
+			math.IsInf(want, 0) && math.IsInf(p, 0))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: EWMA prediction stays within the [min, max] envelope of the
+// observations.
+func TestPropertyEWMABounded(t *testing.T) {
+	f := func(xs []float64, aSeed uint8) bool {
+		alpha := 0.01 + float64(aSeed%99)/100
+		e, err := forecast.NewEWMA(alpha)
+		if err != nil {
+			return false
+		}
+		min, max := math.Inf(1), math.Inf(-1)
+		any := false
+		for _, x := range xs {
+			e.Observe(x)
+			if x >= 0 && !math.IsNaN(x) {
+				any = true
+				if x < min {
+					min = x
+				}
+				if x > max {
+					max = x
+				}
+			}
+		}
+		p, ok := e.Predict()
+		if !any {
+			return !ok
+		}
+		return ok && p >= min-1e-9 && p <= max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

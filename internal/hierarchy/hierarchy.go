@@ -1,0 +1,495 @@
+// Package hierarchy provides the deployment hierarchy data structure of the
+// paper: a tree whose internal nodes are agents and whose leaves are
+// servers. A root agent has one or more children; every non-root agent has
+// exactly one parent and (in a final deployment) two or more children; a
+// server has exactly one parent and no children. Agents and servers never
+// share a physical node.
+//
+// The package offers construction, validation, traversal, statistics,
+// adjacency-matrix export (the heuristic's plot_hierarchy step), GoDIET-style
+// XML serialisation (write_xml), and DOT rendering, plus the bridge to the
+// analytic model of internal/model.
+package hierarchy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"adept/internal/model"
+	"adept/internal/platform"
+)
+
+// Role distinguishes agents from servers.
+type Role int
+
+const (
+	// RoleAgent marks an internal scheduling node.
+	RoleAgent Role = iota
+	// RoleServer marks a leaf computational node (SeD in DIET parlance).
+	RoleServer
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	if r == RoleAgent {
+		return "agent"
+	}
+	return "server"
+}
+
+// Node is one deployed middleware element.
+type Node struct {
+	// ID is the node's index inside the hierarchy (dense, 0-based).
+	ID int
+	// Name is the underlying physical node's name.
+	Name string
+	// Power is the physical node's computing power (MFlop/s).
+	Power float64
+	// Role says whether the element is an agent or a server.
+	Role Role
+	// Parent is the parent node ID, or -1 for the root.
+	Parent int
+	// Children lists child node IDs in insertion order (empty for servers).
+	Children []int
+}
+
+// Hierarchy is a deployment tree.
+type Hierarchy struct {
+	// Name labels the deployment.
+	Name  string
+	nodes []Node
+	root  int
+}
+
+// New creates an empty hierarchy. The first added agent becomes the root.
+func New(name string) *Hierarchy {
+	return &Hierarchy{Name: name, root: -1}
+}
+
+// Len returns the number of deployed elements.
+func (h *Hierarchy) Len() int { return len(h.nodes) }
+
+// Root returns the root agent's ID, or -1 when the hierarchy is empty.
+func (h *Hierarchy) Root() int { return h.root }
+
+// Node returns a copy of the node with the given ID.
+func (h *Hierarchy) Node(id int) (Node, error) {
+	if id < 0 || id >= len(h.nodes) {
+		return Node{}, fmt.Errorf("hierarchy: node id %d out of range [0,%d)", id, len(h.nodes))
+	}
+	return h.nodes[id], nil
+}
+
+// MustNode is Node but panics on a bad ID; for use after validation.
+func (h *Hierarchy) MustNode(id int) Node {
+	n, err := h.Node(id)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Nodes returns a copy of all nodes in ID order.
+func (h *Hierarchy) Nodes() []Node {
+	cp := make([]Node, len(h.nodes))
+	copy(cp, h.nodes)
+	for i := range cp {
+		cp[i].Children = append([]int(nil), h.nodes[i].Children...)
+	}
+	return cp
+}
+
+// AddRoot adds the root agent. It fails if a root already exists.
+func (h *Hierarchy) AddRoot(name string, power float64) (int, error) {
+	if h.root != -1 {
+		return -1, errors.New("hierarchy: root already present")
+	}
+	if err := checkNode(name, power); err != nil {
+		return -1, err
+	}
+	id := len(h.nodes)
+	h.nodes = append(h.nodes, Node{ID: id, Name: name, Power: power, Role: RoleAgent, Parent: -1})
+	h.root = id
+	return id, nil
+}
+
+// AddAgent adds a non-root agent under parent.
+func (h *Hierarchy) AddAgent(parent int, name string, power float64) (int, error) {
+	return h.addChild(parent, name, power, RoleAgent)
+}
+
+// AddServer adds a server leaf under parent.
+func (h *Hierarchy) AddServer(parent int, name string, power float64) (int, error) {
+	return h.addChild(parent, name, power, RoleServer)
+}
+
+func checkNode(name string, power float64) error {
+	if name == "" {
+		return errors.New("hierarchy: empty node name")
+	}
+	if power <= 0 {
+		return fmt.Errorf("hierarchy: node %q has non-positive power %g", name, power)
+	}
+	return nil
+}
+
+func (h *Hierarchy) addChild(parent int, name string, power float64, role Role) (int, error) {
+	if err := checkNode(name, power); err != nil {
+		return -1, err
+	}
+	if parent < 0 || parent >= len(h.nodes) {
+		return -1, fmt.Errorf("hierarchy: parent id %d out of range", parent)
+	}
+	if h.nodes[parent].Role != RoleAgent {
+		return -1, fmt.Errorf("hierarchy: parent %q is a server; servers cannot have children", h.nodes[parent].Name)
+	}
+	id := len(h.nodes)
+	h.nodes = append(h.nodes, Node{ID: id, Name: name, Power: power, Role: role, Parent: parent})
+	h.nodes[parent].Children = append(h.nodes[parent].Children, id)
+	return id, nil
+}
+
+// PromoteToAgent converts a server into an agent (the heuristic's
+// shift_nodes step, used when a server must start accepting children).
+func (h *Hierarchy) PromoteToAgent(id int) error {
+	if id < 0 || id >= len(h.nodes) {
+		return fmt.Errorf("hierarchy: node id %d out of range", id)
+	}
+	if h.nodes[id].Role == RoleAgent {
+		return fmt.Errorf("hierarchy: node %q already an agent", h.nodes[id].Name)
+	}
+	h.nodes[id].Role = RoleAgent
+	return nil
+}
+
+// DemoteToServer converts a childless non-root agent back into a server:
+// the inverse of PromoteToAgent, used by the planner's final fix-up when a
+// promotion could not be filled with the required two children.
+func (h *Hierarchy) DemoteToServer(id int) error {
+	if id < 0 || id >= len(h.nodes) {
+		return fmt.Errorf("hierarchy: node id %d out of range", id)
+	}
+	n := h.nodes[id]
+	if n.Role == RoleServer {
+		return fmt.Errorf("hierarchy: node %q already a server", n.Name)
+	}
+	if len(n.Children) != 0 {
+		return fmt.Errorf("hierarchy: cannot demote agent %q with %d children", n.Name, len(n.Children))
+	}
+	if id == h.root {
+		return errors.New("hierarchy: cannot demote the root")
+	}
+	h.nodes[id].Role = RoleServer
+	return nil
+}
+
+// SetBacking re-assigns the physical platform node backing a deployed
+// element, keeping the tree shape intact. Planner refiners use it to trade
+// node roles (e.g. hand an agent's powerful node back to serving duty).
+func (h *Hierarchy) SetBacking(id int, name string, power float64) error {
+	if id < 0 || id >= len(h.nodes) {
+		return fmt.Errorf("hierarchy: node id %d out of range", id)
+	}
+	if err := checkNode(name, power); err != nil {
+		return err
+	}
+	h.nodes[id].Name = name
+	h.nodes[id].Power = power
+	return nil
+}
+
+// Clone returns a deep copy of the hierarchy. Planners snapshot candidate
+// deployments this way before speculative growth.
+func (h *Hierarchy) Clone() *Hierarchy {
+	cp := &Hierarchy{Name: h.Name, root: h.root}
+	cp.nodes = make([]Node, len(h.nodes))
+	copy(cp.nodes, h.nodes)
+	for i := range cp.nodes {
+		cp.nodes[i].Children = append([]int(nil), h.nodes[i].Children...)
+	}
+	return cp
+}
+
+// RemoveLeaf removes a childless node from the hierarchy. IDs of remaining
+// nodes are unchanged except the removed one must be the most recently added
+// node (the planner only ever retracts its latest decision, mirroring the
+// heuristic's "remove 1 child from the last agent" step).
+func (h *Hierarchy) RemoveLeaf(id int) error {
+	if id != len(h.nodes)-1 {
+		return fmt.Errorf("hierarchy: can only remove the most recently added node (%d), got %d", len(h.nodes)-1, id)
+	}
+	n := h.nodes[id]
+	if len(n.Children) != 0 {
+		return fmt.Errorf("hierarchy: node %q still has %d children", n.Name, len(n.Children))
+	}
+	if n.Parent >= 0 {
+		p := &h.nodes[n.Parent]
+		for i, c := range p.Children {
+			if c == id {
+				p.Children = append(p.Children[:i], p.Children[i+1:]...)
+				break
+			}
+		}
+	}
+	if h.root == id {
+		h.root = -1
+	}
+	h.nodes = h.nodes[:id]
+	return nil
+}
+
+// Agents returns the IDs of all agents in ID order.
+func (h *Hierarchy) Agents() []int {
+	var ids []int
+	for _, n := range h.nodes {
+		if n.Role == RoleAgent {
+			ids = append(ids, n.ID)
+		}
+	}
+	return ids
+}
+
+// Servers returns the IDs of all servers in ID order.
+func (h *Hierarchy) Servers() []int {
+	var ids []int
+	for _, n := range h.nodes {
+		if n.Role == RoleServer {
+			ids = append(ids, n.ID)
+		}
+	}
+	return ids
+}
+
+// Degree returns the number of children of the given node.
+func (h *Hierarchy) Degree(id int) int {
+	return len(h.nodes[id].Children)
+}
+
+// Depth returns the number of levels in the tree (a lone root has depth 1).
+// An empty hierarchy has depth 0.
+func (h *Hierarchy) Depth() int {
+	if h.root == -1 {
+		return 0
+	}
+	var rec func(id int) int
+	rec = func(id int) int {
+		max := 0
+		for _, c := range h.nodes[id].Children {
+			if d := rec(c); d > max {
+				max = d
+			}
+		}
+		return max + 1
+	}
+	return rec(h.root)
+}
+
+// Walk visits every node reachable from the root in depth-first preorder.
+func (h *Hierarchy) Walk(visit func(n Node)) {
+	if h.root == -1 {
+		return
+	}
+	var rec func(id int)
+	rec = func(id int) {
+		visit(h.nodes[id])
+		for _, c := range h.nodes[id].Children {
+			rec(c)
+		}
+	}
+	rec(h.root)
+}
+
+// ValidationMode selects which invariants Validate enforces.
+type ValidationMode int
+
+const (
+	// Structural checks tree well-formedness only: one root, consistent
+	// parent/child links, servers are leaves, no cycles, all nodes
+	// reachable. Planners use this mid-construction.
+	Structural ValidationMode = iota
+	// Final additionally enforces the paper's deployment shape: every
+	// non-root agent has at least two children, every agent has at least
+	// one child, and at least one server exists.
+	Final
+)
+
+// Validate checks the hierarchy invariants under the given mode.
+func (h *Hierarchy) Validate(mode ValidationMode) error {
+	if len(h.nodes) == 0 {
+		return errors.New("hierarchy: empty")
+	}
+	if h.root < 0 || h.root >= len(h.nodes) {
+		return errors.New("hierarchy: no root")
+	}
+	if h.nodes[h.root].Role != RoleAgent {
+		return errors.New("hierarchy: root is not an agent")
+	}
+	if h.nodes[h.root].Parent != -1 {
+		return errors.New("hierarchy: root has a parent")
+	}
+	seen := make([]bool, len(h.nodes))
+	names := make(map[string]bool, len(h.nodes))
+	count := 0
+	var rec func(id int) error
+	rec = func(id int) error {
+		if seen[id] {
+			return fmt.Errorf("hierarchy: node %d visited twice (cycle or shared child)", id)
+		}
+		seen[id] = true
+		count++
+		n := h.nodes[id]
+		if names[n.Name] {
+			return fmt.Errorf("hierarchy: duplicate physical node %q", n.Name)
+		}
+		names[n.Name] = true
+		if n.Role == RoleServer && len(n.Children) != 0 {
+			return fmt.Errorf("hierarchy: server %q has children", n.Name)
+		}
+		for _, c := range n.Children {
+			if c < 0 || c >= len(h.nodes) {
+				return fmt.Errorf("hierarchy: node %q has out-of-range child %d", n.Name, c)
+			}
+			if h.nodes[c].Parent != id {
+				return fmt.Errorf("hierarchy: child %q does not point back to parent %q", h.nodes[c].Name, n.Name)
+			}
+			if err := rec(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(h.root); err != nil {
+		return err
+	}
+	if count != len(h.nodes) {
+		return fmt.Errorf("hierarchy: %d of %d nodes unreachable from root", len(h.nodes)-count, len(h.nodes))
+	}
+	if mode == Final {
+		if len(h.Servers()) == 0 {
+			return errors.New("hierarchy: final deployment has no servers")
+		}
+		for _, id := range h.Agents() {
+			n := h.nodes[id]
+			if len(n.Children) == 0 {
+				return fmt.Errorf("hierarchy: agent %q has no children", n.Name)
+			}
+			if id != h.root && len(n.Children) < 2 {
+				return fmt.Errorf("hierarchy: non-root agent %q has %d child(ren); the paper requires at least two", n.Name, len(n.Children))
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarises the shape of a hierarchy.
+type Stats struct {
+	Nodes     int
+	Agents    int
+	Servers   int
+	Depth     int
+	MinDegree int // over agents
+	MaxDegree int // over agents
+}
+
+// ComputeStats returns the shape summary.
+func (h *Hierarchy) ComputeStats() Stats {
+	s := Stats{Nodes: len(h.nodes), Depth: h.Depth()}
+	first := true
+	for _, n := range h.nodes {
+		switch n.Role {
+		case RoleAgent:
+			s.Agents++
+			d := len(n.Children)
+			if first {
+				s.MinDegree, s.MaxDegree = d, d
+				first = false
+			} else {
+				if d < s.MinDegree {
+					s.MinDegree = d
+				}
+				if d > s.MaxDegree {
+					s.MaxDegree = d
+				}
+			}
+		case RoleServer:
+			s.Servers++
+		}
+	}
+	return s
+}
+
+// ModelAgents converts the hierarchy's agents into the analytic model's
+// agent views (power + degree), in agent-ID order.
+func (h *Hierarchy) ModelAgents() []model.Agent {
+	var out []model.Agent
+	for _, id := range h.Agents() {
+		n := h.nodes[id]
+		out = append(out, model.Agent{Power: n.Power, Degree: len(n.Children)})
+	}
+	return out
+}
+
+// ServerPowers returns the powers of all servers, in server-ID order.
+func (h *Hierarchy) ServerPowers() []float64 {
+	var out []float64
+	for _, id := range h.Servers() {
+		out = append(out, h.nodes[id].Power)
+	}
+	return out
+}
+
+// Evaluate runs the §3 performance model on this hierarchy.
+func (h *Hierarchy) Evaluate(c model.Costs, bandwidth, wapp float64) model.Evaluation {
+	return model.Evaluate(c, bandwidth, wapp, h.ModelAgents(), h.ServerPowers())
+}
+
+// UsedNames returns the set of physical node names consumed by the
+// deployment, sorted.
+func (h *Hierarchy) UsedNames() []string {
+	names := make([]string, 0, len(h.nodes))
+	for _, n := range h.nodes {
+		names = append(names, n.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CheckAgainstPlatform verifies that every deployed element maps to a
+// distinct node of the platform pool with a matching power.
+func (h *Hierarchy) CheckAgainstPlatform(p *platform.Platform) error {
+	pool := make(map[string]float64, len(p.Nodes))
+	for _, n := range p.Nodes {
+		pool[n.Name] = n.Power
+	}
+	for _, n := range h.nodes {
+		w, ok := pool[n.Name]
+		if !ok {
+			return fmt.Errorf("hierarchy: node %q not in platform pool", n.Name)
+		}
+		if w != n.Power {
+			return fmt.Errorf("hierarchy: node %q power mismatch: deployment says %g, platform says %g", n.Name, n.Power, w)
+		}
+		delete(pool, n.Name) // each physical node used at most once
+	}
+	return nil
+}
+
+// String renders an indented tree, one node per line.
+func (h *Hierarchy) String() string {
+	if h.root == -1 {
+		return "(empty hierarchy)"
+	}
+	var b strings.Builder
+	var rec func(id, depth int)
+	rec = func(id, depth int) {
+		n := h.nodes[id]
+		fmt.Fprintf(&b, "%s%s %s (w=%g, d=%d)\n", strings.Repeat("  ", depth), n.Role, n.Name, n.Power, len(n.Children))
+		for _, c := range n.Children {
+			rec(c, depth+1)
+		}
+	}
+	rec(h.root, 0)
+	return b.String()
+}

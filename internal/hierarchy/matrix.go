@@ -1,0 +1,125 @@
+package hierarchy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AdjacencyMatrix returns the hierarchy's parent/child relation as a dense
+// boolean matrix: m[i][j] is true when node j is a child of node i. This is
+// the output of the heuristic's plot_hierarchy step, which the paper feeds
+// to the XML writer.
+func (h *Hierarchy) AdjacencyMatrix() [][]bool {
+	n := len(h.nodes)
+	m := make([][]bool, n)
+	cells := make([]bool, n*n)
+	for i := range m {
+		m[i], cells = cells[:n], cells[n:]
+	}
+	for _, node := range h.nodes {
+		for _, c := range node.Children {
+			m[node.ID][c] = true
+		}
+	}
+	return m
+}
+
+// FromAdjacencyMatrix reconstructs a hierarchy from an adjacency matrix plus
+// per-node metadata. Row/column order defines node IDs. The root is the
+// unique node with no parent. Roles are inferred: nodes with children are
+// agents, childless nodes are servers, matching the paper's convention that
+// roles follow position.
+func FromAdjacencyMatrix(name string, names []string, powers []float64, m [][]bool) (*Hierarchy, error) {
+	n := len(m)
+	if len(names) != n || len(powers) != n {
+		return nil, fmt.Errorf("hierarchy: matrix is %d×%d but %d names / %d powers given", n, n, len(names), len(powers))
+	}
+	parent := make([]int, n)
+	childCount := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	for i := range m {
+		if len(m[i]) != n {
+			return nil, fmt.Errorf("hierarchy: row %d has %d columns, want %d", i, len(m[i]), n)
+		}
+		for j := range m[i] {
+			if !m[i][j] {
+				continue
+			}
+			if i == j {
+				return nil, fmt.Errorf("hierarchy: node %d is its own child", i)
+			}
+			if parent[j] != -1 {
+				return nil, fmt.Errorf("hierarchy: node %d has two parents (%d and %d)", j, parent[j], i)
+			}
+			parent[j] = i
+			childCount[i]++
+		}
+	}
+	root := -1
+	for i, p := range parent {
+		if p == -1 {
+			if root != -1 {
+				return nil, fmt.Errorf("hierarchy: multiple roots (%d and %d)", root, i)
+			}
+			root = i
+		}
+	}
+	if root == -1 {
+		return nil, fmt.Errorf("hierarchy: no root (cycle)")
+	}
+
+	h := New(name)
+	// Insert in BFS order from the root so parents exist before children,
+	// then record the mapping from matrix index to hierarchy ID.
+	idOf := make([]int, n)
+	for i := range idOf {
+		idOf[i] = -1
+	}
+	queue := []int{root}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		var id int
+		var err error
+		switch {
+		case i == root:
+			id, err = h.AddRoot(names[i], powers[i])
+		case childCount[i] > 0:
+			id, err = h.AddAgent(idOf[parent[i]], names[i], powers[i])
+		default:
+			id, err = h.AddServer(idOf[parent[i]], names[i], powers[i])
+		}
+		if err != nil {
+			return nil, err
+		}
+		idOf[i] = id
+		for j := range m[i] {
+			if m[i][j] {
+				queue = append(queue, j)
+			}
+		}
+	}
+	if h.Len() != n {
+		return nil, fmt.Errorf("hierarchy: %d of %d matrix nodes unreachable from root", n-h.Len(), n)
+	}
+	return h, nil
+}
+
+// FormatMatrix renders the adjacency matrix as rows of 0/1 characters; handy
+// for debugging and golden tests.
+func FormatMatrix(m [][]bool) string {
+	var b strings.Builder
+	for _, row := range m {
+		for _, v := range row {
+			if v {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

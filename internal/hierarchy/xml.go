@@ -1,0 +1,180 @@
+package hierarchy
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// xmlElement is the on-disk recursive form of a deployment element, in the
+// spirit of the GoDIET input format the paper's write_xml step produces.
+type xmlElement struct {
+	XMLName  xml.Name
+	Name     string       `xml:"name,attr"`
+	Power    float64      `xml:"power,attr"`
+	Children []xmlElement `xml:",any"`
+}
+
+// xmlDeployment is the document root.
+type xmlDeployment struct {
+	XMLName xml.Name   `xml:"deployment"`
+	Name    string     `xml:"name,attr"`
+	Root    xmlElement `xml:"agent"`
+}
+
+const (
+	xmlAgentTag  = "agent"
+	xmlServerTag = "server"
+)
+
+func (h *Hierarchy) toXMLElement(id int) xmlElement {
+	n := h.nodes[id]
+	tag := xmlAgentTag
+	if n.Role == RoleServer {
+		tag = xmlServerTag
+	}
+	el := xmlElement{
+		XMLName: xml.Name{Local: tag},
+		Name:    n.Name,
+		Power:   n.Power,
+	}
+	for _, c := range n.Children {
+		el.Children = append(el.Children, h.toXMLElement(c))
+	}
+	return el
+}
+
+// WriteXML emits the GoDIET-style deployment XML to w. This is the
+// heuristic's write_xml step: the artifact handed to the deployment tool.
+func (h *Hierarchy) WriteXML(w io.Writer) error {
+	if h.root == -1 {
+		return fmt.Errorf("hierarchy: cannot serialise empty hierarchy")
+	}
+	doc := xmlDeployment{Name: h.Name, Root: h.toXMLElement(h.root)}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("hierarchy: encode XML: %w", err)
+	}
+	if err := enc.Close(); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// MarshalXMLString returns the deployment XML as a string.
+func (h *Hierarchy) MarshalXMLString() (string, error) {
+	var b strings.Builder
+	if err := h.WriteXML(&b); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// SaveXML writes the deployment XML to a file.
+func (h *Hierarchy) SaveXML(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("hierarchy: %w", err)
+	}
+	defer f.Close()
+	if err := h.WriteXML(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ParseXML reads a deployment back from its XML form, reconstructing the
+// hierarchy (the input side of the GoDIET hand-off).
+func ParseXML(r io.Reader) (*Hierarchy, error) {
+	var doc xmlDeployment
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("hierarchy: decode XML: %w", err)
+	}
+	h := New(doc.Name)
+	rootID, err := h.AddRoot(doc.Root.Name, doc.Root.Power)
+	if err != nil {
+		return nil, err
+	}
+	var rec func(parent int, el xmlElement) error
+	rec = func(parent int, el xmlElement) error {
+		for _, child := range el.Children {
+			switch child.XMLName.Local {
+			case xmlAgentTag:
+				id, err := h.AddAgent(parent, child.Name, child.Power)
+				if err != nil {
+					return err
+				}
+				if err := rec(id, child); err != nil {
+					return err
+				}
+			case xmlServerTag:
+				if len(child.Children) != 0 {
+					return fmt.Errorf("hierarchy: server %q has child elements", child.Name)
+				}
+				if _, err := h.AddServer(parent, child.Name, child.Power); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("hierarchy: unknown element <%s>", child.XMLName.Local)
+			}
+		}
+		return nil
+	}
+	if err := rec(rootID, doc.Root); err != nil {
+		return nil, err
+	}
+	if err := h.Validate(Structural); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// LoadXML reads a deployment XML file.
+func LoadXML(path string) (*Hierarchy, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("hierarchy: %w", err)
+	}
+	defer f.Close()
+	return ParseXML(f)
+}
+
+// WriteDOT renders the hierarchy in Graphviz DOT format for visual
+// inspection of planned deployments.
+func (h *Hierarchy) WriteDOT(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n", h.Name); err != nil {
+		return err
+	}
+	var werr error
+	h.Walk(func(n Node) {
+		if werr != nil {
+			return
+		}
+		shape := "box"
+		if n.Role == RoleServer {
+			shape = "ellipse"
+		}
+		_, werr = fmt.Fprintf(w, "  n%d [label=\"%s\\n%.0f MFlop/s\", shape=%s];\n", n.ID, n.Name, n.Power, shape)
+		if werr != nil {
+			return
+		}
+		for _, c := range n.Children {
+			if _, werr = fmt.Fprintf(w, "  n%d -> n%d;\n", n.ID, c); werr != nil {
+				return
+			}
+		}
+	})
+	if werr != nil {
+		return werr
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,183 @@
+// Package linpack implements the Linpack-style mini-benchmark the paper
+// uses to measure node computing power in MFlop/s (§5.1 and §5.3): LU
+// factorisation with partial pivoting of a dense random system, a
+// triangular solve, and a residual check, timed and converted to MFlop/s
+// with the standard Linpack operation count 2n³/3 + 2n².
+package linpack
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// ErrSingular is returned when factorisation meets a zero pivot.
+var ErrSingular = errors.New("linpack: matrix is singular")
+
+// Factor holds an LU factorisation (in-place, Doolittle with partial
+// pivoting): L has unit diagonal and shares storage with U.
+type Factor struct {
+	N    int
+	LU   []float64 // n×n row-major
+	Piv  []int     // pivot row chosen at each step
+	sign float64
+}
+
+// Factorize computes the LU factorisation of the n×n row-major matrix a.
+// The input slice is not modified.
+func Factorize(a []float64, n int) (*Factor, error) {
+	if len(a) != n*n {
+		return nil, fmt.Errorf("linpack: matrix has %d elements, want %d", len(a), n*n)
+	}
+	lu := append([]float64(nil), a...)
+	piv := make([]int, n)
+	f := &Factor{N: n, LU: lu, Piv: piv, sign: 1}
+	for k := 0; k < n; k++ {
+		// Partial pivoting: pick the largest magnitude in column k.
+		p := k
+		max := math.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu[i*n+k]); v > max {
+				max, p = v, i
+			}
+		}
+		piv[k] = p
+		if max == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			row1 := lu[k*n : (k+1)*n]
+			row2 := lu[p*n : (p+1)*n]
+			for j := range row1 {
+				row1[j], row2[j] = row2[j], row1[j]
+			}
+			f.sign = -f.sign
+		}
+		pivot := lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := lu[i*n+k] / pivot
+			lu[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			irow := lu[i*n : (i+1)*n]
+			krow := lu[k*n : (k+1)*n]
+			for j := k + 1; j < n; j++ {
+				irow[j] -= m * krow[j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A·x = b using the factorisation; b is not modified.
+func (f *Factor) Solve(b []float64) ([]float64, error) {
+	n := f.N
+	if len(b) != n {
+		return nil, fmt.Errorf("linpack: rhs has %d elements, want %d", len(b), n)
+	}
+	x := append([]float64(nil), b...)
+	// Apply pivots.
+	for k := 0; k < n; k++ {
+		if p := f.Piv[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	// Forward substitution (unit lower).
+	for i := 1; i < n; i++ {
+		sum := x[i]
+		row := f.LU[i*n : (i+1)*n]
+		for j := 0; j < i; j++ {
+			sum -= row[j] * x[j]
+		}
+		x[i] = sum
+	}
+	// Back substitution (upper).
+	for i := n - 1; i >= 0; i-- {
+		sum := x[i]
+		row := f.LU[i*n : (i+1)*n]
+		for j := i + 1; j < n; j++ {
+			sum -= row[j] * x[j]
+		}
+		x[i] = sum / row[i]
+	}
+	return x, nil
+}
+
+// Result is one mini-benchmark measurement.
+type Result struct {
+	// N is the problem size.
+	N int
+	// MFlops is the measured computing power in MFlop/s.
+	MFlops float64
+	// Residual is the normalised residual ‖Ax−b‖∞ / (n·‖A‖∞·ε); values
+	// below ~10 indicate a correct solve, as in standard Linpack reports.
+	Residual float64
+	// Elapsed is the wall-clock factor+solve time.
+	Elapsed time.Duration
+}
+
+// Ops returns the Linpack flop count for size n: 2n³/3 + 2n².
+func Ops(n int) float64 {
+	fn := float64(n)
+	return 2*fn*fn*fn/3 + 2*fn*fn
+}
+
+// Benchmark runs the mini-benchmark at size n with a deterministic system
+// and returns the measured node power. Typical calibration uses n ≈ 200–500:
+// large enough to exceed timer resolution, small enough to finish fast.
+func Benchmark(n int, seed int64) (Result, error) {
+	if n < 2 {
+		return Result{}, fmt.Errorf("linpack: size %d too small", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]float64, n*n)
+	for i := range a {
+		a[i] = 2*rng.Float64() - 1
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 2*rng.Float64() - 1
+	}
+
+	start := time.Now()
+	f, err := Factorize(a, n)
+	if err != nil {
+		return Result{}, err
+	}
+	x, err := f.Solve(b)
+	if err != nil {
+		return Result{}, err
+	}
+	elapsed := time.Since(start)
+
+	res := Result{N: n, Elapsed: elapsed, Residual: residual(a, x, b, n)}
+	if secs := elapsed.Seconds(); secs > 0 {
+		res.MFlops = Ops(n) / secs / 1e6
+	}
+	return res, nil
+}
+
+// residual computes ‖Ax−b‖∞ / (n·‖A‖∞·ε).
+func residual(a, x, b []float64, n int) float64 {
+	var rmax, amax float64
+	for i := 0; i < n; i++ {
+		sum := -b[i]
+		row := a[i*n : (i+1)*n]
+		var rowsum float64
+		for j := 0; j < n; j++ {
+			sum += row[j] * x[j]
+			rowsum += math.Abs(row[j])
+		}
+		rmax = math.Max(rmax, math.Abs(sum))
+		amax = math.Max(amax, rowsum)
+	}
+	eps := math.Nextafter(1, 2) - 1
+	den := float64(n) * amax * eps
+	if den == 0 {
+		return math.Inf(1)
+	}
+	return rmax / den
+}

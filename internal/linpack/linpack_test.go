@@ -1,0 +1,130 @@
+package linpack_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"adept/internal/linpack"
+)
+
+func TestFactorizeSolveKnownSystem(t *testing.T) {
+	// A = [[2, 1], [1, 3]], b = [3, 5] → x = [4/5, 7/5].
+	a := []float64{2, 1, 1, 3}
+	f, err := linpack.Factorize(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := f.Solve([]float64{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-0.8) > 1e-12 || math.Abs(x[1]-1.4) > 1e-12 {
+		t.Errorf("x = %v, want [0.8, 1.4]", x)
+	}
+}
+
+func TestFactorizeSingular(t *testing.T) {
+	a := []float64{1, 2, 2, 4} // rank 1
+	if _, err := linpack.Factorize(a, 2); err != linpack.ErrSingular {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestFactorizeBadShape(t *testing.T) {
+	if _, err := linpack.Factorize([]float64{1, 2, 3}, 2); err == nil {
+		t.Error("wrong-size matrix accepted")
+	}
+}
+
+func TestSolveBadRHS(t *testing.T) {
+	f, err := linpack.Factorize([]float64{2, 0, 0, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]float64{1}); err == nil {
+		t.Error("wrong-size rhs accepted")
+	}
+}
+
+func TestOps(t *testing.T) {
+	// 2n³/3 + 2n² at n = 3: 18 + 18 = 36.
+	if got := linpack.Ops(3); got != 36 {
+		t.Errorf("Ops(3) = %g, want 36", got)
+	}
+}
+
+func TestBenchmarkProducesSaneMeasurement(t *testing.T) {
+	res, err := linpack.Benchmark(128, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MFlops <= 0 {
+		t.Errorf("MFlops = %g, want > 0", res.MFlops)
+	}
+	if res.Residual > 50 {
+		t.Errorf("residual = %g, want < 50 (solution is wrong)", res.Residual)
+	}
+	if res.N != 128 {
+		t.Errorf("N = %d", res.N)
+	}
+}
+
+func TestBenchmarkRejectsTinySizes(t *testing.T) {
+	if _, err := linpack.Benchmark(1, 1); err == nil {
+		t.Error("size 1 accepted")
+	}
+}
+
+// Property: for random diagonally-dominant systems (always non-singular),
+// factorise+solve reproduces b within numerical tolerance.
+func TestPropertySolveResidual(t *testing.T) {
+	f := func(seed uint32) bool {
+		n := 8
+		rng := seed
+		next := func() float64 {
+			rng = rng*1664525 + 1013904223
+			return float64(rng%2000)/1000 - 1
+		}
+		a := make([]float64, n*n)
+		for i := range a {
+			a[i] = next()
+		}
+		for i := 0; i < n; i++ {
+			a[i*n+i] += float64(n) // diagonal dominance
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = next()
+		}
+		fac, err := linpack.Factorize(a, n)
+		if err != nil {
+			return false
+		}
+		x, err := fac.Solve(b)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				sum += a[i*n+j] * x[j]
+			}
+			if math.Abs(sum-b[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLinpack256(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := linpack.Benchmark(256, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

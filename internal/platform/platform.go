@@ -1,0 +1,261 @@
+// Package platform models the target execution platform of the paper:
+// a pool of heterogeneous computing nodes (characterised by their computing
+// power in MFlop/s) interconnected by homogeneous communication links of a
+// single bandwidth B (Mbit/s).
+//
+// The paper evaluates on Grid'5000 clusters (Lyon, Orsay); this package
+// replaces that physical substrate with platform descriptions that can be
+// generated synthetically, loaded from JSON, or "heterogenised" from a
+// homogeneous cluster exactly the way the paper does in §5.3 (launching
+// background matrix-multiplication load on a subset of nodes and re-running
+// the Linpack mini-benchmark).
+package platform
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Node is a single computing resource.
+type Node struct {
+	// Name identifies the node, e.g. "orsay-042".
+	Name string `json:"name"`
+	// Power is the node's computing power in MFlop/s, as measured by the
+	// Linpack mini-benchmark (internal/linpack) or assigned synthetically.
+	Power float64 `json:"power"`
+}
+
+// Platform is a pool of candidate nodes plus the (homogeneous) link
+// bandwidth between them. The paper's communication model assumes
+// homogeneous connectivity, which matches a single cluster site.
+type Platform struct {
+	// Name labels the platform in reports.
+	Name string `json:"name"`
+	// Bandwidth is the link bandwidth B in Mbit/s shared by every link.
+	Bandwidth float64 `json:"bandwidth_mbps"`
+	// Nodes is the pool of candidate middleware nodes. Client machines are
+	// not part of the pool (the paper reserves separate nodes for clients).
+	Nodes []Node `json:"nodes"`
+}
+
+// Validate checks platform well-formedness: positive bandwidth, at least one
+// node, positive powers, and unique node names.
+func (p *Platform) Validate() error {
+	if p.Bandwidth <= 0 {
+		return fmt.Errorf("platform %q: bandwidth must be positive, got %g", p.Name, p.Bandwidth)
+	}
+	if len(p.Nodes) == 0 {
+		return fmt.Errorf("platform %q: no nodes", p.Name)
+	}
+	seen := make(map[string]bool, len(p.Nodes))
+	for i, n := range p.Nodes {
+		if n.Name == "" {
+			return fmt.Errorf("platform %q: node %d has empty name", p.Name, i)
+		}
+		if n.Power <= 0 {
+			return fmt.Errorf("platform %q: node %q has non-positive power %g", p.Name, n.Name, n.Power)
+		}
+		if seen[n.Name] {
+			return fmt.Errorf("platform %q: duplicate node name %q", p.Name, n.Name)
+		}
+		seen[n.Name] = true
+	}
+	return nil
+}
+
+// Powers returns the slice of node powers, in node order.
+func (p *Platform) Powers() []float64 {
+	ws := make([]float64, len(p.Nodes))
+	for i, n := range p.Nodes {
+		ws[i] = n.Power
+	}
+	return ws
+}
+
+// TotalPower returns the aggregate MFlop/s of the pool.
+func (p *Platform) TotalPower() float64 {
+	sum := 0.0
+	for _, n := range p.Nodes {
+		sum += n.Power
+	}
+	return sum
+}
+
+// IsHomogeneous reports whether all nodes have identical power.
+func (p *Platform) IsHomogeneous() bool {
+	if len(p.Nodes) <= 1 {
+		return true
+	}
+	w := p.Nodes[0].Power
+	for _, n := range p.Nodes[1:] {
+		if n.Power != w {
+			return false
+		}
+	}
+	return true
+}
+
+// SortByPowerDesc returns a copy of the node slice sorted by decreasing
+// power, breaking ties by name for determinism.
+func (p *Platform) SortByPowerDesc() []Node {
+	cp := append([]Node(nil), p.Nodes...)
+	sort.Slice(cp, func(i, j int) bool {
+		if cp[i].Power != cp[j].Power {
+			return cp[i].Power > cp[j].Power
+		}
+		return cp[i].Name < cp[j].Name
+	})
+	return cp
+}
+
+// Clone returns a deep copy of the platform.
+func (p *Platform) Clone() *Platform {
+	cp := *p
+	cp.Nodes = append([]Node(nil), p.Nodes...)
+	return &cp
+}
+
+// String renders a short human-readable summary.
+func (p *Platform) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "platform %q: %d nodes, B=%g Mb/s", p.Name, len(p.Nodes), p.Bandwidth)
+	if len(p.Nodes) > 0 {
+		ws := p.Powers()
+		min, max := ws[0], ws[0]
+		for _, w := range ws {
+			if w < min {
+				min = w
+			}
+			if w > max {
+				max = w
+			}
+		}
+		fmt.Fprintf(&b, ", power [%g, %g] MFlop/s", min, max)
+	}
+	return b.String()
+}
+
+// Homogeneous builds a platform of n identical nodes of the given power.
+func Homogeneous(name string, n int, power, bandwidth float64) *Platform {
+	p := &Platform{Name: name, Bandwidth: bandwidth}
+	for i := 0; i < n; i++ {
+		p.Nodes = append(p.Nodes, Node{Name: fmt.Sprintf("%s-%03d", name, i), Power: power})
+	}
+	return p
+}
+
+// GenSpec configures synthetic heterogeneous platform generation.
+type GenSpec struct {
+	Name      string
+	N         int
+	Bandwidth float64
+	// MinPower and MaxPower bound the uniform power distribution (MFlop/s).
+	MinPower float64
+	MaxPower float64
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// Generate builds a synthetic heterogeneous platform with uniformly
+// distributed node powers. It is the substitute for reserving Grid'5000
+// nodes: the planner and models only consume (power, bandwidth) pairs.
+func Generate(spec GenSpec) (*Platform, error) {
+	if spec.N <= 0 {
+		return nil, errors.New("platform: GenSpec.N must be positive")
+	}
+	if spec.MinPower <= 0 || spec.MaxPower < spec.MinPower {
+		return nil, fmt.Errorf("platform: invalid power range [%g, %g]", spec.MinPower, spec.MaxPower)
+	}
+	if spec.Bandwidth <= 0 {
+		return nil, errors.New("platform: GenSpec.Bandwidth must be positive")
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	p := &Platform{Name: spec.Name, Bandwidth: spec.Bandwidth}
+	for i := 0; i < spec.N; i++ {
+		w := spec.MinPower
+		if spec.MaxPower > spec.MinPower {
+			w += rng.Float64() * (spec.MaxPower - spec.MinPower)
+		}
+		p.Nodes = append(p.Nodes, Node{Name: fmt.Sprintf("%s-%03d", spec.Name, i), Power: w})
+	}
+	return p, nil
+}
+
+// BackgroundLoad describes the §5.3 heterogenisation procedure: a fraction
+// of the nodes runs a background matrix-multiplication program, reducing the
+// power available to the middleware. LoadFactors gives the multiplicative
+// power retention levels applied round-robin to the loaded nodes (e.g. 0.25
+// means the background job steals 75 % of the node).
+type BackgroundLoad struct {
+	Fraction    float64
+	LoadFactors []float64
+	Seed        int64
+}
+
+// Heterogenize returns a copy of p with background load applied to a random
+// subset of nodes, reproducing the paper's method of converting the
+// homogeneous Orsay cluster into a heterogeneous one. The returned platform
+// has the same node names; only powers change.
+func Heterogenize(p *Platform, bg BackgroundLoad) (*Platform, error) {
+	if bg.Fraction < 0 || bg.Fraction > 1 {
+		return nil, fmt.Errorf("platform: load fraction %g out of [0,1]", bg.Fraction)
+	}
+	if len(bg.LoadFactors) == 0 {
+		return nil, errors.New("platform: no load factors")
+	}
+	for _, f := range bg.LoadFactors {
+		if f <= 0 || f > 1 {
+			return nil, fmt.Errorf("platform: load factor %g out of (0,1]", f)
+		}
+	}
+	cp := p.Clone()
+	rng := rand.New(rand.NewSource(bg.Seed))
+	perm := rng.Perm(len(cp.Nodes))
+	loaded := int(bg.Fraction * float64(len(cp.Nodes)))
+	for k := 0; k < loaded; k++ {
+		idx := perm[k]
+		factor := bg.LoadFactors[k%len(bg.LoadFactors)]
+		cp.Nodes[idx].Power *= factor
+	}
+	return cp, nil
+}
+
+// LoadJSON reads a platform description from a JSON file.
+func LoadJSON(path string) (*Platform, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("platform: %w", err)
+	}
+	return ParseJSON(data)
+}
+
+// ParseJSON decodes a platform description from JSON bytes and validates it.
+func ParseJSON(data []byte) (*Platform, error) {
+	var p Platform
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("platform: decode: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// MarshalJSON renders the platform as indented JSON suitable for files.
+func (p *Platform) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(p, "", "  ")
+}
+
+// SaveJSON writes the platform description to a JSON file.
+func (p *Platform) SaveJSON(path string) error {
+	data, err := p.MarshalIndent()
+	if err != nil {
+		return fmt.Errorf("platform: encode: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,199 @@
+package platform_test
+
+import (
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"adept/internal/platform"
+)
+
+func TestHomogeneous(t *testing.T) {
+	p := platform.Homogeneous("c", 5, 400, 100)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsHomogeneous() {
+		t.Error("homogeneous platform not detected")
+	}
+	if got := p.TotalPower(); got != 2000 {
+		t.Errorf("TotalPower = %g, want 2000", got)
+	}
+	if len(p.Powers()) != 5 {
+		t.Errorf("Powers len = %d", len(p.Powers()))
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		p    platform.Platform
+	}{
+		{"zero bandwidth", platform.Platform{Name: "x", Bandwidth: 0, Nodes: []platform.Node{{Name: "a", Power: 1}}}},
+		{"no nodes", platform.Platform{Name: "x", Bandwidth: 1}},
+		{"empty node name", platform.Platform{Name: "x", Bandwidth: 1, Nodes: []platform.Node{{Name: "", Power: 1}}}},
+		{"zero power", platform.Platform{Name: "x", Bandwidth: 1, Nodes: []platform.Node{{Name: "a", Power: 0}}}},
+		{"duplicate names", platform.Platform{Name: "x", Bandwidth: 1, Nodes: []platform.Node{{Name: "a", Power: 1}, {Name: "a", Power: 2}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.p.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := platform.GenSpec{Name: "g", N: 20, Bandwidth: 100, MinPower: 50, MaxPower: 500, Seed: 7}
+	a, err := platform.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := platform.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			t.Fatalf("generation not deterministic at node %d", i)
+		}
+	}
+	for _, n := range a.Nodes {
+		if n.Power < 50 || n.Power > 500 {
+			t.Errorf("node %s power %g out of [50, 500]", n.Name, n.Power)
+		}
+	}
+}
+
+func TestGenerateRejectsBadSpecs(t *testing.T) {
+	bad := []platform.GenSpec{
+		{N: 0, Bandwidth: 1, MinPower: 1, MaxPower: 2},
+		{N: 1, Bandwidth: 0, MinPower: 1, MaxPower: 2},
+		{N: 1, Bandwidth: 1, MinPower: 0, MaxPower: 2},
+		{N: 1, Bandwidth: 1, MinPower: 3, MaxPower: 2},
+	}
+	for i, spec := range bad {
+		if _, err := platform.Generate(spec); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestHeterogenize(t *testing.T) {
+	base := platform.Homogeneous("h", 100, 400, 100)
+	het, err := platform.Heterogenize(base, platform.BackgroundLoad{
+		Fraction:    0.5,
+		LoadFactors: []float64{0.25, 0.5},
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if het.IsHomogeneous() {
+		t.Error("heterogenisation had no effect")
+	}
+	loaded := 0
+	for i, n := range het.Nodes {
+		if n.Name != base.Nodes[i].Name {
+			t.Fatalf("node %d renamed", i)
+		}
+		if n.Power != 400 {
+			loaded++
+			if n.Power != 100 && n.Power != 200 {
+				t.Errorf("unexpected degraded power %g", n.Power)
+			}
+		}
+	}
+	if loaded != 50 {
+		t.Errorf("%d nodes loaded, want 50", loaded)
+	}
+	// Base must be untouched.
+	if !base.IsHomogeneous() {
+		t.Error("Heterogenize mutated its input")
+	}
+}
+
+func TestHeterogenizeRejections(t *testing.T) {
+	base := platform.Homogeneous("h", 4, 400, 100)
+	if _, err := platform.Heterogenize(base, platform.BackgroundLoad{Fraction: 1.5, LoadFactors: []float64{0.5}}); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	if _, err := platform.Heterogenize(base, platform.BackgroundLoad{Fraction: 0.5}); err == nil {
+		t.Error("no load factors accepted")
+	}
+	if _, err := platform.Heterogenize(base, platform.BackgroundLoad{Fraction: 0.5, LoadFactors: []float64{1.5}}); err == nil {
+		t.Error("load factor > 1 accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := platform.Homogeneous("file", 3, 250, 100)
+	path := filepath.Join(t.TempDir(), "platform.json")
+	if err := p.SaveJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := platform.LoadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != p.Name || back.Bandwidth != p.Bandwidth || len(back.Nodes) != len(p.Nodes) {
+		t.Errorf("round trip mismatch: %+v vs %+v", back, p)
+	}
+}
+
+func TestParseJSONRejectsInvalid(t *testing.T) {
+	if _, err := platform.ParseJSON([]byte("{")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := platform.ParseJSON([]byte(`{"name":"x","bandwidth_mbps":0,"nodes":[]}`)); err == nil {
+		t.Error("invalid platform accepted")
+	}
+	if _, err := platform.LoadJSON(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestSortByPowerDesc(t *testing.T) {
+	p := &platform.Platform{Name: "s", Bandwidth: 1, Nodes: []platform.Node{
+		{Name: "b", Power: 10}, {Name: "a", Power: 30}, {Name: "c", Power: 30}, {Name: "d", Power: 20},
+	}}
+	sorted := p.SortByPowerDesc()
+	want := []string{"a", "c", "d", "b"}
+	for i, n := range sorted {
+		if n.Name != want[i] {
+			t.Fatalf("sorted[%d] = %s, want %s", i, n.Name, want[i])
+		}
+	}
+	// Input order untouched.
+	if p.Nodes[0].Name != "b" {
+		t.Error("SortByPowerDesc mutated the platform")
+	}
+}
+
+// Property: Heterogenize never raises a node's power and keeps the pool
+// size and names.
+func TestPropertyHeterogenizeOnlyDegrades(t *testing.T) {
+	f := func(seed int64, fracSeed uint8) bool {
+		base := platform.Homogeneous("p", 30, 400, 100)
+		frac := float64(fracSeed%100) / 100
+		het, err := platform.Heterogenize(base, platform.BackgroundLoad{
+			Fraction:    frac,
+			LoadFactors: []float64{0.25, 0.5, 0.75},
+			Seed:        seed,
+		})
+		if err != nil {
+			return false
+		}
+		if len(het.Nodes) != len(base.Nodes) {
+			return false
+		}
+		for i, n := range het.Nodes {
+			if n.Power > base.Nodes[i].Power || n.Name != base.Nodes[i].Name {
+				return false
+			}
+		}
+		return het.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,248 @@
+package runtime
+
+import (
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adept/internal/blas"
+	"adept/internal/model"
+)
+
+// maxForwardedCandidates bounds the sorted response list forwarded up the
+// tree, mirroring internal/sim.
+const maxForwardedCandidates = 8
+
+// schedTimeout is the internal self-message an agent schedules to bound the
+// wait for children replies (failure tolerance: a crashed server must not
+// wedge the whole platform).
+type schedTimeout struct{ ID uint64 }
+
+func init() { gob.Register(schedTimeout{}) }
+
+// Options configures a deployed runtime system.
+type Options struct {
+	// Costs are the middleware cost parameters (Table 3).
+	Costs model.Costs
+	// Bandwidth is the virtual link bandwidth in Mb/s.
+	Bandwidth float64
+	// Wapp is the service cost in MFlop.
+	Wapp float64
+	// TimeScale converts virtual seconds of modelled cost into real
+	// wall-clock sleep: realSeconds = virtualSeconds * TimeScale.
+	// Zero disables modelled delays entirely (protocol-only mode).
+	TimeScale float64
+	// DgemmN, when positive, makes servers execute a real blocked DGEMM of
+	// that dimension for each service request instead of the modelled
+	// sleep.
+	DgemmN int
+	// ReplyTimeout bounds (in real time) how long an agent waits for its
+	// children's scheduling replies before answering with the candidates
+	// collected so far. Zero means a generous default.
+	ReplyTimeout time.Duration
+}
+
+func (o Options) replyTimeout() time.Duration {
+	if o.ReplyTimeout > 0 {
+		return o.ReplyTimeout
+	}
+	return 5 * time.Second
+}
+
+// sleepVirtual blocks for the scaled equivalent of sec virtual seconds.
+func (o Options) sleepVirtual(sec float64) {
+	if o.TimeScale <= 0 || sec <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(sec * o.TimeScale * float64(time.Second)))
+}
+
+// WrepSample is one timed reply-treatment observation: the calibration
+// harness fits these against degree to recover Wrep(d) = Wfix + Wsel·d,
+// replaying the paper's Table 3 methodology.
+type WrepSample struct {
+	Agent   string
+	Degree  int
+	Seconds float64
+}
+
+// maxWrepSamples bounds the per-agent sample memory.
+const maxWrepSamples = 4096
+
+// agentElem is one deployed agent: a single goroutine serialising all of
+// its receives, computations, and sends (the M(r,s,w) discipline).
+type agentElem struct {
+	sys      *System
+	name     string
+	power    float64
+	children []string
+
+	pending map[uint64]*replyAgg
+
+	sampleMu    sync.Mutex
+	wrepSamples []WrepSample
+}
+
+type replyAgg struct {
+	requester  string
+	want       int
+	got        int
+	candidates []Candidate
+	done       bool
+}
+
+func (a *agentElem) run(inbox <-chan Envelope) {
+	defer a.sys.wg.Done()
+	o := a.sys.opts
+	c := o.Costs
+	for env := range inbox {
+		switch msg := env.Msg.(type) {
+		case Shutdown:
+			return
+		case SchedRequest:
+			o.sleepVirtual(c.AgentSreq / o.Bandwidth) // receive request
+			o.sleepVirtual(c.AgentWreq / a.power)     // Wreq
+			agg := &replyAgg{requester: env.From, want: len(a.children)}
+			a.pending[msg.ID] = agg
+			for _, child := range a.children {
+				o.sleepVirtual(c.AgentSreq / o.Bandwidth) // send to child
+				if err := a.sys.send(a.name, child, SchedRequest{ID: msg.ID, ReplyTo: a.name}); err != nil {
+					agg.want--
+				}
+			}
+			if agg.want <= 0 {
+				a.finish(msg.ID, agg)
+				continue
+			}
+			id := msg.ID
+			self := a.name
+			time.AfterFunc(o.replyTimeout(), func() {
+				_ = a.sys.send(self, self, schedTimeout{ID: id})
+			})
+		case SchedReply:
+			agg, ok := a.pending[msg.ID]
+			if !ok || agg.done {
+				continue // reply after timeout
+			}
+			o.sleepVirtual(c.AgentSrep / o.Bandwidth) // receive reply
+			agg.candidates = append(agg.candidates, msg.Candidates...)
+			agg.got++
+			if agg.got >= agg.want {
+				a.finish(msg.ID, agg)
+			}
+		case schedTimeout:
+			if agg, ok := a.pending[msg.ID]; ok && !agg.done {
+				a.finish(msg.ID, agg)
+			}
+		default:
+			a.sys.noteError(fmt.Errorf("agent %s: unexpected message %T", a.name, env.Msg))
+		}
+	}
+}
+
+// finish sorts and truncates the candidate list (Wrep), sends it to the
+// requester, and clears the per-request state.
+func (a *agentElem) finish(id uint64, agg *replyAgg) {
+	o := a.sys.opts
+	c := o.Costs
+	agg.done = true
+	delete(a.pending, id)
+	start := time.Now()
+	o.sleepVirtual(c.WrepAgent(len(a.children)) / a.power)
+	sort.SliceStable(agg.candidates, func(i, j int) bool {
+		return agg.candidates[i].Estimate < agg.candidates[j].Estimate
+	})
+	if len(agg.candidates) > maxForwardedCandidates {
+		agg.candidates = agg.candidates[:maxForwardedCandidates]
+	}
+	a.recordWrep(time.Since(start))
+	o.sleepVirtual(c.AgentSrep / o.Bandwidth)
+	_ = a.sys.send(a.name, agg.requester, SchedReply{ID: id, Candidates: agg.candidates})
+}
+
+// recordWrep stores one timed reply-treatment sample for calibration.
+func (a *agentElem) recordWrep(d time.Duration) {
+	a.sampleMu.Lock()
+	defer a.sampleMu.Unlock()
+	if len(a.wrepSamples) < maxWrepSamples {
+		a.wrepSamples = append(a.wrepSamples, WrepSample{
+			Agent:   a.name,
+			Degree:  len(a.children),
+			Seconds: d.Seconds(),
+		})
+	}
+}
+
+// serverElem is one deployed server (SeD).
+type serverElem struct {
+	sys   *System
+	name  string
+	power float64
+
+	pending atomic.Int64 // selected-but-unfinished service requests
+
+	// Served counts completed service requests, for Ni accounting.
+	served atomic.Int64
+
+	// crashed servers ignore all traffic (failure injection).
+	crashed atomic.Bool
+}
+
+func (s *serverElem) run(inbox <-chan Envelope) {
+	defer s.sys.wg.Done()
+	o := s.sys.opts
+	c := o.Costs
+	for env := range inbox {
+		switch msg := env.Msg.(type) {
+		case Shutdown:
+			return
+		case SchedRequest:
+			if s.crashed.Load() {
+				continue
+			}
+			o.sleepVirtual(c.ServerSreq / o.Bandwidth) // Eq. 3
+			o.sleepVirtual(c.ServerWpre / s.power)     // prediction
+			est := float64(s.pending.Load()+1) * (o.Wapp / s.power)
+			o.sleepVirtual(c.ServerSrep / o.Bandwidth) // Eq. 4
+			_ = s.sys.send(s.name, env.From, SchedReply{
+				ID:         msg.ID,
+				Candidates: []Candidate{{Server: s.name, Estimate: est}},
+			})
+		case ServiceRequest:
+			if s.crashed.Load() {
+				continue
+			}
+			s.pending.Add(1)
+			o.sleepVirtual(c.ServerSreq / o.Bandwidth)
+			err := s.execute(msg)
+			s.pending.Add(-1)
+			o.sleepVirtual(c.ServerSrep / o.Bandwidth)
+			reply := ServiceReply{ID: msg.ID, OK: err == nil}
+			if err != nil {
+				reply.Err = err.Error()
+			} else {
+				s.served.Add(1)
+			}
+			_ = s.sys.send(s.name, msg.ReplyTo, reply)
+		default:
+			s.sys.noteError(fmt.Errorf("server %s: unexpected message %T", s.name, env.Msg))
+		}
+	}
+}
+
+// execute performs the service work: a real DGEMM when configured, the
+// calibrated sleep otherwise.
+func (s *serverElem) execute(msg ServiceRequest) error {
+	o := s.sys.opts
+	if n := msg.N; n > 0 && o.DgemmN > 0 {
+		a := blas.RandomMatrix(n, n, int64(msg.ID))
+		b := blas.RandomMatrix(n, n, int64(msg.ID)+1)
+		out := blas.NewMatrix(n, n)
+		return blas.DgemmBlocked(1, a, b, 0, &out, 0)
+	}
+	o.sleepVirtual(o.Wapp / s.power)
+	return nil
+}

@@ -1,0 +1,205 @@
+package runtime_test
+
+import (
+	"testing"
+	"time"
+
+	"adept/internal/hierarchy"
+	"adept/internal/model"
+	"adept/internal/runtime"
+	"adept/internal/workload"
+)
+
+func testOptions(dgemmN int) runtime.Options {
+	return runtime.Options{
+		Costs:        model.DIETDefaults(),
+		Bandwidth:    100,
+		Wapp:         workload.DGEMM{N: dgemmN}.MFlop(),
+		TimeScale:    0.002, // 1 virtual second = 2ms real
+		ReplyTimeout: 2 * time.Second,
+	}
+}
+
+func buildStar(t *testing.T, servers int) *hierarchy.Hierarchy {
+	t.Helper()
+	h := hierarchy.New("rt-star")
+	root, err := h.AddRoot("agent-0", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < servers; i++ {
+		if _, err := h.AddServer(root, "sed-"+string(rune('a'+i)), 400); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+func buildTwoLevel(t *testing.T) *hierarchy.Hierarchy {
+	t.Helper()
+	h := hierarchy.New("rt-tree")
+	root, _ := h.AddRoot("root", 400)
+	a1, _ := h.AddAgent(root, "a1", 400)
+	a2, _ := h.AddAgent(root, "a2", 400)
+	for i, p := range []int{a1, a1, a2, a2} {
+		if _, err := h.AddServer(p, "sed-"+string(rune('a'+i)), 400); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+func TestRuntimeCompletesRequestsOnChanTransport(t *testing.T) {
+	sys, err := runtime.Deploy(buildStar(t, 2), runtime.NewChanTransport(), testOptions(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Stop()
+	stats, err := sys.RunClients(4, 400*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed == 0 {
+		t.Fatalf("no requests completed: %+v, errors: %v", stats, sys.Errors())
+	}
+	if stats.Failed != 0 {
+		t.Errorf("%d failed requests: %v", stats.Failed, sys.Errors())
+	}
+	t.Logf("completed %d requests, virtual throughput %.1f req/s", stats.Completed, stats.Throughput)
+}
+
+func TestRuntimeCompletesRequestsOnTCPTransport(t *testing.T) {
+	sys, err := runtime.Deploy(buildStar(t, 2), runtime.NewTCPTransport(), testOptions(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Stop()
+	stats, err := sys.RunClients(4, 400*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed == 0 {
+		t.Fatalf("no requests completed over TCP: %+v, errors: %v", stats, sys.Errors())
+	}
+	t.Logf("TCP: completed %d requests", stats.Completed)
+}
+
+func TestRuntimeTwoLevelHierarchyRoutesToAllServers(t *testing.T) {
+	sys, err := runtime.Deploy(buildTwoLevel(t), runtime.NewChanTransport(), testOptions(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Stop()
+	stats, err := sys.RunClients(8, 600*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed == 0 {
+		t.Fatal("no requests completed through two-level hierarchy")
+	}
+	counts := sys.ServedCounts()
+	var sum int64
+	busy := 0
+	for _, c := range counts {
+		sum += c
+		if c > 0 {
+			busy++
+		}
+	}
+	if sum != stats.Completed {
+		t.Errorf("Σ Ni = %d but completed = %d (Eq. 6 violated)", sum, stats.Completed)
+	}
+	if busy < 2 {
+		t.Errorf("only %d of 4 servers did work: %v", busy, counts)
+	}
+}
+
+func TestRuntimeSurvivesServerCrash(t *testing.T) {
+	opts := testOptions(200)
+	opts.ReplyTimeout = 200 * time.Millisecond
+	sys, err := runtime.Deploy(buildStar(t, 2), runtime.NewChanTransport(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Stop()
+	if err := sys.CrashServer("sed-a"); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := sys.RunClients(2, 800*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed == 0 {
+		t.Fatalf("platform wedged after a single server crash: %+v", stats)
+	}
+	counts := sys.ServedCounts()
+	if counts["sed-a"] != 0 {
+		t.Errorf("crashed server served %d requests", counts["sed-a"])
+	}
+	if counts["sed-b"] == 0 {
+		t.Errorf("surviving server served nothing: %v", counts)
+	}
+}
+
+func TestRuntimeCrashUnknownServer(t *testing.T) {
+	sys, err := runtime.Deploy(buildStar(t, 1), runtime.NewChanTransport(), testOptions(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Stop()
+	if err := sys.CrashServer("nope"); err == nil {
+		t.Error("expected error crashing unknown server")
+	}
+}
+
+func TestRuntimeRealDgemmExecution(t *testing.T) {
+	opts := testOptions(0)
+	opts.Wapp = workload.DGEMM{N: 64}.MFlop()
+	opts.DgemmN = 64
+	opts.TimeScale = 0 // only real compute, no modelled sleeps
+	sys, err := runtime.Deploy(buildStar(t, 2), runtime.NewChanTransport(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Stop()
+	stats, err := sys.RunClients(2, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed == 0 {
+		t.Fatal("no real-DGEMM requests completed")
+	}
+	t.Logf("real DGEMM 64x64: %d completions", stats.Completed)
+}
+
+func TestMeteredTransportCountsTraffic(t *testing.T) {
+	mt := runtime.NewMeteredTransport(runtime.NewChanTransport())
+	sys, err := runtime.Deploy(buildStar(t, 1), mt, testOptions(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Stop()
+	if _, err := sys.RunClients(1, 200*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if mt.TotalMessages() == 0 || mt.TotalBytes() == 0 {
+		t.Fatalf("metered transport saw no traffic: %d msgs, %d bytes", mt.TotalMessages(), mt.TotalBytes())
+	}
+	stats := mt.Stats()
+	for _, typ := range []string{"runtime.SchedRequest", "runtime.SchedReply", "runtime.ServiceRequest", "runtime.ServiceReply"} {
+		st, ok := stats[typ]
+		if !ok || st.Count == 0 {
+			t.Errorf("no metered traffic for %s (stats: %v)", typ, stats)
+		}
+	}
+}
+
+func TestDeployRejectsBadOptions(t *testing.T) {
+	h := buildStar(t, 1)
+	if _, err := runtime.Deploy(h, runtime.NewChanTransport(), runtime.Options{Bandwidth: 0, Wapp: 1}); err == nil {
+		t.Error("expected error for zero bandwidth")
+	}
+	if _, err := runtime.Deploy(h, runtime.NewChanTransport(), runtime.Options{Bandwidth: 100, Wapp: 0}); err == nil {
+		t.Error("expected error for zero wapp")
+	}
+}

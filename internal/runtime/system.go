@@ -1,0 +1,293 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adept/internal/hierarchy"
+)
+
+// System is a deployed middleware instance: the live realisation of one
+// planned hierarchy.
+type System struct {
+	opts      Options
+	transport Transport
+	root      string
+
+	agents  map[string]*agentElem
+	servers map[string]*serverElem
+
+	wg      sync.WaitGroup
+	started bool
+	stopped atomic.Bool
+
+	errMu  sync.Mutex
+	errLog []error
+}
+
+// Deploy instantiates the hierarchy on the transport and starts every
+// element's goroutine. The caller owns the returned System and must Stop it.
+func Deploy(h *hierarchy.Hierarchy, transport Transport, opts Options) (*System, error) {
+	if err := h.Validate(hierarchy.Structural); err != nil {
+		return nil, fmt.Errorf("runtime: %w", err)
+	}
+	if opts.Bandwidth <= 0 {
+		return nil, errors.New("runtime: bandwidth must be positive")
+	}
+	if opts.Wapp <= 0 {
+		return nil, errors.New("runtime: wapp must be positive")
+	}
+	sys := &System{
+		opts:      opts,
+		transport: transport,
+		agents:    make(map[string]*agentElem),
+		servers:   make(map[string]*serverElem),
+	}
+
+	type pendingStart struct {
+		run   func(<-chan Envelope)
+		inbox <-chan Envelope
+	}
+	var starts []pendingStart
+
+	var build func(id int) (string, error)
+	build = func(id int) (string, error) {
+		n := h.MustNode(id)
+		inbox, err := transport.Register(n.Name)
+		if err != nil {
+			return "", err
+		}
+		if n.Role == hierarchy.RoleServer {
+			s := &serverElem{sys: sys, name: n.Name, power: n.Power}
+			sys.servers[n.Name] = s
+			starts = append(starts, pendingStart{run: s.run, inbox: inbox})
+			return n.Name, nil
+		}
+		a := &agentElem{sys: sys, name: n.Name, power: n.Power, pending: make(map[uint64]*replyAgg)}
+		sys.agents[n.Name] = a
+		for _, c := range n.Children {
+			childName, err := build(c)
+			if err != nil {
+				return "", err
+			}
+			a.children = append(a.children, childName)
+		}
+		starts = append(starts, pendingStart{run: a.run, inbox: inbox})
+		return n.Name, nil
+	}
+	rootName, err := build(h.Root())
+	if err != nil {
+		transport.Close()
+		return nil, err
+	}
+	sys.root = rootName
+	for _, st := range starts {
+		sys.wg.Add(1)
+		go st.run(st.inbox)
+	}
+	sys.started = true
+	return sys, nil
+}
+
+// Root returns the root agent's element name.
+func (s *System) Root() string { return s.root }
+
+// send routes a message through the transport, tolerating teardown.
+func (s *System) send(from, to string, msg any) error {
+	if s.stopped.Load() {
+		return errors.New("runtime: system stopped")
+	}
+	return s.transport.Send(from, to, msg)
+}
+
+// noteError records a protocol anomaly for post-run inspection.
+func (s *System) noteError(err error) {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	if len(s.errLog) < 100 {
+		s.errLog = append(s.errLog, err)
+	}
+}
+
+// Errors returns the protocol anomalies observed so far.
+func (s *System) Errors() []error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return append([]error(nil), s.errLog...)
+}
+
+// CrashServer simulates a server failure: the named server stops reacting
+// to all traffic. Agents' reply timeouts keep the platform available.
+func (s *System) CrashServer(name string) error {
+	srv, ok := s.servers[name]
+	if !ok {
+		return fmt.Errorf("runtime: no server %q", name)
+	}
+	srv.crashed.Store(true)
+	return nil
+}
+
+// WrepSamples collects every agent's timed reply-treatment observations,
+// for Table 3 calibration.
+func (s *System) WrepSamples() []WrepSample {
+	var out []WrepSample
+	for _, a := range s.agents {
+		a.sampleMu.Lock()
+		out = append(out, a.wrepSamples...)
+		a.sampleMu.Unlock()
+	}
+	return out
+}
+
+// ServedCounts returns per-server completed service counts (Ni of Eq. 6).
+func (s *System) ServedCounts() map[string]int64 {
+	out := make(map[string]int64, len(s.servers))
+	for name, srv := range s.servers {
+		out[name] = srv.served.Load()
+	}
+	return out
+}
+
+// Stop shuts every element down and closes the transport.
+func (s *System) Stop() {
+	if !s.started || !s.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	for name := range s.agents {
+		_ = s.transport.Send("system", name, Shutdown{})
+	}
+	for name := range s.servers {
+		_ = s.transport.Send("system", name, Shutdown{})
+	}
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		// Elements blocked on a dead peer: closing the transport below
+		// unblocks them by closing their inboxes.
+	}
+	s.transport.Close()
+	s.wg.Wait()
+}
+
+// LoadStats summarises a client-driven measurement.
+type LoadStats struct {
+	// Completed counts fully completed requests across all clients.
+	Completed int64
+	// Failed counts requests whose service phase reported failure.
+	Failed int64
+	// Timeouts counts requests abandoned by clients.
+	Timeouts int64
+	// Elapsed is the real measurement duration.
+	Elapsed time.Duration
+	// Throughput is completed requests per *virtual* second when a
+	// TimeScale is set, per real second otherwise.
+	Throughput float64
+}
+
+// RunClients drives the platform with n closed-loop clients for the given
+// real duration and reports completion statistics (the §5.1 measurement).
+func (s *System) RunClients(n int, duration time.Duration) (LoadStats, error) {
+	if n <= 0 {
+		return LoadStats{}, errors.New("runtime: need at least one client")
+	}
+	var completed, failed, timeouts atomic.Int64
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("client-%d", i)
+		inbox, err := s.transport.Register(name)
+		if err != nil {
+			return LoadStats{}, err
+		}
+		wg.Add(1)
+		go func(idx int, name string, inbox <-chan Envelope) {
+			defer wg.Done()
+			s.clientLoop(uint64(idx), name, inbox, deadline, &completed, &failed, &timeouts)
+		}(i, name, inbox)
+	}
+	wg.Wait()
+	elapsed := duration
+	stats := LoadStats{
+		Completed: completed.Load(),
+		Failed:    failed.Load(),
+		Timeouts:  timeouts.Load(),
+		Elapsed:   elapsed,
+	}
+	virtualSeconds := elapsed.Seconds()
+	if s.opts.TimeScale > 0 {
+		virtualSeconds = elapsed.Seconds() / s.opts.TimeScale
+	}
+	if virtualSeconds > 0 {
+		stats.Throughput = float64(stats.Completed) / virtualSeconds
+	}
+	return stats, nil
+}
+
+// clientLoop is one closed-loop client: scheduling request, selection,
+// service request, repeat until the deadline.
+func (s *System) clientLoop(idx uint64, name string, inbox <-chan Envelope, deadline time.Time, completed, failed, timeouts *atomic.Int64) {
+	seq := uint64(0)
+	perRequest := s.opts.replyTimeout() + time.Second
+	for time.Now().Before(deadline) {
+		seq++
+		id := idx<<32 | seq
+		if s.send(name, s.root, SchedRequest{ID: id, ReplyTo: name}) != nil {
+			return
+		}
+		reply, ok := awaitReply[SchedReply](inbox, id, perRequest)
+		if !ok {
+			timeouts.Add(1)
+			continue
+		}
+		if len(reply.Candidates) == 0 {
+			failed.Add(1)
+			continue
+		}
+		best := reply.Candidates[0]
+		if s.send(name, best.Server, ServiceRequest{ID: id, ReplyTo: name, N: s.opts.DgemmN}) != nil {
+			return
+		}
+		svc, ok := awaitReply[ServiceReply](inbox, id, perRequest)
+		if !ok {
+			timeouts.Add(1)
+			continue
+		}
+		if !svc.OK {
+			failed.Add(1)
+			continue
+		}
+		completed.Add(1)
+	}
+}
+
+// awaitReply reads the inbox until a message of type T with the wanted ID
+// arrives, the inbox closes, or the timeout fires. Stale replies from
+// abandoned earlier requests are discarded.
+func awaitReply[T interface{ requestID() uint64 }](inbox <-chan Envelope, id uint64, timeout time.Duration) (T, bool) {
+	var zero T
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		select {
+		case env, ok := <-inbox:
+			if !ok {
+				return zero, false
+			}
+			if msg, ok := env.Msg.(T); ok && msg.requestID() == id {
+				return msg, true
+			}
+		case <-timer.C:
+			return zero, false
+		}
+	}
+}
+
+// requestID implementations let awaitReply match replies generically.
+func (r SchedReply) requestID() uint64   { return r.ID }
+func (r ServiceReply) requestID() uint64 { return r.ID }

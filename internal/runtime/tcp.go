@@ -1,0 +1,149 @@
+package runtime
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCPTransport delivers envelopes over loopback TCP with gob encoding: the
+// closest stdlib-only analog of DIET's CORBA transport. Every registered
+// element gets its own listener; senders keep one persistent connection per
+// destination.
+type TCPTransport struct {
+	mu        sync.Mutex
+	listeners map[string]net.Listener
+	addrs     map[string]string
+	boxes     map[string]chan Envelope
+	conns     map[string]*tcpConn
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+// NewTCPTransport returns an empty loopback TCP transport.
+func NewTCPTransport() *TCPTransport {
+	return &TCPTransport{
+		listeners: make(map[string]net.Listener),
+		addrs:     make(map[string]string),
+		boxes:     make(map[string]chan Envelope),
+		conns:     make(map[string]*tcpConn),
+	}
+}
+
+// Register implements Transport: it opens a loopback listener for the
+// element and fans accepted connections into its inbox.
+func (t *TCPTransport) Register(name string) (<-chan Envelope, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, errors.New("runtime: transport closed")
+	}
+	if _, dup := t.boxes[name]; dup {
+		return nil, fmt.Errorf("runtime: element %q already registered", name)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("runtime: listen for %q: %w", name, err)
+	}
+	box := make(chan Envelope, inboxSize)
+	t.listeners[name] = ln
+	t.addrs[name] = ln.Addr().String()
+	t.boxes[name] = box
+
+	t.wg.Add(1)
+	go t.acceptLoop(ln, box)
+	return box, nil
+}
+
+func (t *TCPTransport) acceptLoop(ln net.Listener, box chan Envelope) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			defer conn.Close()
+			dec := gob.NewDecoder(conn)
+			for {
+				var env Envelope
+				if err := dec.Decode(&env); err != nil {
+					return
+				}
+				func() {
+					defer func() { _ = recover() }() // box closed during teardown
+					box <- env
+				}()
+			}
+		}()
+	}
+}
+
+// Send implements Transport, lazily dialing and caching one connection per
+// destination.
+func (t *TCPTransport) Send(from, to string, msg any) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return errors.New("runtime: transport closed")
+	}
+	addr, ok := t.addrs[to]
+	if !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("runtime: unknown element %q", to)
+	}
+	key := from + "\x00" + to
+	c := t.conns[key]
+	if c == nil {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.mu.Unlock()
+			return fmt.Errorf("runtime: dial %q: %w", to, err)
+		}
+		c = &tcpConn{conn: conn, enc: gob.NewEncoder(conn)}
+		t.conns[key] = c
+	}
+	t.mu.Unlock()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(Envelope{From: from, Msg: msg}); err != nil {
+		return fmt.Errorf("runtime: send to %q: %w", to, err)
+	}
+	return nil
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	for _, ln := range t.listeners {
+		ln.Close()
+	}
+	for _, c := range t.conns {
+		c.conn.Close()
+	}
+	boxes := t.boxes
+	t.boxes = map[string]chan Envelope{}
+	t.mu.Unlock()
+
+	t.wg.Wait()
+	for _, box := range boxes {
+		close(box)
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package runtime
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Transport delivers envelopes between named elements. Implementations must
+// be safe for concurrent use.
+type Transport interface {
+	// Register creates the inbox for a named element. Registering the same
+	// name twice is an error.
+	Register(name string) (<-chan Envelope, error)
+	// Send delivers msg to the named element's inbox.
+	Send(from, to string, msg any) error
+	// Close tears the transport down; pending inboxes are closed.
+	Close() error
+}
+
+// inboxSize is the per-element buffered inbox capacity. Large enough that
+// a saturated element back-pressures senders instead of deadlocking the
+// protocol's request/reply cycles.
+const inboxSize = 1024
+
+// ChanTransport is the in-process transport: one buffered channel per
+// element.
+type ChanTransport struct {
+	mu     sync.Mutex
+	boxes  map[string]chan Envelope
+	closed bool
+}
+
+// NewChanTransport returns an empty in-process transport.
+func NewChanTransport() *ChanTransport {
+	return &ChanTransport{boxes: make(map[string]chan Envelope)}
+}
+
+// Register implements Transport.
+func (t *ChanTransport) Register(name string) (<-chan Envelope, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, fmt.Errorf("runtime: transport closed")
+	}
+	if _, dup := t.boxes[name]; dup {
+		return nil, fmt.Errorf("runtime: element %q already registered", name)
+	}
+	ch := make(chan Envelope, inboxSize)
+	t.boxes[name] = ch
+	return ch, nil
+}
+
+// Send implements Transport.
+func (t *ChanTransport) Send(from, to string, msg any) error {
+	t.mu.Lock()
+	ch, ok := t.boxes[to]
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return fmt.Errorf("runtime: transport closed")
+	}
+	if !ok {
+		return fmt.Errorf("runtime: unknown element %q", to)
+	}
+	defer func() {
+		// A racing Close may close the inbox under us; sending on a closed
+		// channel panics, and "message dropped at teardown" is the correct
+		// semantic for that race.
+		_ = recover()
+	}()
+	ch <- Envelope{From: from, Msg: msg}
+	return nil
+}
+
+// Close implements Transport.
+func (t *ChanTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	for _, ch := range t.boxes {
+		close(ch)
+	}
+	return nil
+}
+
+// MessageStats aggregates per-message-type traffic accounting. The
+// calibration package regenerates Table 3's Sreq/Srep columns from these
+// counters, playing the role of the paper's tcpdump + Ethereal capture.
+type MessageStats struct {
+	Count int64
+	Bytes int64
+}
+
+// MeteredTransport wraps a Transport and measures the gob-encoded size of
+// every envelope, like a network capture would.
+type MeteredTransport struct {
+	inner Transport
+
+	mu    sync.Mutex
+	stats map[string]*MessageStats // keyed by message type name
+
+	totalBytes atomic.Int64
+	totalMsgs  atomic.Int64
+}
+
+// NewMeteredTransport wraps inner with traffic metering.
+func NewMeteredTransport(inner Transport) *MeteredTransport {
+	return &MeteredTransport{inner: inner, stats: make(map[string]*MessageStats)}
+}
+
+// Register implements Transport.
+func (m *MeteredTransport) Register(name string) (<-chan Envelope, error) {
+	return m.inner.Register(name)
+}
+
+// Send implements Transport, measuring the wire size of the envelope.
+func (m *MeteredTransport) Send(from, to string, msg any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(Envelope{From: from, Msg: msg}); err != nil {
+		return fmt.Errorf("runtime: metering encode: %w", err)
+	}
+	size := int64(buf.Len())
+	key := fmt.Sprintf("%T", msg)
+	m.mu.Lock()
+	st := m.stats[key]
+	if st == nil {
+		st = &MessageStats{}
+		m.stats[key] = st
+	}
+	st.Count++
+	st.Bytes += size
+	m.mu.Unlock()
+	m.totalBytes.Add(size)
+	m.totalMsgs.Add(1)
+	return m.inner.Send(from, to, msg)
+}
+
+// Close implements Transport.
+func (m *MeteredTransport) Close() error { return m.inner.Close() }
+
+// Stats returns a copy of the per-type traffic counters.
+func (m *MeteredTransport) Stats() map[string]MessageStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]MessageStats, len(m.stats))
+	for k, v := range m.stats {
+		out[k] = *v
+	}
+	return out
+}
+
+// TotalBytes returns the total metered traffic in bytes.
+func (m *MeteredTransport) TotalBytes() int64 { return m.totalBytes.Load() }
+
+// TotalMessages returns the number of metered messages.
+func (m *MeteredTransport) TotalMessages() int64 { return m.totalMsgs.Load() }

@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"fmt"
+
+	"adept/internal/hierarchy"
+	"adept/internal/model"
+	"adept/internal/stats"
+	"adept/internal/workload"
+)
+
+// Config parameterises a steady-state measurement.
+type Config struct {
+	// Clients is the number of closed-loop clients.
+	Clients int
+	// Warmup is the simulated seconds discarded before measuring.
+	Warmup float64
+	// Window is the simulated measurement window in seconds.
+	Window float64
+	// Mixture optionally replaces the single-application workload; see
+	// Deployment.SetMixture. The wapp passed to Measure stays the
+	// effective mean cost used for estimates and model comparisons.
+	Mixture []AppShare
+}
+
+// Validate checks the measurement configuration.
+func (c Config) Validate() error {
+	if c.Clients <= 0 {
+		return fmt.Errorf("sim: need at least one client, got %d", c.Clients)
+	}
+	if c.Warmup < 0 || c.Window <= 0 {
+		return fmt.Errorf("sim: invalid warmup %g / window %g", c.Warmup, c.Window)
+	}
+	return nil
+}
+
+// Result is one steady-state measurement.
+type Result struct {
+	// Throughput is completed requests per simulated second in the window.
+	Throughput float64
+	// Completed is the total number of completed requests in the window.
+	Completed int64
+	// Clients echoes the offered load level.
+	Clients int
+	// Events is the number of simulator events executed.
+	Events int64
+	// Utilization is the per-node busy fraction over the whole run.
+	Utilization map[string]float64
+	// PerServer is the per-server completion count over the whole run;
+	// Eq. 6's Σ Ni = N conservation is checked against it in tests.
+	PerServer map[string]int64
+	// Latency summarises sampled request latencies over the whole run
+	// (zero when nothing completed).
+	Latency LatencySummary
+}
+
+// LatencySummary holds request-latency statistics in simulated seconds.
+type LatencySummary struct {
+	Mean float64
+	P50  float64
+	P95  float64
+	P99  float64
+	N    int
+}
+
+func summarizeLatency(samples []float64) LatencySummary {
+	if len(samples) == 0 {
+		return LatencySummary{}
+	}
+	return LatencySummary{
+		Mean: stats.Mean(samples),
+		P50:  stats.Percentile(samples, 50),
+		P95:  stats.Percentile(samples, 95),
+		P99:  stats.Percentile(samples, 99),
+		N:    len(samples),
+	}
+}
+
+// Measure instantiates the hierarchy, applies the closed-loop client load,
+// and returns the steady-state throughput over the measurement window.
+func Measure(h *hierarchy.Hierarchy, costs model.Costs, bandwidth, wapp float64, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	eng := NewEngine()
+	dep, err := Instantiate(eng, h, costs, bandwidth, wapp)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(cfg.Mixture) > 0 {
+		if err := dep.SetMixture(cfg.Mixture); err != nil {
+			return Result{}, err
+		}
+	}
+	for i := 0; i < cfg.Clients; i++ {
+		dep.StartClient(0)
+	}
+	eng.Run(cfg.Warmup)
+	start := dep.Completed
+	eng.Run(cfg.Warmup + cfg.Window)
+	done := dep.Completed - start
+	return Result{
+		Throughput:  float64(done) / cfg.Window,
+		Completed:   done,
+		Clients:     cfg.Clients,
+		Events:      eng.Events(),
+		Utilization: dep.Utilization(),
+		PerServer:   dep.PerServer,
+		Latency:     summarizeLatency(dep.latencies),
+	}, nil
+}
+
+// Point is one (clients, throughput) sample of a load curve.
+type Point struct {
+	Clients    int
+	Throughput float64
+}
+
+// LoadSeries measures steady-state throughput at each client level with an
+// independent simulation per level, producing the load curves of Figs. 2,
+// 4, 6 and 7.
+func LoadSeries(h *hierarchy.Hierarchy, costs model.Costs, bandwidth, wapp float64, levels []int, warmup, window float64) ([]Point, error) {
+	out := make([]Point, 0, len(levels))
+	for _, k := range levels {
+		res, err := Measure(h, costs, bandwidth, wapp, Config{Clients: k, Warmup: warmup, Window: window})
+		if err != nil {
+			return nil, fmt.Errorf("sim: load level %d: %w", k, err)
+		}
+		out = append(out, Point{Clients: k, Throughput: res.Throughput})
+	}
+	return out, nil
+}
+
+// Plateau searches for the saturated (maximum sustained) throughput by
+// doubling the client count until throughput stops improving by more than
+// tol (relative), then returns the best observed level. This condenses the
+// paper's "introduce clients until the throughput of the platform stops
+// improving" protocol.
+func Plateau(h *hierarchy.Hierarchy, costs model.Costs, bandwidth, wapp float64, warmup, window float64, maxClients int, tol float64) (Result, error) {
+	if maxClients < 1 {
+		return Result{}, fmt.Errorf("sim: maxClients must be positive")
+	}
+	if tol <= 0 {
+		tol = 0.01
+	}
+	best := Result{}
+	prev := -1.0
+	for k := 1; k <= maxClients; k *= 2 {
+		res, err := Measure(h, costs, bandwidth, wapp, Config{Clients: k, Warmup: warmup, Window: window})
+		if err != nil {
+			return Result{}, err
+		}
+		if res.Throughput > best.Throughput {
+			best = res
+		}
+		if prev > 0 && res.Throughput < prev*(1+tol) {
+			break
+		}
+		prev = res.Throughput
+	}
+	return best, nil
+}
+
+// RampMeasure replays the paper's exact §5.1 protocol inside one
+// simulation: clients arrive one per ramp interval; per-second completion
+// counts are recorded; after the last arrival the platform holds for the
+// configured window. It returns one throughput sample per whole simulated
+// second (the Figs. 2/4 style raw series) plus the plateau estimate
+// measured over the hold.
+func RampMeasure(h *hierarchy.Hierarchy, costs model.Costs, bandwidth, wapp float64, ramp workload.Ramp) (series []Point, plateau float64, err error) {
+	if err := ramp.Validate(); err != nil {
+		return nil, 0, err
+	}
+	eng := NewEngine()
+	dep, err := Instantiate(eng, h, costs, bandwidth, wapp)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i := 0; i < ramp.MaxClients; i++ {
+		dep.StartClient(ramp.ArrivalTime(i))
+	}
+
+	end := ramp.EndTime()
+	lastCount := int64(0)
+	clientsAt := func(t float64) int {
+		if ramp.Interval == 0 {
+			return ramp.MaxClients
+		}
+		k := int(t/ramp.Interval) + 1
+		if k > ramp.MaxClients {
+			k = ramp.MaxClients
+		}
+		return k
+	}
+	for t := 1.0; t <= end; t++ {
+		eng.Run(t)
+		done := dep.Completed - lastCount
+		lastCount = dep.Completed
+		series = append(series, Point{Clients: clientsAt(t - 1), Throughput: float64(done)})
+	}
+	eng.Run(end)
+
+	holdStart := ramp.ArrivalTime(ramp.MaxClients - 1)
+	// Average the samples inside the hold window for the plateau estimate.
+	var sum float64
+	var n int
+	for i, p := range series {
+		if float64(i+1) > holdStart {
+			sum += p.Throughput
+			n++
+		}
+	}
+	if n > 0 {
+		plateau = sum / float64(n)
+	}
+	return series, plateau, nil
+}

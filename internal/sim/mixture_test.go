@@ -1,0 +1,102 @@
+package sim_test
+
+import (
+	"testing"
+
+	"adept/internal/model"
+	"adept/internal/sim"
+	"adept/internal/stats"
+	"adept/internal/workload"
+)
+
+func TestSimMixtureMatchesEffectiveCostModel(t *testing.T) {
+	// A 70/30 mixture of DGEMM 100 and DGEMM 200: the simulator's measured
+	// throughput must match the model evaluated at the mixture's effective
+	// mean cost (the multi-application extension).
+	mix, err := workload.NewMixture(
+		workload.Component{App: workload.DGEMM{N: 100}, Fraction: 0.7},
+		workload.Component{App: workload.DGEMM{N: 200}, Fraction: 0.3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := star(t, 400, 400, 400)
+	eff := mix.EffectiveMFlop()
+	pred := h.Evaluate(model.DIETDefaults(), testBW, eff)
+
+	shares := make([]sim.AppShare, len(mix.Components))
+	for i, c := range mix.Components {
+		shares[i] = sim.AppShare{Wapp: c.App.MFlop(), Fraction: c.Fraction}
+	}
+	res, err := sim.Measure(h, model.DIETDefaults(), testBW, eff, sim.Config{
+		Clients: 32, Warmup: 5, Window: 30, Mixture: shares,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("mixture %s: predicted %.2f, measured %.2f req/s", mix, pred.Rho, res.Throughput)
+	if !stats.WithinTolerance(res.Throughput, pred.Rho, 0.1) {
+		t.Errorf("measured %.2f, model at effective cost predicts %.2f (>10%% off)", res.Throughput, pred.Rho)
+	}
+}
+
+func TestSimMixtureValidation(t *testing.T) {
+	h := star(t, 400, 400)
+	_, err := sim.Measure(h, model.DIETDefaults(), testBW, 2, sim.Config{
+		Clients: 1, Warmup: 0, Window: 1,
+		Mixture: []sim.AppShare{{Wapp: 2, Fraction: 0.4}},
+	})
+	if err == nil {
+		t.Error("mixture with fractions summing to 0.4 accepted")
+	}
+	_, err = sim.Measure(h, model.DIETDefaults(), testBW, 2, sim.Config{
+		Clients: 1, Warmup: 0, Window: 1,
+		Mixture: []sim.AppShare{{Wapp: -1, Fraction: 1}},
+	})
+	if err == nil {
+		t.Error("mixture with negative cost accepted")
+	}
+}
+
+func TestSimLatencySummary(t *testing.T) {
+	h := star(t, 400, 400, 400)
+	wapp := workload.DGEMM{N: 200}.MFlop()
+	res, err := sim.Measure(h, model.DIETDefaults(), testBW, wapp,
+		sim.Config{Clients: 8, Warmup: 2, Window: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := res.Latency
+	if lat.N == 0 {
+		t.Fatal("no latency samples")
+	}
+	if lat.Mean <= 0 || lat.P50 <= 0 {
+		t.Errorf("degenerate latency summary %+v", lat)
+	}
+	if !(lat.P50 <= lat.P95 && lat.P95 <= lat.P99) {
+		t.Errorf("percentiles not monotone: %+v", lat)
+	}
+	// 8 closed-loop clients at ~50 req/s: Little's law says mean latency
+	// ≈ 8/50 = 0.16 s; allow generous tolerance.
+	if lat.Mean < 0.05 || lat.Mean > 0.5 {
+		t.Errorf("mean latency %.3f s implausible for 8 clients at ~50 req/s", lat.Mean)
+	}
+}
+
+func TestSimLatencyGrowsWithLoad(t *testing.T) {
+	h := star(t, 400, 400)
+	wapp := workload.DGEMM{N: 200}.MFlop()
+	measure := func(clients int) float64 {
+		res, err := sim.Measure(h, model.DIETDefaults(), testBW, wapp,
+			sim.Config{Clients: clients, Warmup: 2, Window: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Latency.Mean
+	}
+	low, high := measure(2), measure(32)
+	t.Logf("mean latency: 2 clients %.3fs, 32 clients %.3fs", low, high)
+	if high <= low {
+		t.Errorf("latency should grow with load: %.3f vs %.3f", low, high)
+	}
+}

@@ -1,0 +1,365 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"adept/internal/hierarchy"
+	"adept/internal/model"
+)
+
+// Deployment is a hierarchy instantiated inside the simulator: one Resource
+// per physical node, the two-phase NES protocol wired between them, and
+// closed-loop clients driving load.
+type Deployment struct {
+	eng   *Engine
+	costs model.Costs
+	bw    float64
+	wapp  float64
+
+	root    *simAgent
+	agents  []*simAgent
+	servers []*simServer
+
+	// Completed counts fully completed requests (service response received).
+	Completed int64
+	// SchedCompleted counts scheduling phases completed at the root.
+	SchedCompleted int64
+	// PerServer counts service completions per server, in deployment order.
+	PerServer map[string]int64
+
+	// mixture optionally replaces the single-application workload: clients
+	// draw each request's service cost from these shares.
+	mixture []AppShare
+	credits []float64 // largest-remainder rotation state, one per share
+
+	// latencies samples completed-request latencies (seconds), capped at
+	// maxLatencySamples.
+	latencies []float64
+}
+
+// AppShare is one application of a simulated workload mixture.
+type AppShare struct {
+	// Wapp is the service cost in MFlop.
+	Wapp float64
+	// Fraction is the share of requests using this application.
+	Fraction float64
+}
+
+// maxLatencySamples bounds latency memory on long runs.
+const maxLatencySamples = 1 << 17
+
+// SetMixture makes clients draw request costs from the given shares using
+// a deterministic largest-remainder rotation (exact fractions, no RNG).
+// Estimates and the model's Wapp keep using the effective mean cost.
+func (d *Deployment) SetMixture(shares []AppShare) error {
+	sum := 0.0
+	for _, s := range shares {
+		if s.Wapp <= 0 || s.Fraction <= 0 {
+			return fmt.Errorf("sim: invalid mixture share %+v", s)
+		}
+		sum += s.Fraction
+	}
+	if len(shares) == 0 || math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("sim: mixture fractions sum to %g, want 1", sum)
+	}
+	d.mixture = append([]AppShare(nil), shares...)
+	d.credits = make([]float64, len(shares))
+	return nil
+}
+
+// nextWapp draws the next request's service cost.
+func (d *Deployment) nextWapp() float64 {
+	if len(d.mixture) == 0 {
+		return d.wapp
+	}
+	best := 0
+	for i := range d.credits {
+		d.credits[i] += d.mixture[i].Fraction
+		if d.credits[i] > d.credits[best] {
+			best = i
+		}
+	}
+	d.credits[best]--
+	return d.mixture[best].Wapp
+}
+
+// recordLatency samples one completed request's latency.
+func (d *Deployment) recordLatency(start float64) {
+	if len(d.latencies) < maxLatencySamples {
+		d.latencies = append(d.latencies, d.eng.Now()-start)
+	}
+}
+
+// Latencies returns the sampled request latencies in seconds.
+func (d *Deployment) Latencies() []float64 {
+	return append([]float64(nil), d.latencies...)
+}
+
+// simAgent is a deployed scheduling agent.
+type simAgent struct {
+	dep      *Deployment
+	name     string
+	power    float64
+	res      *Resource
+	children []entity
+}
+
+// simServer is a deployed computational server (SeD).
+type simServer struct {
+	dep     *Deployment
+	name    string
+	power   float64
+	res     *Resource
+	pending int // service requests selected-but-not-finished (for prediction)
+}
+
+// entity is the common scheduling-phase interface of agents and servers.
+type entity interface {
+	// deliverSched delivers a scheduling request arriving on this node's
+	// port; replyTo fires after this node's reply has been fully sent.
+	deliverSched(replyTo func(schedResult))
+}
+
+// schedResult is the reply flowing back up: the candidate servers of the
+// subtree, sorted best-first ("response sorted & forwarded up", Fig. 1
+// step 4). Candidates are compared by their *current* expected completion
+// time (estimate) wherever a sort or selection happens, not by a value
+// frozen when the server computed its prediction: the paper's agents
+// "select potential servers from a list of servers maintained in the
+// database by frequent monitoring" (footnote 1), so comparison data is
+// fresher than the in-band prediction. Without this, a deterministic
+// simulator herds every request onto one server, because by the time a
+// frozen prediction is compared the server's queue has drained.
+type schedResult struct {
+	servers []*simServer
+}
+
+// Note: the full sorted candidate list is forwarded up the tree, like
+// DIET's response lists. Truncating it (an earlier design) starves all but
+// the top few servers under heavy concurrent load, because batches of
+// requests aggregated back-to-back would share the same truncated list.
+
+// Instantiate builds a simulated deployment from a hierarchy.
+func Instantiate(eng *Engine, h *hierarchy.Hierarchy, costs model.Costs, bandwidth, wapp float64) (*Deployment, error) {
+	if err := h.Validate(hierarchy.Structural); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if bandwidth <= 0 || wapp <= 0 {
+		return nil, fmt.Errorf("sim: bandwidth (%g) and wapp (%g) must be positive", bandwidth, wapp)
+	}
+	d := &Deployment{
+		eng:       eng,
+		costs:     costs,
+		bw:        bandwidth,
+		wapp:      wapp,
+		PerServer: make(map[string]int64),
+	}
+	var build func(id int) entity
+	build = func(id int) entity {
+		n := h.MustNode(id)
+		if n.Role == hierarchy.RoleServer {
+			s := &simServer{dep: d, name: n.Name, power: n.Power, res: NewResource(eng)}
+			d.servers = append(d.servers, s)
+			return s
+		}
+		a := &simAgent{dep: d, name: n.Name, power: n.Power, res: NewResource(eng)}
+		d.agents = append(d.agents, a)
+		for _, c := range n.Children {
+			a.children = append(a.children, build(c))
+		}
+		return a
+	}
+	rootEnt := build(h.Root())
+	root, ok := rootEnt.(*simAgent)
+	if !ok {
+		return nil, fmt.Errorf("sim: root is not an agent")
+	}
+	d.root = root
+	return d, nil
+}
+
+// --- scheduling phase -------------------------------------------------
+
+// A note on activity granularity: each request's contiguous work on a node
+// (e.g. receive + process, or compute + respond) is modelled as a single
+// occupation of the summed duration. Splitting the stages into separate
+// queue entries would let a burst of B requests "layer": all B receives
+// first, then all B computations, with every response transmitted only
+// after the last computation — an artifact no real system exhibits (a
+// server writes a ready response before picking up the next queued job).
+// The summed occupation is exactly what the §3 model integrates per
+// request, so predicted and measured throughput still agree.
+
+// deliverSched implements entity for agents: receive the request, process
+// it (Wreq), forward serially to every child, collect the replies, select
+// the best server (Wrep), and send the reply up.
+func (a *simAgent) deliverSched(replyTo func(schedResult)) {
+	c, bw := a.dep.costs, a.dep.bw
+	// Eq. 1 request part + Eq. 5 Wreq part.
+	a.res.Do(c.AgentSreq/bw+c.AgentWreq/a.power, func() {
+		a.broadcast(replyTo)
+	})
+}
+
+// broadcast forwards the request to every child and aggregates replies.
+func (a *simAgent) broadcast(replyTo func(schedResult)) {
+	c, bw := a.dep.costs, a.dep.bw
+	d := len(a.children)
+	agg := &aggregator{want: d}
+	for _, child := range a.children {
+		child := child
+		// The send occupies the agent's port (Eq. 2, d·Sreq part); its
+		// completion delivers the message to the child's port.
+		a.res.Do(c.AgentSreq/bw, func() {
+			child.deliverSched(func(r schedResult) {
+				a.receiveReply(agg, r, replyTo)
+			})
+		})
+	}
+}
+
+// receiveReply accounts one child reply (Eq. 1, d·Srep part); once all
+// replies are in, the agent runs the selection computation Wrep(d) (Eq. 5)
+// and sends the merged reply to its parent (Eq. 2, Srep part).
+func (a *simAgent) receiveReply(agg *aggregator, r schedResult, replyTo func(schedResult)) {
+	c, bw := a.dep.costs, a.dep.bw
+	a.res.Do(c.AgentSrep/bw, func() {
+		agg.add(r)
+		if !agg.complete() {
+			return
+		}
+		d := len(a.children)
+		// Wrep(d) selection plus the reply transmission (Eq. 2, Srep part),
+		// as one contiguous occupation.
+		a.res.Do(c.WrepAgent(d)/a.power+c.AgentSrep/bw, func() {
+			replyTo(agg.merged())
+		})
+	})
+}
+
+// aggregator collects children replies and merges their candidate lists.
+type aggregator struct {
+	want int
+	got  int
+	all  []*simServer
+}
+
+func (g *aggregator) add(r schedResult) {
+	g.all = append(g.all, r.servers...)
+	g.got++
+}
+
+// merged sorts the collected candidates best-first by current estimate
+// (stable, so ties keep child order like DIET's sort) — the work the
+// Wrep(d) computation cost accounts for.
+func (g *aggregator) merged() schedResult {
+	sort.SliceStable(g.all, func(i, j int) bool {
+		return g.all[i].estimate() < g.all[j].estimate()
+	})
+	return schedResult{servers: g.all}
+}
+
+func (g *aggregator) complete() bool { return g.got == g.want }
+
+// deliverSched implements entity for servers: receive the request, compute
+// the performance prediction (Wpre), and send the reply back.
+func (s *simServer) deliverSched(replyTo func(schedResult)) {
+	c, bw := s.dep.costs, s.dep.bw
+	// Scheduling-phase work takes the priority lane: predictions are tiny
+	// interactive operations that a real server answers while batch service
+	// jobs wait; see Resource for why the simulator must model this.
+	// Eq. 3 receive + prediction + Eq. 4 reply, one contiguous occupation.
+	s.res.DoPriority(c.ServerSreq/bw+c.ServerWpre/s.power+c.ServerSrep/bw, func() {
+		replyTo(schedResult{servers: []*simServer{s}})
+	})
+}
+
+// estimate is this server's current expected completion time for one more
+// service request: the backlog of already-selected requests plus its own
+// execution, normalised by power — the earliest-completion metric DIET's
+// performance prediction feeds into the agents' monitoring database.
+func (s *simServer) estimate() float64 {
+	return float64(s.pending+1) * (s.dep.wapp / s.power)
+}
+
+// --- service phase ----------------------------------------------------
+
+// submitService runs the service phase on the selected server: request
+// receive + execution + response (Eq. 15's per-request terms) as one
+// contiguous occupation. wapp is this request's service cost (mixtures
+// vary it per request).
+func (d *Deployment) submitService(s *simServer, wapp float64, onDone func()) {
+	c, bw := d.costs, d.bw
+	s.pending++
+	s.res.Do(c.ServerSreq/bw+wapp/s.power+c.ServerSrep/bw, func() {
+		s.pending--
+		d.Completed++
+		d.PerServer[s.name]++
+		onDone()
+	})
+}
+
+// --- clients ------------------------------------------------------------
+
+// Submit runs one complete request (scheduling phase then service phase),
+// calling onDone when the service response is back.
+func (d *Deployment) Submit(onDone func()) {
+	start := d.eng.Now()
+	wapp := d.nextWapp()
+	d.root.deliverSched(func(r schedResult) {
+		d.SchedCompleted++
+		if len(r.servers) == 0 {
+			// No server replied — cannot happen on validated hierarchies,
+			// but fail loudly in case of protocol bugs.
+			panic("sim: scheduling reply carries no server")
+		}
+		// Final selection: the best candidate by *current* estimate, which
+		// may differ from the ranking at merge time (the client-visible
+		// "scheduling response" of Fig. 1 carries the sorted list).
+		best := r.servers[0]
+		for _, s := range r.servers[1:] {
+			if s.estimate() < best.estimate() {
+				best = s
+			}
+		}
+		d.submitService(best, wapp, func() {
+			d.recordLatency(start)
+			onDone()
+		})
+	})
+}
+
+// StartClient launches a closed-loop client at the given simulation time:
+// it submits one request at a time in a continual loop (§5.1).
+func (d *Deployment) StartClient(at float64) {
+	var loop func()
+	loop = func() {
+		d.Submit(loop)
+	}
+	d.eng.At(at, loop)
+}
+
+// Utilization reports per-node busy fraction over the elapsed simulation
+// time; useful for locating bottlenecks in measured deployments.
+func (d *Deployment) Utilization() map[string]float64 {
+	out := make(map[string]float64, len(d.agents)+len(d.servers))
+	t := d.eng.Now()
+	if t <= 0 {
+		return out
+	}
+	for _, a := range d.agents {
+		out[a.name] = math.Min(1, a.res.BusyTime/t)
+	}
+	for _, s := range d.servers {
+		out[s.name] = math.Min(1, s.res.BusyTime/t)
+	}
+	return out
+}
+
+// ServerCount returns the number of deployed servers.
+func (d *Deployment) ServerCount() int { return len(d.servers) }
+
+// AgentCount returns the number of deployed agents.
+func (d *Deployment) AgentCount() int { return len(d.agents) }

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Component is one application of a workload mixture.
+type Component struct {
+	// App is the application (its DGEMM size defines the cost).
+	App DGEMM
+	// Fraction is the share of client requests targeting this application.
+	Fraction float64
+}
+
+// Mixture models a platform serving several applications at once — the
+// paper's future-work item "a modelization to deploy several middlewares
+// and/or applications on grid" (§6). Under steady state with load shares
+// f_a, the expected service cost per request is the fraction-weighted mean
+// of the per-application costs, which is the Wapp the §3 model and the
+// planner consume.
+type Mixture struct {
+	Components []Component
+}
+
+// NewMixture builds a mixture and validates that fractions are positive
+// and sum to 1 (within floating-point tolerance).
+func NewMixture(components ...Component) (Mixture, error) {
+	if len(components) == 0 {
+		return Mixture{}, errors.New("workload: empty mixture")
+	}
+	sum := 0.0
+	for i, c := range components {
+		if c.Fraction <= 0 || math.IsNaN(c.Fraction) {
+			return Mixture{}, fmt.Errorf("workload: component %d has invalid fraction %g", i, c.Fraction)
+		}
+		if c.App.N <= 0 {
+			return Mixture{}, fmt.Errorf("workload: component %d has invalid DGEMM size %d", i, c.App.N)
+		}
+		sum += c.Fraction
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return Mixture{}, fmt.Errorf("workload: fractions sum to %g, want 1", sum)
+	}
+	return Mixture{Components: append([]Component(nil), components...)}, nil
+}
+
+// EffectiveMFlop returns the expected per-request service cost in MFlop:
+// Σ f_a · Wapp_a.
+func (m Mixture) EffectiveMFlop() float64 {
+	sum := 0.0
+	for _, c := range m.Components {
+		sum += c.Fraction * c.App.MFlop()
+	}
+	return sum
+}
+
+// Costs returns the per-component service costs in MFlop, component order.
+func (m Mixture) Costs() []float64 {
+	out := make([]float64, len(m.Components))
+	for i, c := range m.Components {
+		out[i] = c.App.MFlop()
+	}
+	return out
+}
+
+// Fractions returns the per-component request shares, component order.
+func (m Mixture) Fractions() []float64 {
+	out := make([]float64, len(m.Components))
+	for i, c := range m.Components {
+		out[i] = c.Fraction
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (m Mixture) String() string {
+	parts := make([]string, len(m.Components))
+	for i, c := range m.Components {
+		parts[i] = fmt.Sprintf("%.0f%% %s", 100*c.Fraction, c.App)
+	}
+	return "mixture{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,54 @@
+package workload_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"adept/internal/workload"
+)
+
+func TestMixtureEffectiveCost(t *testing.T) {
+	m, err := workload.NewMixture(
+		workload.Component{App: workload.DGEMM{N: 100}, Fraction: 0.75}, // 2 MFlop
+		workload.Component{App: workload.DGEMM{N: 200}, Fraction: 0.25}, // 16 MFlop
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.75*2 + 0.25*16
+	if got := m.EffectiveMFlop(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("EffectiveMFlop = %g, want %g", got, want)
+	}
+	if got := m.Costs(); len(got) != 2 || got[0] != 2 || got[1] != 16 {
+		t.Errorf("Costs = %v", got)
+	}
+	if got := m.Fractions(); len(got) != 2 || got[0] != 0.75 {
+		t.Errorf("Fractions = %v", got)
+	}
+	if s := m.String(); !strings.Contains(s, "75% DGEMM 100x100") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestMixtureValidation(t *testing.T) {
+	if _, err := workload.NewMixture(); err == nil {
+		t.Error("empty mixture accepted")
+	}
+	if _, err := workload.NewMixture(
+		workload.Component{App: workload.DGEMM{N: 100}, Fraction: 0.5},
+	); err == nil {
+		t.Error("fractions not summing to 1 accepted")
+	}
+	if _, err := workload.NewMixture(
+		workload.Component{App: workload.DGEMM{N: 100}, Fraction: -0.5},
+		workload.Component{App: workload.DGEMM{N: 100}, Fraction: 1.5},
+	); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	if _, err := workload.NewMixture(
+		workload.Component{App: workload.DGEMM{N: 0}, Fraction: 1},
+	); err == nil {
+		t.Error("zero-size app accepted")
+	}
+}

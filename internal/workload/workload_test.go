@@ -1,0 +1,93 @@
+package workload_test
+
+import (
+	"math"
+	"testing"
+
+	"adept/internal/workload"
+)
+
+func TestDGEMMFlops(t *testing.T) {
+	cases := []struct {
+		n    int
+		want float64 // MFlop = 2n³/1e6
+	}{
+		{10, 0.002},
+		{100, 2},
+		{200, 16},
+		{310, 59.582},
+		{1000, 2000},
+	}
+	for _, tc := range cases {
+		d := workload.DGEMM{N: tc.n}
+		if got := d.MFlop(); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("DGEMM %d: MFlop = %g, want %g", tc.n, got, tc.want)
+		}
+		if got := d.Flops(); got != tc.want*1e6 {
+			t.Errorf("DGEMM %d: Flops = %g", tc.n, got)
+		}
+	}
+}
+
+func TestDGEMMServiceData(t *testing.T) {
+	// 3 matrices × n² × 64 bits.
+	d := workload.DGEMM{N: 100}
+	want := 3.0 * 100 * 100 * 64 / 1e6
+	if got := d.ServiceDataMbit(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("ServiceDataMbit = %g, want %g", got, want)
+	}
+}
+
+func TestDGEMMString(t *testing.T) {
+	if got := (workload.DGEMM{N: 310}).String(); got != "DGEMM 310x310" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestDemand(t *testing.T) {
+	if workload.Unbounded.Bounded() {
+		t.Error("Unbounded reports bounded")
+	}
+	d := workload.Demand(100)
+	if !d.Bounded() {
+		t.Error("100 req/s not bounded")
+	}
+	if got := d.Cap(250); got != 100 {
+		t.Errorf("Cap(250) = %g, want 100", got)
+	}
+	if got := d.Cap(50); got != 50 {
+		t.Errorf("Cap(50) = %g, want 50", got)
+	}
+	if got := workload.Unbounded.Cap(50); got != 50 {
+		t.Errorf("Unbounded.Cap(50) = %g", got)
+	}
+}
+
+func TestRamp(t *testing.T) {
+	r := workload.DefaultRamp(10)
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.ArrivalTime(0); got != 0 {
+		t.Errorf("ArrivalTime(0) = %g", got)
+	}
+	if got := r.ArrivalTime(9); got != 9 {
+		t.Errorf("ArrivalTime(9) = %g", got)
+	}
+	if got := r.EndTime(); got != 609 {
+		t.Errorf("EndTime = %g, want 609 (9s ramp + 600s hold)", got)
+	}
+}
+
+func TestRampValidate(t *testing.T) {
+	bad := []workload.Ramp{
+		{MaxClients: 0, Interval: 1, HoldSeconds: 1},
+		{MaxClients: 1, Interval: -1, HoldSeconds: 1},
+		{MaxClients: 1, Interval: 1, HoldSeconds: 0},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("bad ramp %d accepted", i)
+		}
+	}
+}
