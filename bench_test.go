@@ -1,6 +1,10 @@
 package adept_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"adept/internal/baseline"
@@ -8,6 +12,7 @@ import (
 	"adept/internal/experiments"
 	"adept/internal/model"
 	"adept/internal/platform"
+	"adept/internal/service"
 	"adept/internal/sim"
 	"adept/internal/workload"
 )
@@ -184,6 +189,49 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		events = res.Events
 	}
 	b.ReportMetric(float64(events), "events/run")
+}
+
+// BenchmarkServicePlanCache measures a full POST /v1/plan round trip
+// through the adeptd HTTP handler on a 200-node pool: "cold" forces a
+// fresh heuristic run per request (no_cache), "warm" repeats one identical
+// request so every iteration after the first is answered from the
+// content-addressed cache. The warm/cold gap is the cache's value.
+func BenchmarkServicePlanCache(b *testing.B) {
+	srv, err := service.New(service.Config{CacheSize: 16, Workers: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	handler := srv.Handler()
+
+	plat, err := platform.Generate(platform.GenSpec{
+		Name: "bench-svc", N: 200, Bandwidth: 100, MinPower: 100, MaxPower: 800, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	do := func(b *testing.B, noCache bool) {
+		b.Helper()
+		body, err := json.Marshal(service.PlanRequest{
+			Platform: plat,
+			DgemmN:   310,
+			NoCache:  noCache,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest(http.MethodPost, "/v1/plan", bytes.NewReader(body))
+			rec := httptest.NewRecorder()
+			handler.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+	}
+	b.Run("cold", func(b *testing.B) { do(b, true) })
+	b.Run("warm", func(b *testing.B) { do(b, false) })
 }
 
 // BenchmarkModelEvaluate measures one throughput-model evaluation of a

@@ -19,10 +19,10 @@ import (
 	"fmt"
 	"os"
 
-	"adept/internal/baseline"
 	"adept/internal/core"
 	"adept/internal/model"
 	"adept/internal/platform"
+	"adept/internal/service"
 	"adept/internal/workload"
 )
 
@@ -130,21 +130,8 @@ func run() error {
 	return nil
 }
 
+// selectPlanner delegates to the shared registry so the CLI and the
+// adeptd daemon accept the same planner names.
 func selectPlanner(name string) (core.Planner, error) {
-	switch name {
-	case "heuristic":
-		return core.NewHeuristic(), nil
-	case "heuristic+swap":
-		return &core.SwapRefiner{Inner: core.NewHeuristic()}, nil
-	case "star":
-		return &baseline.Star{}, nil
-	case "balanced":
-		return &baseline.Balanced{}, nil
-	case "dary":
-		return &baseline.OptimalDAry{}, nil
-	case "exhaustive":
-		return &baseline.Exhaustive{}, nil
-	default:
-		return nil, fmt.Errorf("unknown planner %q", name)
-	}
+	return service.SelectPlanner(name)
 }

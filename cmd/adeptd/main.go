@@ -1,0 +1,106 @@
+// Command adeptd serves deployment planning over HTTP: the long-running
+// ADePT daemon. It wraps internal/service — a platform registry, a
+// content-addressed plan cache with LRU eviction, and a bounded worker
+// pool running the planners concurrently — behind a JSON API:
+//
+//	POST   /v1/plan              plan one deployment (cache-accelerated)
+//	POST   /v1/plan/batch        fan one call out over many requests
+//	GET    /v1/platforms         list registered platform names
+//	GET    /v1/platforms/{name}  fetch a platform description
+//	PUT    /v1/platforms/{name}  register/replace a platform description
+//	DELETE /v1/platforms/{name}  remove a platform
+//	GET    /v1/metrics           counters, cache stats, p50/p99 latency
+//	POST   /v1/deploy            launch a plan on the live middleware
+//
+// Usage:
+//
+//	adeptd [-addr :8080] [-platform-dir dir] [-cache 256]
+//	       [-workers N] [-queue 64] [-plan-timeout 30s]
+//
+// Example session:
+//
+//	adeptd -addr :8080 &
+//	curl -X PUT localhost:8080/v1/platforms/lyon --data @platform.json
+//	curl -X POST localhost:8080/v1/plan \
+//	     -d '{"platform_name":"lyon","dgemm_n":310}'
+//	curl localhost:8080/v1/metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"adept/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "adeptd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		platformDir = flag.String("platform-dir", "", "directory of *.json platforms to preload into the registry")
+		cacheSize   = flag.Int("cache", 256, "plan cache capacity (entries)")
+		workers     = flag.Int("workers", 0, "concurrent planner runs (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 64, "queued planning jobs beyond the workers")
+		planTimeout = flag.Duration("plan-timeout", 30*time.Second, "server-side cap on one planning run")
+	)
+	flag.Parse()
+
+	srv, err := service.New(service.Config{
+		CacheSize:   *cacheSize,
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		PlanTimeout: *planTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	if *platformDir != "" {
+		names, err := srv.Registry().LoadDir(*platformDir)
+		if err != nil {
+			return err
+		}
+		log.Printf("loaded %d platform(s) from %s: %v", len(names), *platformDir, names)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("adeptd listening on %s (planners: %v)", *addr, service.PlannerNames())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		// Drain in-flight requests (a long exhaustive plan or a /v1/deploy
+		// load window) before exiting; give up after a grace period.
+		log.Printf("received %v, draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			return httpSrv.Close()
+		}
+		return nil
+	}
+}

@@ -5,7 +5,9 @@
 //
 // The module root only carries the benchmark harness (bench_test.go) that
 // regenerates every table and figure of the paper; the implementation
-// lives under internal/ and the executables under cmd/:
+// lives under internal/ and the executables under cmd/ (cmd/adept for
+// one-shot planning, cmd/adeptd for the planning-as-a-service daemon,
+// cmd/nes and cmd/experiments for the middleware and paper harness):
 //
 //   - internal/core        — the planning heuristic (Algorithm 1)
 //   - internal/model       — the steady-state performance model (Eqs. 1–16)
@@ -15,6 +17,7 @@
 //   - internal/sim         — discrete-event M(r,s,w) simulator
 //   - internal/runtime     — concurrent goroutine middleware (chan/TCP)
 //   - internal/deploy      — GoDIET-style XML launcher
+//   - internal/service     — planning daemon: registry, plan cache, pool
 //   - internal/workload    — DGEMM workloads, demands, load ramps
 //   - internal/blas        — DGEMM kernels (naive / blocked / parallel)
 //   - internal/linpack     — LU mini-benchmark for node power calibration

@@ -1,0 +1,3 @@
+module adept
+
+go 1.24

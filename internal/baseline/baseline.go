@@ -7,6 +7,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -26,6 +27,15 @@ type Star struct {
 
 // Name implements core.Planner.
 func (*Star) Name() string { return "star" }
+
+// PlanContext implements core.Planner. Building a star is linear in the
+// pool, so the context is only checked once up front.
+func (s *Star) PlanContext(ctx context.Context, req core.Request) (*core.Plan, error) {
+	if err := core.CheckContext(ctx, s.Name()); err != nil {
+		return nil, err
+	}
+	return s.Plan(req)
+}
 
 // Plan implements core.Planner.
 func (s *Star) Plan(req core.Request) (*core.Plan, error) {
@@ -64,6 +74,15 @@ type Balanced struct {
 
 // Name implements core.Planner.
 func (*Balanced) Name() string { return "balanced" }
+
+// PlanContext implements core.Planner. Like Star, construction is linear,
+// so the context is checked once up front.
+func (b *Balanced) PlanContext(ctx context.Context, req core.Request) (*core.Plan, error) {
+	if err := core.CheckContext(ctx, b.Name()); err != nil {
+		return nil, err
+	}
+	return b.Plan(req)
+}
 
 // Plan implements core.Planner.
 func (b *Balanced) Plan(req core.Request) (*core.Plan, error) {
@@ -124,6 +143,13 @@ func (*OptimalDAry) Name() string { return "optimal-dary" }
 
 // Plan implements core.Planner.
 func (o *OptimalDAry) Plan(req core.Request) (*core.Plan, error) {
+	return o.PlanContext(context.Background(), req)
+}
+
+// PlanContext implements core.Planner; the context is polled once per
+// candidate degree, bounding cancellation latency to one (degree, levels)
+// sweep.
+func (o *OptimalDAry) PlanContext(ctx context.Context, req core.Request) (*core.Plan, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
@@ -142,6 +168,9 @@ func (o *OptimalDAry) Plan(req core.Request) (*core.Plan, error) {
 	}
 
 	for d := 1; d <= n-1; d++ {
+		if err := core.CheckContext(ctx, o.Name()); err != nil {
+			return nil, err
+		}
 		for levels := 1; ; levels++ {
 			agents := agentCount(d, levels)
 			if agents >= n {
@@ -250,6 +279,15 @@ type Random struct {
 
 // Name implements core.Planner.
 func (*Random) Name() string { return "random" }
+
+// PlanContext implements core.Planner; randomized construction is linear,
+// so the context is checked once up front.
+func (r *Random) PlanContext(ctx context.Context, req core.Request) (*core.Plan, error) {
+	if err := core.CheckContext(ctx, r.Name()); err != nil {
+		return nil, err
+	}
+	return r.Plan(req)
+}
 
 // Plan implements core.Planner.
 func (r *Random) Plan(req core.Request) (*core.Plan, error) {

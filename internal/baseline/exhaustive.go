@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 
 	"adept/internal/core"
@@ -28,6 +29,18 @@ func (*Exhaustive) Name() string { return "exhaustive" }
 
 // Plan implements core.Planner.
 func (e *Exhaustive) Plan(req core.Request) (*core.Plan, error) {
+	return e.PlanContext(context.Background(), req)
+}
+
+// ctxPollInterval is how many candidate parent vectors the exhaustive
+// search evaluates between context polls: frequent enough to cancel a
+// Θ(n·nⁿ) enumeration promptly, rare enough to keep the poll off the
+// hot path.
+const ctxPollInterval = 4096
+
+// PlanContext implements core.Planner; the enumeration aborts within
+// ctxPollInterval candidate evaluations of the context firing.
+func (e *Exhaustive) PlanContext(ctx context.Context, req core.Request) (*core.Plan, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
@@ -41,8 +54,15 @@ func (e *Exhaustive) Plan(req core.Request) (*core.Plan, error) {
 	bestUsed := 0
 	var bestVec []int
 	var bestEval model.Evaluation
+	var ctxErr error
+	sincePoll := 0
 
 	check := func() {
+		sincePoll++
+		if sincePoll >= ctxPollInterval {
+			sincePoll = 0
+			ctxErr = core.CheckContext(ctx, e.Name())
+		}
 		ev, used, ok := evalParentVector(req, parent)
 		if !ok {
 			return
@@ -56,6 +76,9 @@ func (e *Exhaustive) Plan(req core.Request) (*core.Plan, error) {
 
 	var rec func(i, rootIdx int)
 	rec = func(i, rootIdx int) {
+		if ctxErr != nil {
+			return
+		}
 		if i == n {
 			check()
 			return
@@ -75,8 +98,11 @@ func (e *Exhaustive) Plan(req core.Request) (*core.Plan, error) {
 			rec(i+1, rootIdx)
 		}
 	}
-	for rootIdx := 0; rootIdx < n; rootIdx++ {
+	for rootIdx := 0; rootIdx < n && ctxErr == nil; rootIdx++ {
 		rec(0, rootIdx)
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
 	}
 	if bestVec == nil {
 		return nil, fmt.Errorf("baseline: exhaustive search found no valid deployment")

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -55,7 +56,18 @@ type snapshot struct {
 
 // Plan implements Planner.
 func (p *Heuristic) Plan(req Request) (*Plan, error) {
+	return p.PlanContext(context.Background(), req)
+}
+
+// PlanContext implements Planner; the context is polled once per growth
+// iteration, so cancellation latency is one placement step.
+func (p *Heuristic) PlanContext(ctx context.Context, req Request) (*Plan, error) {
 	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	// Checked before the agent-limited shortcut too, so a dead context
+	// never produces a plan.
+	if err := CheckContext(ctx, p.Name()); err != nil {
 		return nil, err
 	}
 	c := req.Costs
@@ -117,6 +129,9 @@ func (p *Heuristic) Plan(req Request) (*Plan, error) {
 	best := snapshot{hier: h.Clone(), capped: cappedRho(req, h), nodes: h.Len()}
 
 	for next < len(pool) {
+		if err := CheckContext(ctx, p.Name()); err != nil {
+			return nil, err
+		}
 		ev := h.Evaluate(c, bw, wapp)
 		// Demand met by both phases: stop, preferring fewer resources.
 		if req.Demand.Bounded() && ev.Service >= float64(req.Demand) && ev.Sched >= float64(req.Demand) {

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -88,6 +89,24 @@ type Planner interface {
 	Name() string
 	// Plan computes a deployment for the request.
 	Plan(req Request) (*Plan, error)
+	// PlanContext computes a deployment for the request, honouring the
+	// context's cancellation and deadline. Long-running planners (the
+	// heuristic's growth loop, the exhaustive enumeration, the d-ary degree
+	// sweep) poll the context between iterations and return ctx.Err()
+	// wrapped in a planner error when it fires; cheap planners may only
+	// check once up front. Plan(req) is equivalent to
+	// PlanContext(context.Background(), req).
+	PlanContext(ctx context.Context, req Request) (*Plan, error)
+}
+
+// CheckContext polls ctx and wraps its error for planner error messages.
+// Planners call it between iterations of their expensive loops; the nil
+// fast path is a single atomic load for contexts that cannot fire.
+func CheckContext(ctx context.Context, planner string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: %s interrupted: %w", planner, err)
+	}
+	return nil
 }
 
 // Finalize evaluates h against the request, validates it with the paper's

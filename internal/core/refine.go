@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"adept/internal/hierarchy"
 )
 
@@ -27,7 +29,13 @@ func (r *SwapRefiner) Name() string { return r.Inner.Name() + "+swap" }
 
 // Plan implements Planner.
 func (r *SwapRefiner) Plan(req Request) (*Plan, error) {
-	plan, err := r.Inner.Plan(req)
+	return r.PlanContext(context.Background(), req)
+}
+
+// PlanContext implements Planner: the context is forwarded to the inner
+// planner and polled once per refinement round.
+func (r *SwapRefiner) PlanContext(ctx context.Context, req Request) (*Plan, error) {
+	plan, err := r.Inner.PlanContext(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -39,6 +47,9 @@ func (r *SwapRefiner) Plan(req Request) (*Plan, error) {
 	bestCapped := plan.Capped
 
 	for round := 0; round < rounds; round++ {
+		if err := CheckContext(ctx, r.Name()); err != nil {
+			return nil, err
+		}
 		swapped, newCapped := r.bestSwap(req, h, bestCapped)
 		if swapped == nil {
 			break

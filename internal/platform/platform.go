@@ -157,8 +157,24 @@ type GenSpec struct {
 	// MinPower and MaxPower bound the uniform power distribution (MFlop/s).
 	MinPower float64
 	MaxPower float64
-	// Seed makes generation reproducible.
+	// Seed makes generation reproducible: every call with the same spec
+	// draws from a fresh source seeded with this value, never from the
+	// global math/rand source.
 	Seed int64
+	// Rand, when non-nil, supplies the random source directly and takes
+	// precedence over Seed. Use it to thread one deterministic stream
+	// through a whole scenario (several platforms, background loads, …).
+	Rand *rand.Rand
+}
+
+// source returns the random stream to draw from: the explicit Rand when
+// set, otherwise a fresh Seed-derived source (the compatible default —
+// identical specs keep producing identical platforms).
+func (spec GenSpec) source() *rand.Rand {
+	if spec.Rand != nil {
+		return spec.Rand
+	}
+	return rand.New(rand.NewSource(spec.Seed))
 }
 
 // Generate builds a synthetic heterogeneous platform with uniformly
@@ -174,7 +190,7 @@ func Generate(spec GenSpec) (*Platform, error) {
 	if spec.Bandwidth <= 0 {
 		return nil, errors.New("platform: GenSpec.Bandwidth must be positive")
 	}
-	rng := rand.New(rand.NewSource(spec.Seed))
+	rng := spec.source()
 	p := &Platform{Name: spec.Name, Bandwidth: spec.Bandwidth}
 	for i := 0; i < spec.N; i++ {
 		w := spec.MinPower
@@ -194,7 +210,10 @@ func Generate(spec GenSpec) (*Platform, error) {
 type BackgroundLoad struct {
 	Fraction    float64
 	LoadFactors []float64
-	Seed        int64
+	// Seed selects the loaded-node subset reproducibly.
+	Seed int64
+	// Rand, when non-nil, takes precedence over Seed (see GenSpec.Rand).
+	Rand *rand.Rand
 }
 
 // Heterogenize returns a copy of p with background load applied to a random
@@ -214,7 +233,10 @@ func Heterogenize(p *Platform, bg BackgroundLoad) (*Platform, error) {
 		}
 	}
 	cp := p.Clone()
-	rng := rand.New(rand.NewSource(bg.Seed))
+	rng := bg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(bg.Seed))
+	}
 	perm := rng.Perm(len(cp.Nodes))
 	loaded := int(bg.Fraction * float64(len(cp.Nodes)))
 	for k := 0; k < loaded; k++ {

@@ -1,0 +1,139 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"adept/internal/core"
+	"adept/internal/model"
+	"adept/internal/platform"
+	"adept/internal/workload"
+)
+
+// cacheKeyInput is the canonical form hashed into a cache key. JSON
+// marshalling of a struct emits fields in declaration order, so the
+// encoding — and therefore the digest — is deterministic for equal
+// inputs. Every field that changes the planning outcome is present:
+// the planner, the full platform (names, powers, order, bandwidth),
+// the Table 3 costs, the application cost, and the demand cap.
+type cacheKeyInput struct {
+	Planner  string             `json:"planner"`
+	Platform *platform.Platform `json:"platform"`
+	Costs    model.Costs        `json:"costs"`
+	Wapp     float64            `json:"wapp"`
+	Demand   workload.Demand    `json:"demand"`
+}
+
+// CacheKey is the content address of a plan request: a hex SHA-256 digest.
+type CacheKey string
+
+// KeyFor computes the content address of (planner, request).
+func KeyFor(planner string, req core.Request) (CacheKey, error) {
+	data, err := json.Marshal(cacheKeyInput{
+		Planner:  planner,
+		Platform: req.Platform,
+		Costs:    req.Costs,
+		Wapp:     req.Wapp,
+		Demand:   req.Demand,
+	})
+	if err != nil {
+		return "", fmt.Errorf("service: cache key: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	return CacheKey(hex.EncodeToString(sum[:])), nil
+}
+
+// PlanCache is a content-addressed, LRU-evicting plan cache. Identical
+// requests (same platform, costs, Wapp, demand, planner) hash to the same
+// key and are answered without re-planning; any change to any input
+// produces a different key and therefore a miss. Cached plans are shared
+// between callers and must be treated as read-only.
+type PlanCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[CacheKey]*list.Element
+	order    *list.List // front = most recently used
+	hits     uint64
+	misses   uint64
+}
+
+type cacheEntry struct {
+	key  CacheKey
+	plan *core.Plan
+}
+
+// NewPlanCache builds a cache holding at most capacity plans; capacity
+// must be positive.
+func NewPlanCache(capacity int) (*PlanCache, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("service: cache capacity must be positive, got %d", capacity)
+	}
+	return &PlanCache{
+		capacity: capacity,
+		entries:  make(map[CacheKey]*list.Element, capacity),
+		order:    list.New(),
+	}, nil
+}
+
+// Get returns the cached plan for key, recording a hit or miss and
+// refreshing the entry's recency on a hit.
+func (c *PlanCache) Get(key CacheKey) (*core.Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).plan, true
+}
+
+// Put stores plan under key, evicting the least recently used entry when
+// the cache is at capacity. Storing an existing key refreshes its value
+// and recency.
+func (c *PlanCache) Put(key CacheKey, plan *core.Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).plan = plan
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		if oldest != nil {
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cacheEntry).key)
+		}
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, plan: plan})
+}
+
+// Contains reports whether key is cached without touching recency or the
+// hit/miss counters.
+func (c *PlanCache) Contains(key CacheKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Len returns the number of cached plans.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *PlanCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,186 @@
+package service
+
+import (
+	"testing"
+
+	"adept/internal/core"
+	"adept/internal/model"
+	"adept/internal/platform"
+	"adept/internal/workload"
+)
+
+func testRequest(t *testing.T, seed int64) core.Request {
+	t.Helper()
+	plat, err := platform.Generate(platform.GenSpec{
+		Name: "cache-test", N: 12, Bandwidth: 100, MinPower: 100, MaxPower: 800, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Request{
+		Platform: plat,
+		Costs:    model.DIETDefaults(),
+		Wapp:     workload.DGEMM{N: 310}.MFlop(),
+	}
+}
+
+func TestKeyForDeterministic(t *testing.T) {
+	req := testRequest(t, 1)
+	k1, err := KeyFor("heuristic", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := KeyFor("heuristic", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Errorf("identical requests hashed differently: %s vs %s", k1, k2)
+	}
+	if len(k1) != 64 {
+		t.Errorf("key %q is not a hex sha256", k1)
+	}
+}
+
+func TestKeyForSensitivity(t *testing.T) {
+	base := testRequest(t, 1)
+	baseKey, err := KeyFor("heuristic", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string]func() (string, core.Request){
+		"changed Wapp": func() (string, core.Request) {
+			r := base
+			r.Wapp = workload.DGEMM{N: 311}.MFlop()
+			return "heuristic", r
+		},
+		"changed demand": func() (string, core.Request) {
+			r := base
+			r.Demand = 50
+			return "heuristic", r
+		},
+		"changed planner": func() (string, core.Request) {
+			return "star", base
+		},
+		"changed costs": func() (string, core.Request) {
+			r := base
+			r.Costs.AgentWreq *= 2
+			return "heuristic", r
+		},
+		"changed platform": func() (string, core.Request) {
+			r := base
+			r.Platform = r.Platform.Clone()
+			r.Platform.Nodes[0].Power += 1
+			return "heuristic", r
+		},
+	}
+	for name, mutate := range cases {
+		planner, req := mutate()
+		k, err := KeyFor(planner, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == baseKey {
+			t.Errorf("%s: key unchanged", name)
+		}
+	}
+}
+
+func TestCacheHitOnIdenticalRequest(t *testing.T) {
+	cache, err := NewPlanCache(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := testRequest(t, 2)
+	key, err := KeyFor("heuristic", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := cache.Get(key); ok {
+		t.Fatal("hit on empty cache")
+	}
+	plan, err := core.NewHeuristic().Plan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Put(key, plan)
+
+	// An identical request re-hashes to the same key and hits.
+	key2, err := KeyFor("heuristic", testRequest(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := cache.Get(key2)
+	if !ok {
+		t.Fatal("identical request missed")
+	}
+	if got != plan {
+		t.Error("hit returned a different plan")
+	}
+	if hits, misses := cache.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("stats = (%d hits, %d misses), want (1, 1)", hits, misses)
+	}
+}
+
+func TestCacheMissOnChangedWapp(t *testing.T) {
+	cache, err := NewPlanCache(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := testRequest(t, 3)
+	key, err := KeyFor("heuristic", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.NewHeuristic().Plan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Put(key, plan)
+
+	changed := req
+	changed.Wapp = workload.DGEMM{N: 500}.MFlop()
+	changedKey, err := KeyFor("heuristic", changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Get(changedKey); ok {
+		t.Error("changed-Wapp request hit the cache")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	cache, err := NewPlanCache(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &core.Plan{Planner: "stub"}
+	cache.Put("a", plan)
+	cache.Put("b", plan)
+	// Touch "a" so "b" becomes least recently used.
+	if _, ok := cache.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	cache.Put("c", plan) // evicts "b"
+
+	if cache.Len() != 2 {
+		t.Errorf("len = %d, want 2", cache.Len())
+	}
+	if !cache.Contains("a") {
+		t.Error("recently used entry evicted")
+	}
+	if cache.Contains("b") {
+		t.Error("LRU entry survived eviction")
+	}
+	if !cache.Contains("c") {
+		t.Error("new entry missing")
+	}
+}
+
+func TestCacheRejectsBadCapacity(t *testing.T) {
+	if _, err := NewPlanCache(0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+}

@@ -1,0 +1,106 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"adept/internal/stats"
+)
+
+// latencyWindow bounds the per-endpoint latency sample reservoir. A ring
+// of recent samples keeps percentile reporting O(window) and makes the
+// metrics reflect current behaviour rather than the daemon's whole life.
+const latencyWindow = 2048
+
+// Metrics aggregates the daemon's request counters and latency
+// percentiles. All methods are safe for concurrent use.
+type Metrics struct {
+	mu       sync.Mutex
+	requests map[string]uint64 // per-endpoint request counts
+	errors   map[string]uint64 // per-endpoint non-2xx counts
+	latency  map[string]*ring  // per-endpoint latency samples (seconds)
+	started  time.Time
+}
+
+type ring struct {
+	samples []float64
+	next    int
+}
+
+func (r *ring) add(v float64) {
+	if len(r.samples) < latencyWindow {
+		r.samples = append(r.samples, v)
+		return
+	}
+	r.samples[r.next] = v
+	r.next = (r.next + 1) % latencyWindow
+}
+
+// NewMetrics returns zeroed metrics with the uptime clock started.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		requests: make(map[string]uint64),
+		errors:   make(map[string]uint64),
+		latency:  make(map[string]*ring),
+		started:  time.Now(),
+	}
+}
+
+// Observe records one request against endpoint with its service latency
+// and whether it failed (non-2xx status).
+func (m *Metrics) Observe(endpoint string, d time.Duration, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[endpoint]++
+	if failed {
+		m.errors[endpoint]++
+	}
+	r, ok := m.latency[endpoint]
+	if !ok {
+		r = &ring{}
+		m.latency[endpoint] = r
+	}
+	r.add(d.Seconds())
+}
+
+// EndpointMetrics is the per-endpoint slice of a metrics report.
+type EndpointMetrics struct {
+	Requests  uint64  `json:"requests"`
+	Errors    uint64  `json:"errors"`
+	P50Millis float64 `json:"p50_ms"`
+	P99Millis float64 `json:"p99_ms"`
+}
+
+// Report is the JSON body served by GET /v1/metrics.
+type Report struct {
+	UptimeSeconds float64                    `json:"uptime_seconds"`
+	Requests      uint64                     `json:"requests"`
+	CacheHits     uint64                     `json:"cache_hits"`
+	CacheMisses   uint64                     `json:"cache_misses"`
+	CacheSize     int                        `json:"cache_size"`
+	Platforms     int                        `json:"platforms"`
+	ActivePlans   int                        `json:"active_plans"`
+	Workers       int                        `json:"workers"`
+	Endpoints     map[string]EndpointMetrics `json:"endpoints"`
+}
+
+// Snapshot renders the counters into a Report; cache/registry/pool gauges
+// are filled in by the caller.
+func (m *Metrics) Snapshot() Report {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rep := Report{
+		UptimeSeconds: time.Since(m.started).Seconds(),
+		Endpoints:     make(map[string]EndpointMetrics, len(m.requests)),
+	}
+	for ep, count := range m.requests {
+		em := EndpointMetrics{Requests: count, Errors: m.errors[ep]}
+		if r := m.latency[ep]; r != nil && len(r.samples) > 0 {
+			em.P50Millis = stats.Percentile(r.samples, 50) * 1e3
+			em.P99Millis = stats.Percentile(r.samples, 99) * 1e3
+		}
+		rep.Requests += count
+		rep.Endpoints[ep] = em
+	}
+	return rep
+}

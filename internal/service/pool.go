@@ -1,0 +1,139 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"adept/internal/core"
+)
+
+// ErrPoolClosed is returned by Submit after Close.
+var ErrPoolClosed = errors.New("service: worker pool closed")
+
+// Pool is a bounded planning worker pool: a fixed set of goroutines
+// executes planning jobs so that an arbitrary number of concurrent HTTP
+// clients cannot fork an arbitrary number of planner runs. Jobs carry the
+// submitter's context; a job cancelled while still queued is abandoned
+// before a worker picks it up, and a running planner observes the same
+// context through its PlanContext poll points.
+type Pool struct {
+	jobs    chan *poolJob
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+	active  atomic.Int64 // jobs currently executing on a worker
+	workers int
+}
+
+type poolJob struct {
+	ctx  context.Context
+	fn   func(context.Context) (*core.Plan, error)
+	done chan poolResult
+}
+
+type poolResult struct {
+	plan *core.Plan
+	err  error
+}
+
+// NewPool starts a pool of the given number of workers with a queue of
+// queueDepth waiting jobs (0 means unbuffered: Submit blocks until a
+// worker is free).
+func NewPool(workers, queueDepth int) (*Pool, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("service: pool needs at least one worker, got %d", workers)
+	}
+	if queueDepth < 0 {
+		return nil, fmt.Errorf("service: negative queue depth %d", queueDepth)
+	}
+	p := &Pool{
+		jobs:    make(chan *poolJob, queueDepth),
+		quit:    make(chan struct{}),
+		workers: workers,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p, nil
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case job := <-p.jobs:
+			p.run(job)
+		}
+	}
+}
+
+func (p *Pool) run(job *poolJob) {
+	// The submitter may have given up while the job sat in the queue.
+	if err := job.ctx.Err(); err != nil {
+		job.done <- poolResult{err: err}
+		return
+	}
+	p.active.Add(1)
+	plan, err := job.fn(job.ctx)
+	p.active.Add(-1)
+	job.done <- poolResult{plan: plan, err: err}
+}
+
+// Submit enqueues fn and blocks until a worker has run it (or the context
+// fires first, whether queued or running — planners poll the same context).
+func (p *Pool) Submit(ctx context.Context, fn func(context.Context) (*core.Plan, error)) (*core.Plan, error) {
+	if p.closed.Load() {
+		return nil, ErrPoolClosed
+	}
+	job := &poolJob{ctx: ctx, fn: fn, done: make(chan poolResult, 1)}
+	select {
+	case p.jobs <- job:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-p.quit:
+		return nil, ErrPoolClosed
+	}
+	select {
+	case res := <-job.done:
+		return res.plan, res.err
+	case <-ctx.Done():
+		// The job may still be queued behind busy workers; give up now —
+		// when a worker eventually dequeues it, run's ctx check discards
+		// it, and the buffered done channel absorbs the orphan result.
+		return nil, ctx.Err()
+	case <-p.quit:
+		// Shutdown while queued or running; the done channel is buffered,
+		// so a worker mid-job can still complete without leaking.
+		return nil, ErrPoolClosed
+	}
+}
+
+// Plan runs planner.PlanContext(ctx, req) on a pool worker.
+func (p *Pool) Plan(ctx context.Context, planner core.Planner, req core.Request) (*core.Plan, error) {
+	return p.Submit(ctx, func(ctx context.Context) (*core.Plan, error) {
+		return planner.PlanContext(ctx, req)
+	})
+}
+
+// Active returns the number of jobs currently executing.
+func (p *Pool) Active() int { return int(p.active.Load()) }
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close stops the workers. Jobs already handed to a worker finish;
+// jobs still queued are dropped (their submitters receive ErrPoolClosed
+// via the quit channel in Submit's select, or hang off their own ctx).
+func (p *Pool) Close() {
+	if !p.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(p.quit)
+	p.wg.Wait()
+}

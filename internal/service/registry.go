@@ -1,0 +1,126 @@
+// Package service turns the one-shot planning pipeline into a long-running
+// planning-as-a-service daemon — the direction the paper's future-work
+// section sketches for ADePT and the role played by the long-lived
+// deployment services of the related work (Flissi & Merle's deployment
+// framework, Dearle et al.'s autonomic middleware).
+//
+// The subsystem has four parts, each usable on its own:
+//
+//   - Registry   — named platform descriptions with CRUD and dir loading
+//   - PlanCache  — content-addressed plan cache with LRU eviction
+//   - Pool       — bounded worker pool running planners under context
+//   - Server     — the HTTP JSON API wiring the three together, plus a
+//     live-deployment endpoint backed by internal/deploy
+//
+// cmd/adeptd is the thin binary around Server; examples/service is a
+// client walkthrough.
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"adept/internal/platform"
+)
+
+// Registry is a concurrency-safe store of named platform descriptions.
+// Plan requests may reference a registered platform by name instead of
+// inlining the full node list, so clients describe their pool once and
+// plan against it many times.
+type Registry struct {
+	mu        sync.RWMutex
+	platforms map[string]*platform.Platform
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{platforms: make(map[string]*platform.Platform)}
+}
+
+// Put validates p and stores it under name, replacing any previous entry.
+// The registry keeps its own clone so later caller mutations cannot leak in.
+func (r *Registry) Put(name string, p *platform.Platform) error {
+	if name == "" {
+		return fmt.Errorf("service: empty platform name")
+	}
+	if p == nil {
+		return fmt.Errorf("service: nil platform %q", name)
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.platforms[name] = p.Clone()
+	return nil
+}
+
+// Get returns a clone of the named platform, or false when absent.
+func (r *Registry) Get(name string) (*platform.Platform, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, ok := r.platforms[name]
+	if !ok {
+		return nil, false
+	}
+	return p.Clone(), true
+}
+
+// Delete removes the named platform, reporting whether it existed.
+func (r *Registry) Delete(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.platforms[name]
+	delete(r.platforms, name)
+	return ok
+}
+
+// Names returns the registered names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.platforms))
+	for name := range r.platforms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of registered platforms.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.platforms)
+}
+
+// LoadDir registers every *.json platform description in dir under its
+// file basename (sans extension). It returns the names registered; a file
+// that fails to parse or validate aborts the load with an error naming it.
+func (r *Registry) LoadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("service: load platforms: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		p, err := platform.LoadJSON(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("service: load %s: %w", e.Name(), err)
+		}
+		name := strings.TrimSuffix(e.Name(), ".json")
+		if err := r.Put(name, p); err != nil {
+			return nil, fmt.Errorf("service: register %s: %w", e.Name(), err)
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -1,0 +1,562 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	gort "runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"adept/internal/baseline"
+	"adept/internal/core"
+	"adept/internal/deploy"
+	"adept/internal/hierarchy"
+	"adept/internal/model"
+	"adept/internal/platform"
+	"adept/internal/runtime"
+	"adept/internal/workload"
+)
+
+// SelectPlanner resolves a planner name to a (stateless, reusable)
+// planner instance. The names match cmd/adept's -planner flag.
+func SelectPlanner(name string) (core.Planner, error) {
+	switch name {
+	case "", "heuristic":
+		return core.NewHeuristic(), nil
+	case "heuristic+swap":
+		return &core.SwapRefiner{Inner: core.NewHeuristic()}, nil
+	case "star":
+		return &baseline.Star{}, nil
+	case "balanced":
+		return &baseline.Balanced{}, nil
+	case "dary":
+		return &baseline.OptimalDAry{}, nil
+	case "exhaustive":
+		return &baseline.Exhaustive{}, nil
+	default:
+		return nil, fmt.Errorf("unknown planner %q", name)
+	}
+}
+
+// PlannerNames lists the names SelectPlanner accepts, for error messages
+// and documentation endpoints.
+func PlannerNames() []string {
+	return []string{"heuristic", "heuristic+swap", "star", "balanced", "dary", "exhaustive"}
+}
+
+// Config tunes the daemon.
+type Config struct {
+	// CacheSize is the plan cache capacity in entries (default 256).
+	CacheSize int
+	// Workers bounds concurrent planner runs (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds planning jobs waiting for a worker (default 64).
+	QueueDepth int
+	// PlanTimeout caps a single planning run (default 30s); clients may
+	// only shorten it via timeout_ms.
+	PlanTimeout time.Duration
+	// MaxDeployDuration caps the load window of POST /v1/deploy
+	// (default 10s).
+	MaxDeployDuration time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	if c.Workers <= 0 {
+		c.Workers = gort.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.PlanTimeout <= 0 {
+		c.PlanTimeout = 30 * time.Second
+	}
+	if c.MaxDeployDuration <= 0 {
+		c.MaxDeployDuration = 10 * time.Second
+	}
+	return c
+}
+
+// Server is the planning daemon: registry + cache + pool behind an HTTP
+// JSON API. Create with New, expose via Handler, release with Close.
+type Server struct {
+	cfg      Config
+	registry *Registry
+	cache    *PlanCache
+	pool     *Pool
+	metrics  *Metrics
+	mux      *http.ServeMux
+}
+
+// New builds a Server with started workers.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	cache, err := NewPlanCache(cfg.CacheSize)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := NewPool(cfg.Workers, cfg.QueueDepth)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		registry: NewRegistry(),
+		cache:    cache,
+		pool:     pool,
+		metrics:  NewMetrics(),
+		mux:      http.NewServeMux(),
+	}
+	s.routes()
+	return s, nil
+}
+
+// Registry exposes the platform registry (e.g. for startup preloading).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Cache exposes the plan cache.
+func (s *Server) Cache() *PlanCache { return s.cache }
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the worker pool.
+func (s *Server) Close() { s.pool.Close() }
+
+func (s *Server) routes() {
+	s.mux.Handle("POST /v1/plan", s.instrument("plan", s.handlePlan))
+	s.mux.Handle("POST /v1/plan/batch", s.instrument("plan_batch", s.handlePlanBatch))
+	s.mux.Handle("GET /v1/platforms", s.instrument("platforms_list", s.handlePlatformList))
+	s.mux.Handle("GET /v1/platforms/{name}", s.instrument("platforms_get", s.handlePlatformGet))
+	s.mux.Handle("PUT /v1/platforms/{name}", s.instrument("platforms_put", s.handlePlatformPut))
+	s.mux.Handle("DELETE /v1/platforms/{name}", s.instrument("platforms_delete", s.handlePlatformDelete))
+	s.mux.Handle("GET /v1/metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.Handle("POST /v1/deploy", s.instrument("deploy", s.handleDeploy))
+}
+
+// statusRecorder captures the response status for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		s.metrics.Observe(endpoint, time.Since(start), rec.status >= 400)
+	})
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// PlanRequest is the JSON body of POST /v1/plan (and each element of a
+// batch). Exactly one of Platform (inline) or PlatformName (registry
+// reference) must be set. The service cost comes from Wapp when positive,
+// else from DgemmN (defaulting to the paper's 310×310 DGEMM).
+type PlanRequest struct {
+	Platform     *platform.Platform `json:"platform,omitempty"`
+	PlatformName string             `json:"platform_name,omitempty"`
+	Planner      string             `json:"planner,omitempty"`
+	Wapp         float64            `json:"wapp,omitempty"`
+	DgemmN       int                `json:"dgemm_n,omitempty"`
+	Demand       float64            `json:"demand,omitempty"`
+	Costs        *model.Costs       `json:"costs,omitempty"`
+	// TimeoutMillis optionally shortens the server-side planning deadline.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// NoCache forces a fresh planning run (the result still refreshes the
+	// cache).
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// PlanResponse is the JSON body answering a plan request.
+type PlanResponse struct {
+	Planner    string  `json:"planner"`
+	Key        string  `json:"key"`
+	Cached     bool    `json:"cached"`
+	Rho        float64 `json:"rho"`
+	Sched      float64 `json:"sched"`
+	Service    float64 `json:"service"`
+	Bottleneck string  `json:"bottleneck"`
+	Capped     float64 `json:"capped"`
+	NodesUsed  int     `json:"nodes_used"`
+	Agents     int     `json:"agents"`
+	Servers    int     `json:"servers"`
+	Depth      int     `json:"depth"`
+	XML        string  `json:"xml"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+}
+
+// resolve turns the wire request into a planner plus core.Request.
+func (s *Server) resolve(pr *PlanRequest) (core.Planner, core.Request, error) {
+	var req core.Request
+	switch {
+	case pr.Platform != nil && pr.PlatformName != "":
+		return nil, req, errors.New("set either platform or platform_name, not both")
+	case pr.Platform != nil:
+		req.Platform = pr.Platform
+	case pr.PlatformName != "":
+		p, ok := s.registry.Get(pr.PlatformName)
+		if !ok {
+			return nil, req, fmt.Errorf("platform %q not registered", pr.PlatformName)
+		}
+		req.Platform = p
+	default:
+		return nil, req, errors.New("missing platform or platform_name")
+	}
+
+	planner, err := SelectPlanner(pr.Planner)
+	if err != nil {
+		return nil, req, fmt.Errorf("%v (have %v)", err, PlannerNames())
+	}
+
+	if pr.Costs != nil {
+		req.Costs = *pr.Costs
+	} else {
+		req.Costs = model.DIETDefaults()
+	}
+	switch {
+	case pr.Wapp > 0:
+		req.Wapp = pr.Wapp
+	case pr.DgemmN > 0:
+		req.Wapp = workload.DGEMM{N: pr.DgemmN}.MFlop()
+	default:
+		req.Wapp = workload.DGEMM{N: 310}.MFlop()
+	}
+	req.Demand = workload.Demand(pr.Demand)
+	if err := req.Validate(); err != nil {
+		return nil, req, err
+	}
+	return planner, req, nil
+}
+
+// plan answers one plan request, consulting the cache first. The resolved
+// core.Request is returned alongside the response so callers that need
+// the model inputs (the deploy handler) do not resolve — and re-hit the
+// registry — a second time.
+func (s *Server) plan(r *http.Request, pr *PlanRequest) (*PlanResponse, core.Request, int, error) {
+	planner, req, err := s.resolve(pr)
+	if err != nil {
+		return nil, req, http.StatusBadRequest, err
+	}
+	key, err := KeyFor(planner.Name(), req)
+	if err != nil {
+		return nil, req, http.StatusInternalServerError, err
+	}
+
+	start := time.Now()
+	cached := false
+	var plan *core.Plan
+	if !pr.NoCache {
+		plan, cached = s.cache.Get(key)
+	}
+	if plan == nil {
+		timeout := s.cfg.PlanTimeout
+		if pr.TimeoutMillis > 0 {
+			if t := time.Duration(pr.TimeoutMillis) * time.Millisecond; t < timeout {
+				timeout = t
+			}
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		plan, err = s.pool.Plan(ctx, planner, req)
+		if err != nil {
+			// A planner failure is a property of the request (pool too big
+			// for the exhaustive search, no feasible deployment, …), not a
+			// server fault — except when the deadline killed it or the
+			// daemon is shutting down.
+			status := http.StatusUnprocessableEntity
+			switch {
+			case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+				status = http.StatusGatewayTimeout
+			case errors.Is(err, ErrPoolClosed):
+				status = http.StatusServiceUnavailable
+			}
+			return nil, req, status, err
+		}
+		s.cache.Put(key, plan)
+	}
+
+	xml, err := plan.XML()
+	if err != nil {
+		return nil, req, http.StatusInternalServerError, err
+	}
+	hs := plan.Hierarchy.ComputeStats()
+	resp := &PlanResponse{
+		Planner:    plan.Planner,
+		Key:        string(key),
+		Cached:     cached,
+		Rho:        plan.Eval.Rho,
+		Sched:      plan.Eval.Sched,
+		Service:    plan.Eval.Service,
+		Bottleneck: plan.Eval.Bottleneck.String(),
+		Capped:     plan.Capped,
+		NodesUsed:  plan.NodesUsed,
+		Agents:     hs.Agents,
+		Servers:    hs.Servers,
+		Depth:      hs.Depth,
+		XML:        xml,
+		ElapsedMS:  float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	return resp, req, http.StatusOK, nil
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var pr PlanRequest
+	if err := decodeBody(r, &pr); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	resp, _, status, err := s.plan(r, &pr)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, status, resp)
+}
+
+// BatchRequest fans one call out over many plan requests — e.g. the same
+// platform across every planner, or one planner across many platforms.
+type BatchRequest struct {
+	Requests []PlanRequest `json:"requests"`
+}
+
+// BatchItem is one element of a batch response: either a plan or an error.
+type BatchItem struct {
+	Plan  *PlanResponse `json:"plan,omitempty"`
+	Error string        `json:"error,omitempty"`
+}
+
+// BatchResponse answers POST /v1/plan/batch; Items is index-aligned with
+// the request slice.
+type BatchResponse struct {
+	Items []BatchItem `json:"items"`
+}
+
+// maxBatch bounds one batch call; larger fan-outs should shard client-side.
+const maxBatch = 256
+
+func (s *Server) handlePlanBatch(w http.ResponseWriter, r *http.Request) {
+	var br BatchRequest
+	if err := decodeBody(r, &br); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if len(br.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(br.Requests) > maxBatch {
+		writeError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(br.Requests), maxBatch)
+		return
+	}
+	items := make([]BatchItem, len(br.Requests))
+	var wg sync.WaitGroup
+	for i := range br.Requests {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Each item planning run is bounded by the shared worker pool,
+			// so a huge batch cannot starve interactive /v1/plan calls of
+			// more than queue positions.
+			resp, _, _, err := s.plan(r, &br.Requests[i])
+			if err != nil {
+				items[i] = BatchItem{Error: err.Error()}
+				return
+			}
+			items[i] = BatchItem{Plan: resp}
+		}(i)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, BatchResponse{Items: items})
+}
+
+func (s *Server) handlePlatformList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"platforms": s.registry.Names()})
+}
+
+func (s *Server) handlePlatformGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	p, ok := s.registry.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "platform %q not registered", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, p)
+}
+
+func (s *Server) handlePlatformPut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	data, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	p, err := platform.ParseJSON(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.registry.Put(name, p); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "nodes": len(p.Nodes)})
+}
+
+func (s *Server) handlePlatformDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.registry.Delete(name) {
+		writeError(w, http.StatusNotFound, "platform %q not registered", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	rep := s.metrics.Snapshot()
+	rep.CacheHits, rep.CacheMisses = s.cache.Stats()
+	rep.CacheSize = s.cache.Len()
+	rep.Platforms = s.registry.Len()
+	rep.ActivePlans = s.pool.Active()
+	rep.Workers = s.pool.Workers()
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// DeployRequest is the JSON body of POST /v1/deploy: plan (or reuse a
+// cached plan for) a platform, then actually launch the hierarchy on the
+// in-process middleware runtime and drive closed-loop clients against it.
+type DeployRequest struct {
+	PlanRequest
+	// Transport selects the middleware wire: "chan" (default) or "tcp".
+	Transport string `json:"transport,omitempty"`
+	// Clients is the closed-loop client count (default 2).
+	Clients int `json:"clients,omitempty"`
+	// DurationMillis is the load window (default 500ms, capped by the
+	// server's MaxDeployDuration).
+	DurationMillis int64 `json:"duration_ms,omitempty"`
+}
+
+// DeployResponse reports the live run.
+type DeployResponse struct {
+	Plan         *PlanResponse    `json:"plan"`
+	Transport    string           `json:"transport"`
+	Clients      int              `json:"clients"`
+	DurationMS   float64          `json:"duration_ms"`
+	Completed    int64            `json:"completed"`
+	Failed       int64            `json:"failed"`
+	Timeouts     int64            `json:"timeouts"`
+	Throughput   float64          `json:"throughput_rps"`
+	ServedCounts map[string]int64 `json:"served_counts"`
+}
+
+func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
+	var dr DeployRequest
+	if err := decodeBody(r, &dr); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	resp, req, status, err := s.plan(r, &dr.PlanRequest)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+
+	var transport deploy.TransportKind
+	switch dr.Transport {
+	case "", "chan":
+		transport = deploy.TransportChan
+	case "tcp":
+		transport = deploy.TransportTCP
+	default:
+		writeError(w, http.StatusBadRequest, "unknown transport %q (have chan, tcp)", dr.Transport)
+		return
+	}
+	clients := dr.Clients
+	if clients <= 0 {
+		clients = 2
+	}
+	duration := 500 * time.Millisecond
+	if dr.DurationMillis > 0 {
+		duration = time.Duration(dr.DurationMillis) * time.Millisecond
+	}
+	if duration > s.cfg.MaxDeployDuration {
+		duration = s.cfg.MaxDeployDuration
+	}
+
+	// The plan's XML is the hand-off artifact (write_xml), exactly as the
+	// CLI pipeline does it: re-parse, launch, load, stop.
+	h, err := hierarchy.ParseXML(strings.NewReader(resp.XML))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "reparse plan XML: %v", err)
+		return
+	}
+	dep, err := deploy.Launch(h, deploy.Config{
+		Transport: transport,
+		Options: runtime.Options{
+			Costs:     req.Costs,
+			Bandwidth: req.Platform.Bandwidth,
+			Wapp:      req.Wapp,
+			// A workload phrased as a DGEMM dimension runs the real blocked
+			// kernel on every service request; a raw Wapp stays
+			// protocol-only (no modelled sleeps).
+			DgemmN: dr.DgemmN,
+		},
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "launch: %v", err)
+		return
+	}
+	defer dep.Stop()
+
+	stats, err := dep.System.RunClients(clients, duration)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "load: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DeployResponse{
+		Plan:         resp,
+		Transport:    string(transport),
+		Clients:      clients,
+		DurationMS:   float64(duration) / float64(time.Millisecond),
+		Completed:    stats.Completed,
+		Failed:       stats.Failed,
+		Timeouts:     stats.Timeouts,
+		Throughput:   float64(stats.Completed) / stats.Elapsed.Seconds(),
+		ServedCounts: dep.System.ServedCounts(),
+	})
+}

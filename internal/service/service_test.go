@@ -1,0 +1,524 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"adept/internal/core"
+	"adept/internal/model"
+	"adept/internal/platform"
+	"adept/internal/workload"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(Config{CacheSize: 16, Workers: 4, QueueDepth: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func testPlatform(n int) *platform.Platform {
+	p, err := platform.Generate(platform.GenSpec{
+		Name: "svc-test", N: n, Bandwidth: 100, MinPower: 100, MaxPower: 800, Seed: 42,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestPlanEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/plan", PlanRequest{
+		Platform: testPlatform(20),
+		DgemmN:   310,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var pr PlanResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Planner != "heuristic" {
+		t.Errorf("planner = %q, want heuristic", pr.Planner)
+	}
+	if pr.Rho <= 0 {
+		t.Errorf("rho = %g, want positive", pr.Rho)
+	}
+	if pr.Cached {
+		t.Error("first request reported as cached")
+	}
+	if pr.XML == "" {
+		t.Error("missing deployment XML")
+	}
+	if pr.Agents+pr.Servers != pr.NodesUsed {
+		t.Errorf("agents %d + servers %d != nodes_used %d", pr.Agents, pr.Servers, pr.NodesUsed)
+	}
+}
+
+func TestPlanCachedOnRepeat(t *testing.T) {
+	_, ts := newTestServer(t)
+	req := PlanRequest{Platform: testPlatform(20), DgemmN: 310}
+
+	_, body1 := postJSON(t, ts.URL+"/v1/plan", req)
+	var first PlanResponse
+	if err := json.Unmarshal(body1, &first); err != nil {
+		t.Fatal(err)
+	}
+	_, body2 := postJSON(t, ts.URL+"/v1/plan", req)
+	var second PlanResponse
+	if err := json.Unmarshal(body2, &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Error("first request cached")
+	}
+	if !second.Cached {
+		t.Error("repeat request not cached")
+	}
+	if first.Key != second.Key {
+		t.Errorf("keys differ: %s vs %s", first.Key, second.Key)
+	}
+	if first.Rho != second.Rho {
+		t.Errorf("rho differs: %g vs %g", first.Rho, second.Rho)
+	}
+
+	// The hit is visible in /v1/metrics.
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rep Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.CacheHits != 1 {
+		t.Errorf("cache_hits = %d, want 1", rep.CacheHits)
+	}
+	if rep.CacheMisses < 1 {
+		t.Errorf("cache_misses = %d, want >= 1", rep.CacheMisses)
+	}
+	if ep, ok := rep.Endpoints["plan"]; !ok || ep.Requests != 2 {
+		t.Errorf("plan endpoint metrics = %+v, want 2 requests", ep)
+	}
+}
+
+// TestPlanConcurrent exercises the acceptance criterion: many clients
+// planning in parallel against the bounded pool, all receiving the same
+// correct answer.
+func TestPlanConcurrent(t *testing.T) {
+	_, ts := newTestServer(t)
+	const clients = 16
+	req := PlanRequest{Platform: testPlatform(30), DgemmN: 310}
+
+	var wg sync.WaitGroup
+	rhos := make([]float64, clients)
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			data, _ := json.Marshal(req)
+			resp, err := http.Post(ts.URL+"/v1/plan", "application/json", bytes.NewReader(data))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			var pr PlanResponse
+			if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+				errs[i] = err
+				return
+			}
+			rhos[i] = pr.Rho
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	for i := 1; i < clients; i++ {
+		if rhos[i] != rhos[0] {
+			t.Errorf("client %d rho %g != client 0 rho %g", i, rhos[i], rhos[0])
+		}
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	cases := []struct {
+		name string
+		body any
+		want int
+	}{
+		{"no platform", PlanRequest{DgemmN: 310}, http.StatusBadRequest},
+		{"both platforms", PlanRequest{Platform: testPlatform(5), PlatformName: "x"}, http.StatusBadRequest},
+		{"unknown planner", PlanRequest{Platform: testPlatform(5), Planner: "quantum"}, http.StatusBadRequest},
+		{"unregistered name", PlanRequest{PlatformName: "nope"}, http.StatusBadRequest},
+		{"one node", PlanRequest{Platform: platform.Homogeneous("tiny", 1, 100, 100)}, http.StatusBadRequest},
+		{"garbage json", "{not json", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		var resp *http.Response
+		if s, ok := tc.body.(string); ok {
+			var err error
+			resp, err = http.Post(ts.URL+"/v1/plan", "application/json", bytes.NewReader([]byte(s)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+		} else {
+			resp, _ = postJSON(t, ts.URL+"/v1/plan", tc.body)
+		}
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+func TestPlatformCRUD(t *testing.T) {
+	_, ts := newTestServer(t)
+	client := &http.Client{}
+	plat := testPlatform(8)
+	data, err := plat.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// PUT registers.
+	put, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/platforms/lyon", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(put)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT status %d", resp.StatusCode)
+	}
+
+	// GET returns it.
+	resp, err = http.Get(ts.URL + "/v1/platforms/lyon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got platform.Platform
+	err = json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Nodes) != len(plat.Nodes) {
+		t.Errorf("GET returned %d nodes, want %d", len(got.Nodes), len(plat.Nodes))
+	}
+
+	// List includes it.
+	resp, err = http.Get(ts.URL + "/v1/platforms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list map[string][]string
+	err = json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := list["platforms"]; len(names) != 1 || names[0] != "lyon" {
+		t.Errorf("list = %v, want [lyon]", names)
+	}
+
+	// Planning by registry name works.
+	resp, body := postJSON(t, ts.URL+"/v1/plan", PlanRequest{PlatformName: "lyon", DgemmN: 310})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan by name: status %d: %s", resp.StatusCode, body)
+	}
+
+	// DELETE removes it; a second DELETE 404s.
+	del, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/platforms/lyon", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = client.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("DELETE status %d", resp.StatusCode)
+	}
+	resp, err = client.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("second DELETE status %d, want 404", resp.StatusCode)
+	}
+
+	// GET of a missing platform 404s.
+	resp, err = http.Get(ts.URL + "/v1/platforms/lyon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET after delete status %d, want 404", resp.StatusCode)
+	}
+
+	// PUT of an invalid platform is rejected.
+	put, err = http.NewRequest(http.MethodPut, ts.URL+"/v1/platforms/bad", bytes.NewReader([]byte(`{"name":"bad","bandwidth_mbps":-1,"nodes":[]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = client.Do(put)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid PUT status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	plat := testPlatform(15)
+	br := BatchRequest{Requests: []PlanRequest{
+		{Platform: plat, Planner: "heuristic", DgemmN: 310},
+		{Platform: plat, Planner: "star", DgemmN: 310},
+		{Platform: plat, Planner: "balanced", DgemmN: 310},
+		{Platform: plat, Planner: "bogus", DgemmN: 310}, // per-item error
+	}}
+	resp, body := postJSON(t, ts.URL+"/v1/plan/batch", br)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Items) != 4 {
+		t.Fatalf("items = %d, want 4", len(out.Items))
+	}
+	wantPlanner := []string{"heuristic", "star", "balanced"}
+	for i, want := range wantPlanner {
+		item := out.Items[i]
+		if item.Error != "" || item.Plan == nil {
+			t.Fatalf("item %d: error %q", i, item.Error)
+		}
+		if item.Plan.Planner != want {
+			t.Errorf("item %d planner = %q, want %q", i, item.Plan.Planner, want)
+		}
+		if item.Plan.Rho <= 0 {
+			t.Errorf("item %d rho = %g", i, item.Plan.Rho)
+		}
+	}
+	if out.Items[3].Error == "" {
+		t.Error("bogus planner item did not error")
+	}
+	// The heuristic beats or matches the naive baselines on this pool.
+	if out.Items[0].Plan.Capped < out.Items[2].Plan.Capped {
+		t.Errorf("heuristic (%g) worse than balanced (%g)",
+			out.Items[0].Plan.Capped, out.Items[2].Plan.Capped)
+	}
+
+	// An empty batch is rejected.
+	resp, _ = postJSON(t, ts.URL+"/v1/plan/batch", BatchRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestDeployEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	dr := DeployRequest{
+		PlanRequest: PlanRequest{
+			Platform: platform.Homogeneous("live", 6, 400, 100),
+			Wapp:     5.0,
+		},
+		Clients:        3,
+		DurationMillis: 300,
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/deploy", dr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out DeployResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Completed <= 0 {
+		t.Errorf("completed = %d, want positive", out.Completed)
+	}
+	if out.Failed != 0 {
+		t.Errorf("failed = %d", out.Failed)
+	}
+	if out.Plan == nil || out.Plan.Rho <= 0 {
+		t.Error("missing plan in deploy response")
+	}
+	if len(out.ServedCounts) == 0 {
+		t.Error("no served counts")
+	}
+}
+
+func TestRegistryLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"alpha", "beta"} {
+		if err := testPlatform(6).SaveJSON(dir + "/" + name + ".json"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := NewRegistry()
+	names, err := reg.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "beta" {
+		t.Errorf("names = %v, want [alpha beta]", names)
+	}
+	if _, ok := reg.Get("alpha"); !ok {
+		t.Error("alpha not registered")
+	}
+}
+
+func TestPoolCancellation(t *testing.T) {
+	pool, err := NewPool(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	// Occupy the lone worker so the next submit sits in the queue.
+	release := make(chan struct{})
+	go func() {
+		_, _ = pool.Submit(context.Background(), func(context.Context) (*core.Plan, error) {
+			<-release
+			return nil, nil
+		})
+	}()
+	time.Sleep(20 * time.Millisecond) // let the blocker reach the worker
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err = pool.Submit(ctx, func(context.Context) (*core.Plan, error) {
+		t.Error("cancelled job ran")
+		return nil, nil
+	})
+	close(release)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want deadline exceeded", err)
+	}
+}
+
+// A job that made it into a buffered queue must still unblock its
+// submitter promptly when the context fires, not wait for a worker.
+func TestPoolCancellationWhileQueued(t *testing.T) {
+	pool, err := NewPool(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	release := make(chan struct{})
+	go func() {
+		_, _ = pool.Submit(context.Background(), func(context.Context) (*core.Plan, error) {
+			<-release
+			return nil, nil
+		})
+	}()
+	defer close(release)
+	time.Sleep(20 * time.Millisecond) // blocker occupies the lone worker
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = pool.Submit(ctx, func(context.Context) (*core.Plan, error) {
+		return nil, nil // queued behind the blocker; must never matter
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want deadline exceeded", err)
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Errorf("queued submit blocked %v past its deadline", waited)
+	}
+}
+
+// TestPlannerContextCancellation proves the PlanContext plumbing reaches
+// the planners' inner loops: an already-cancelled context aborts each
+// planner.
+func TestPlannerContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := core.Request{
+		Platform: testPlatform(20),
+		Costs:    model.DIETDefaults(),
+		Wapp:     workload.DGEMM{N: 310}.MFlop(),
+	}
+
+	for _, name := range PlannerNames() {
+		planner, err := SelectPlanner(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name == "exhaustive" {
+			// The exhaustive planner rejects 20 nodes before looking at the
+			// context; give it a pool it accepts but cannot finish fast.
+			small, _ := platform.Generate(platform.GenSpec{
+				Name: "small", N: 8, Bandwidth: 100, MinPower: 100, MaxPower: 800, Seed: 7,
+			})
+			r := req
+			r.Platform = small
+			if _, err := planner.PlanContext(ctx, r); !errors.Is(err, context.Canceled) {
+				t.Errorf("%s: err = %v, want context.Canceled", name, err)
+			}
+			continue
+		}
+		if _, err := planner.PlanContext(ctx, req); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", name, err)
+		}
+	}
+}
