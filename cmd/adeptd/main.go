@@ -11,6 +11,10 @@
 //	DELETE /v1/platforms/{name}  remove a platform
 //	GET    /v1/metrics           counters, cache stats, p50/p99 latency
 //	POST   /v1/deploy            launch a plan on the live middleware
+//	POST   /v1/autonomic/start   deploy + start the MAPE-K control loop
+//	POST   /v1/autonomic/stop    stop the loop and tear the system down
+//	GET    /v1/autonomic/status  adaptation history, patches, throughput
+//	POST   /v1/autonomic/inject  background-load drift on a live server
 //
 // Usage:
 //

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -72,7 +73,7 @@ func run() error {
 		dep.Hierarchy.Name, stats.Agents, stats.Servers, stats.Depth, *transport)
 	fmt.Printf("driving %d clients for %s...\n", *clients, *duration)
 
-	load, err := dep.System.RunClients(*clients, *duration)
+	load, err := dep.System.RunClients(context.Background(), *clients, *duration)
 	if err != nil {
 		return err
 	}

@@ -9,9 +9,11 @@
 // one-shot planning, cmd/adeptd for the planning-as-a-service daemon,
 // cmd/nes and cmd/experiments for the middleware and paper harness):
 //
+//   - internal/autonomic   — MAPE-K control loop: drift detection and
+//     live hierarchy patching over a running deployment
 //   - internal/core        — the planning heuristic (Algorithm 1)
 //   - internal/model       — the steady-state performance model (Eqs. 1–16)
-//   - internal/hierarchy   — deployment trees, adjacency matrices, XML
+//   - internal/hierarchy   — deployment trees, diff/patch engine, XML
 //   - internal/platform    — heterogeneous platform descriptions
 //   - internal/baseline    — star / balanced / d-ary / exhaustive planners
 //   - internal/sim         — discrete-event M(r,s,w) simulator

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -56,7 +57,7 @@ func main() {
 	defer dep.Stop()
 
 	fmt.Println("launched on loopback TCP; driving 4 clients for 2s of real DGEMM work...")
-	stats, err := dep.System.RunClients(4, 2*time.Second)
+	stats, err := dep.System.RunClients(context.Background(), 4, 2*time.Second)
 	if err != nil {
 		log.Fatal(err)
 	}

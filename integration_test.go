@@ -1,6 +1,7 @@
 package adept_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -100,7 +101,7 @@ func TestEndToEndPlanDeployRuntime(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer dep.Stop()
-	load, err := dep.System.RunClients(4, 500*time.Millisecond)
+	load, err := dep.System.RunClients(context.Background(), 4, 500*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,447 @@
+// Package autonomic closes the deployment loop the paper leaves open: a
+// MAPE-K controller over a deployed middleware system. The paper plans a
+// deployment once, offline, for a fixed platform and a known Wapp; its own
+// experiments (§5.3) heterogenise the platform with background load, and
+// its future work asks for statistical forecasting of execution times.
+// This package combines both: Monitor samples observed throughput and
+// per-server service times (feeding the internal/forecast estimators to
+// learn effective per-node powers), Analyze runs a drift detector with
+// hysteresis (power drift, server crash, throughput sag), Plan re-invokes
+// the internal/core planner against the updated platform, and Execute
+// applies the replanned tree as a minimal hierarchy.Diff patch to the
+// running system instead of redeploying from scratch.
+package autonomic
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"adept/internal/core"
+	"adept/internal/hierarchy"
+	"adept/internal/model"
+	"adept/internal/platform"
+	"adept/internal/workload"
+)
+
+// Config tunes the control loop.
+type Config struct {
+	// Planner computes replacement deployments (default: the Algorithm 1
+	// heuristic).
+	Planner core.Planner
+	// Platform is the nominal node pool (powers as benchmarked at deploy
+	// time) plus the link bandwidth. Replanning starts from this pool with
+	// learned effective powers substituted and crashed nodes removed.
+	Platform *platform.Platform
+	// Costs are the middleware cost parameters (Table 3).
+	Costs model.Costs
+	// Wapp is the nominal service cost in MFlop.
+	Wapp float64
+	// Demand optionally caps the planned throughput.
+	Demand workload.Demand
+
+	// Alpha is the EWMA smoothing of the per-server service-time
+	// estimators (default 0.5: drift should be learned in a few windows).
+	Alpha float64
+	// DriftTolerance is the relative effective-vs-rated power deviation
+	// that counts as drift (default 0.25).
+	DriftTolerance float64
+	// SagTolerance is the relative throughput drop below baseline that
+	// counts as a sag (0 means the default 0.25; negative disables sag
+	// detection).
+	SagTolerance float64
+	// Hysteresis is how many consecutive flagged windows are needed before
+	// the loop reacts (default 2).
+	Hysteresis int
+	// CrashWindows is how many consecutive zero-completion windows mark a
+	// server as crashed (0 means the default 3; negative disables crash
+	// detection).
+	CrashWindows int
+	// MinGain is the minimum relative predicted-throughput improvement a
+	// *structural* change must promise (default 0.05). Pure belief fixes
+	// (SetPower) and crash evictions are applied regardless — the first is
+	// nearly free, the second is an availability action.
+	MinGain float64
+	// Cooldown is how many windows the loop observes without reacting
+	// after an adaptation, letting the estimators re-learn (default 2).
+	Cooldown int
+	// MaxCycles bounds Run (0 = until the context is cancelled).
+	MaxCycles int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Planner == nil {
+		c.Planner = core.NewHeuristic()
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.5
+	}
+	if c.DriftTolerance <= 0 {
+		c.DriftTolerance = 0.25
+	}
+	if c.SagTolerance < 0 {
+		c.SagTolerance = 0
+	} else if c.SagTolerance == 0 {
+		c.SagTolerance = 0.25
+	}
+	if c.Hysteresis <= 0 {
+		c.Hysteresis = 2
+	}
+	if c.CrashWindows < 0 {
+		c.CrashWindows = 0
+	} else if c.CrashWindows == 0 {
+		c.CrashWindows = 3
+	}
+	if c.MinGain <= 0 {
+		c.MinGain = 0.05
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Platform == nil {
+		return errors.New("autonomic: nil platform")
+	}
+	if err := c.Platform.Validate(); err != nil {
+		return err
+	}
+	if err := c.Costs.Validate(); err != nil {
+		return err
+	}
+	if c.Wapp <= 0 {
+		return fmt.Errorf("autonomic: Wapp must be positive, got %g", c.Wapp)
+	}
+	return nil
+}
+
+// AdaptationEvent records one applied reconfiguration.
+type AdaptationEvent struct {
+	// Cycle is the monitoring cycle the adaptation happened in.
+	Cycle int `json:"cycle"`
+	// At is the wall-clock time of the adaptation.
+	At time.Time `json:"at"`
+	// Reasons are the Analyze findings that triggered it.
+	Reasons []string `json:"reasons"`
+	// Ops renders the applied patch operations.
+	Ops []string `json:"ops"`
+	// FullRedeploy marks the root-swap fallback instead of a patch.
+	FullRedeploy bool `json:"full_redeploy,omitempty"`
+	// PredictedRhoBefore/After are the §3 model throughputs of the old and
+	// new trees, both evaluated with the learned effective powers.
+	PredictedRhoBefore float64 `json:"predicted_rho_before"`
+	PredictedRhoAfter  float64 `json:"predicted_rho_after"`
+	// Error records a partially applied patch.
+	Error string `json:"error,omitempty"`
+}
+
+// Status is a snapshot of the controller for reporting.
+type Status struct {
+	Running         bool               `json:"running"`
+	Cycles          int                `json:"cycles"`
+	Adaptations     []AdaptationEvent  `json:"adaptations"`
+	PatchOpsApplied int                `json:"patch_ops_applied"`
+	FullRedeploys   int                `json:"full_redeploys"`
+	Throughput      float64            `json:"throughput_rps"`
+	Baseline        float64            `json:"baseline_rps"`
+	EffectivePowers map[string]float64 `json:"effective_powers"`
+	Hierarchy       string             `json:"hierarchy"`
+	Elements        int                `json:"elements"`
+	LastError       string             `json:"last_error,omitempty"`
+}
+
+// Controller runs the MAPE-K loop over one Target.
+type Controller struct {
+	cfg    Config
+	target Target
+
+	mu       sync.Mutex
+	cur      *hierarchy.Hierarchy
+	mon      *Monitor
+	ana      *Analyzer
+	crashed  map[string]bool // evicted nodes, excluded from every later replan
+	running  bool
+	cycles   int
+	cooldown int
+	history  []AdaptationEvent
+	patchOps int
+	redeploy int
+	lastObs  Observation
+	lastErr  string
+}
+
+// New builds a controller managing target, whose currently deployed tree
+// is deployed (the controller clones it; rated powers evolve with applied
+// SetPower patches).
+func New(cfg Config, target Target, deployed *hierarchy.Hierarchy) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if target == nil {
+		return nil, errors.New("autonomic: nil target")
+	}
+	if err := deployed.Validate(hierarchy.Structural); err != nil {
+		return nil, fmt.Errorf("autonomic: deployed tree: %w", err)
+	}
+	return &Controller{
+		cfg:     cfg,
+		target:  target,
+		cur:     deployed.Clone(),
+		mon:     NewMonitor(cfg.Alpha, cfg.Wapp),
+		ana:     NewAnalyzer(cfg.DriftTolerance, cfg.SagTolerance, cfg.Hysteresis, cfg.CrashWindows),
+		crashed: make(map[string]bool),
+	}, nil
+}
+
+// Hierarchy returns the controller's view of the deployed tree.
+func (c *Controller) Hierarchy() *hierarchy.Hierarchy {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cur.Clone()
+}
+
+// Status snapshots the controller state.
+func (c *Controller) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Status{
+		Running:         c.running,
+		Cycles:          c.cycles,
+		Adaptations:     append([]AdaptationEvent(nil), c.history...),
+		PatchOpsApplied: c.patchOps,
+		FullRedeploys:   c.redeploy,
+		Throughput:      c.lastObs.Throughput,
+		Baseline:        c.ana.Baseline(),
+		EffectivePowers: c.mon.EffectivePowers(),
+		Hierarchy:       c.cur.String(),
+		Elements:        c.cur.Len(),
+		LastError:       c.lastErr,
+	}
+}
+
+// Run executes MAPE cycles until the context is cancelled, MaxCycles is
+// reached, or three consecutive cycles fail.
+func (c *Controller) Run(ctx context.Context) error {
+	c.mu.Lock()
+	c.running = true
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.running = false
+		c.mu.Unlock()
+	}()
+	consecutive := 0
+	for i := 0; c.cfg.MaxCycles == 0 || i < c.cfg.MaxCycles; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := c.Step(ctx); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			consecutive++
+			c.mu.Lock()
+			c.lastErr = err.Error()
+			c.mu.Unlock()
+			if consecutive >= 3 {
+				return fmt.Errorf("autonomic: %d consecutive cycle failures, last: %w", consecutive, err)
+			}
+			continue
+		}
+		consecutive = 0
+	}
+	return nil
+}
+
+// Step runs one full MAPE cycle: observe a window, update the knowledge
+// base, analyse for drift, and — when warranted — replan and patch.
+func (c *Controller) Step(ctx context.Context) error {
+	obs, err := c.target.Observe(ctx)
+	if err != nil {
+		return fmt.Errorf("autonomic: monitor: %w", err)
+	}
+
+	c.mu.Lock()
+	c.cycles = c.cycles + 1
+	cycle := c.cycles
+	c.lastObs = obs
+	c.mon.Update(obs)
+	if c.cooldown > 0 {
+		c.cooldown--
+		c.mu.Unlock()
+		return nil
+	}
+	verdict := c.ana.Analyze(c.cur, obs, c.mon)
+	if !verdict.Act() {
+		c.mu.Unlock()
+		return nil
+	}
+	cur := c.cur.Clone()
+	// Once evicted, a crashed node stays out of every future replan: the
+	// verdict only carries this cycle's findings, the ban is permanent
+	// knowledge.
+	for _, name := range verdict.Crashed {
+		c.crashed[name] = true
+	}
+	crashed := make(map[string]bool, len(c.crashed))
+	for name := range c.crashed {
+		crashed[name] = true
+	}
+	c.mu.Unlock()
+
+	targetTree, before, after, err := c.plan(ctx, cur, crashed, verdict)
+	if err != nil {
+		return err
+	}
+	return c.execute(ctx, cycle, cur, targetTree, verdict, before, after)
+}
+
+// plan is the P of MAPE: build the honest platform view (effective powers
+// substituted, crashed nodes evicted), replan, and decide between the
+// replanned structure and an in-place belief fix.
+func (c *Controller) plan(ctx context.Context, cur *hierarchy.Hierarchy, crashed map[string]bool, v Verdict) (target *hierarchy.Hierarchy, rhoBefore, rhoAfter float64, err error) {
+	// Rated powers of deployed elements carry the beliefs already patched
+	// in; pool nodes outside the deployment keep their nominal benchmark.
+	ratedByName := make(map[string]float64, cur.Len())
+	cur.Walk(func(n hierarchy.Node) { ratedByName[n.Name] = n.Power })
+
+	pool := &platform.Platform{
+		Name:      c.cfg.Platform.Name,
+		Bandwidth: c.cfg.Platform.Bandwidth,
+	}
+	for _, n := range c.cfg.Platform.Nodes {
+		if crashed[n.Name] {
+			continue
+		}
+		p := n.Power
+		if rated, ok := ratedByName[n.Name]; ok {
+			p = rated
+		}
+		if eff, ok := v.Drifted[n.Name]; ok {
+			p = eff
+		}
+		pool.Nodes = append(pool.Nodes, platform.Node{Name: n.Name, Power: p})
+	}
+
+	// The honest view of the current deployment: same structure, learned
+	// powers, crashed servers excluded from service capacity. (A tree with
+	// a crashed server cannot be evaluated honestly by the §3 model — the
+	// eviction is forced regardless, so the comparison is skipped then.)
+	honest := cur.Clone()
+	for _, n := range honest.Nodes() {
+		if eff, ok := v.Drifted[n.Name]; ok {
+			if err := honest.SetBacking(n.ID, n.Name, eff); err != nil {
+				return nil, 0, 0, fmt.Errorf("autonomic: %w", err)
+			}
+		}
+	}
+	honestEval := honest.Evaluate(c.cfg.Costs, c.cfg.Platform.Bandwidth, c.cfg.Wapp)
+	rhoBefore = honestEval.Rho
+
+	req := core.Request{
+		Platform: pool,
+		Costs:    c.cfg.Costs,
+		Wapp:     c.cfg.Wapp,
+		Demand:   c.cfg.Demand,
+	}
+	plan, err := c.cfg.Planner.PlanContext(ctx, req)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("autonomic: replan: %w", err)
+	}
+	rhoAfter = plan.Eval.Rho
+
+	// Crash evictions always take the replanned tree (the crashed node
+	// must leave). Otherwise a structural change must beat the honest
+	// current deployment by MinGain; if it does not, the adaptation
+	// reduces to teaching the live system its effective powers.
+	if len(v.Crashed) > 0 || plan.Eval.Rho > rhoBefore*(1+c.cfg.MinGain) {
+		return plan.Hierarchy, rhoBefore, rhoAfter, nil
+	}
+	return honest, rhoBefore, honestEval.Rho, nil
+}
+
+// execute is the E of MAPE: diff, patch the live system, fall back to a
+// full redeploy only when the root changed.
+func (c *Controller) execute(ctx context.Context, cycle int, cur, target *hierarchy.Hierarchy, v Verdict, rhoBefore, rhoAfter float64) error {
+	patch, err := hierarchy.Diff(cur, target)
+	if errors.Is(err, hierarchy.ErrRootChanged) {
+		return c.fullRedeploy(ctx, cycle, target, v, rhoBefore, rhoAfter)
+	}
+	if err != nil {
+		return fmt.Errorf("autonomic: diff: %w", err)
+	}
+	if patch.Len() == 0 {
+		// Nothing to change (e.g. a sag with no better plan): reset the sag
+		// detector so the finding does not re-fire every window, but keep
+		// the drift/crash streaks building.
+		c.mu.Lock()
+		c.ana.ResetSag()
+		c.mu.Unlock()
+		return nil
+	}
+
+	applied, applyErr := c.target.Apply(ctx, patch)
+	// Advance the controller's tree by exactly the applied prefix so the
+	// knowledge base tracks the live system even on partial failure.
+	newCur, reErr := hierarchy.Apply(cur, hierarchy.Patch{Ops: patch.Ops[:applied]})
+	if reErr != nil {
+		return fmt.Errorf("autonomic: state tracking: %w", reErr)
+	}
+
+	event := AdaptationEvent{
+		Cycle:              cycle,
+		At:                 time.Now(),
+		Reasons:            v.Reasons,
+		PredictedRhoBefore: rhoBefore,
+		PredictedRhoAfter:  rhoAfter,
+	}
+	for _, op := range patch.Ops[:applied] {
+		event.Ops = append(event.Ops, op.String())
+	}
+	if applyErr != nil {
+		event.Error = applyErr.Error()
+	}
+
+	c.mu.Lock()
+	c.cur = newCur
+	c.history = append(c.history, event)
+	c.patchOps += applied
+	c.cooldown = c.cfg.Cooldown
+	c.ana.Reset()
+	for _, name := range v.Crashed {
+		c.mon.Forget(name)
+	}
+	c.mu.Unlock()
+
+	if applyErr != nil {
+		return fmt.Errorf("autonomic: patch partially applied (%d/%d ops): %w", applied, patch.Len(), applyErr)
+	}
+	return nil
+}
+
+// fullRedeploy is the teardown fallback for changes a patch cannot express.
+func (c *Controller) fullRedeploy(ctx context.Context, cycle int, target *hierarchy.Hierarchy, v Verdict, rhoBefore, rhoAfter float64) error {
+	if err := c.target.Redeploy(ctx, target); err != nil {
+		return fmt.Errorf("autonomic: full redeploy: %w", err)
+	}
+	c.mu.Lock()
+	c.cur = target.Clone()
+	c.history = append(c.history, AdaptationEvent{
+		Cycle:              cycle,
+		At:                 time.Now(),
+		Reasons:            v.Reasons,
+		FullRedeploy:       true,
+		PredictedRhoBefore: rhoBefore,
+		PredictedRhoAfter:  rhoAfter,
+	})
+	c.redeploy++
+	c.cooldown = c.cfg.Cooldown
+	c.ana.Reset()
+	c.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,86 @@
+package autonomic
+
+import (
+	"sort"
+
+	"adept/internal/forecast"
+)
+
+// Monitor is the M of MAPE-K: it folds per-window service-time
+// observations into the existing forecast estimators (one EWMA per server)
+// and derives each node's *effective* computing power — the learned Wapp/t
+// that replaces the nominal benchmark power once drift sets in. This is
+// the knowledge base the Analyze and Plan stages read.
+type Monitor struct {
+	alpha float64
+	wapp  float64
+	est   map[string]*forecast.EWMA
+}
+
+// NewMonitor returns an empty monitor. alpha is the EWMA smoothing factor
+// in (0, 1]; wapp is the service cost in MFlop used to invert observed
+// seconds into MFlop/s.
+func NewMonitor(alpha, wapp float64) *Monitor {
+	return &Monitor{alpha: alpha, wapp: wapp, est: make(map[string]*forecast.EWMA)}
+}
+
+// Update folds one observation window into the estimators.
+func (m *Monitor) Update(obs Observation) {
+	for name, sec := range obs.ServiceSeconds {
+		if sec <= 0 {
+			continue
+		}
+		e, ok := m.est[name]
+		if !ok {
+			var err error
+			e, err = forecast.NewEWMA(m.alpha)
+			if err != nil {
+				continue // alpha validated at construction; defensive only
+			}
+			m.est[name] = e
+		}
+		e.Observe(sec)
+	}
+}
+
+// EffectivePower returns the learned effective power of a server in
+// MFlop/s, and false while no observation has been folded in yet.
+func (m *Monitor) EffectivePower(name string) (float64, bool) {
+	e, ok := m.est[name]
+	if !ok {
+		return 0, false
+	}
+	sec, ok := e.Predict()
+	if !ok || sec <= 0 {
+		return 0, false
+	}
+	return m.wapp / sec, true
+}
+
+// EffectivePowers returns every learned effective power, for status
+// reporting.
+func (m *Monitor) EffectivePowers() map[string]float64 {
+	out := make(map[string]float64, len(m.est))
+	for name := range m.est {
+		if p, ok := m.EffectivePower(name); ok {
+			out[name] = p
+		}
+	}
+	return out
+}
+
+// Forget drops a server's estimator (the server left the deployment).
+func (m *Monitor) Forget(name string) {
+	delete(m.est, name)
+}
+
+// Names returns the servers with estimators, sorted (deterministic status
+// output).
+func (m *Monitor) Names() []string {
+	names := make([]string, 0, len(m.est))
+	for name := range m.est {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

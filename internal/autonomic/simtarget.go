@@ -1,0 +1,54 @@
+package autonomic
+
+import (
+	"context"
+	"errors"
+
+	"adept/internal/hierarchy"
+	"adept/internal/sim"
+)
+
+// SimTarget adapts a managed simulation (internal/sim.Managed) to the
+// control loop: measurement windows advance the deterministic event clock,
+// so the loop can be exercised and benchmarked end-to-end with injected
+// drift scenarios and zero wall-clock noise.
+type SimTarget struct {
+	// Managed is the running simulated deployment.
+	Managed *sim.Managed
+	// Window is the measurement window in simulated seconds.
+	Window float64
+}
+
+// Observe implements Target by advancing the simulation one window.
+func (t *SimTarget) Observe(ctx context.Context) (Observation, error) {
+	if err := ctx.Err(); err != nil {
+		return Observation{}, err
+	}
+	ws, err := t.Managed.Observe(t.Window)
+	if err != nil {
+		return Observation{}, err
+	}
+	return Observation{
+		Window:         ws.Window,
+		Throughput:     ws.Throughput,
+		Completed:      ws.Completed,
+		Served:         ws.Served,
+		ServiceSeconds: ws.ServiceSeconds,
+	}, nil
+}
+
+// Apply implements Target.
+func (t *SimTarget) Apply(ctx context.Context, p hierarchy.Patch) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return t.Managed.ApplyPatch(p)
+}
+
+// Redeploy implements Target. A simulated deployment cannot be rebuilt
+// mid-run (its clients and scenario are bound to the engine), so a root
+// swap is refused; the controller reports the failure and keeps serving on
+// the old tree.
+func (t *SimTarget) Redeploy(ctx context.Context, h *hierarchy.Hierarchy) error {
+	return errors.New("autonomic: sim target does not support full redeploy")
+}

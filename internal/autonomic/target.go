@@ -1,0 +1,43 @@
+package autonomic
+
+import (
+	"context"
+
+	"adept/internal/hierarchy"
+)
+
+// Observation is one monitoring window: what the Monitor stage sees of the
+// managed system. All times are in the system's virtual seconds (simulated
+// seconds for the sim target, wall-clock scaled by TimeScale for the live
+// runtime), so throughputs are comparable to the §3 model's predictions.
+type Observation struct {
+	// Window is the measurement window length in virtual seconds.
+	Window float64
+	// Throughput is completed requests per virtual second.
+	Throughput float64
+	// Completed counts requests completed inside the window.
+	Completed int64
+	// Served is the per-server completion count inside the window, for
+	// every currently deployed server (zero entries included — a frozen
+	// counter is the crash signal).
+	Served map[string]int64
+	// ServiceSeconds is the per-server mean observed service execution
+	// time inside the window; servers that served nothing are absent.
+	ServiceSeconds map[string]float64
+}
+
+// Target is the managed system the MAPE-K loop observes and reconfigures.
+// Two implementations exist: SimTarget (deterministic discrete-event
+// simulation, for benchmarking the loop end-to-end) and LiveTarget (the
+// goroutine middleware runtime of internal/runtime).
+type Target interface {
+	// Observe runs one measurement window and reports it.
+	Observe(ctx context.Context) (Observation, error)
+	// Apply patches the running system in place, op by op, returning how
+	// many ops were applied before any error.
+	Apply(ctx context.Context, p hierarchy.Patch) (int, error)
+	// Redeploy tears the system down and deploys h from scratch: the
+	// fallback when a patch cannot express the change (root swap).
+	// Implementations may refuse (the sim target does).
+	Redeploy(ctx context.Context, h *hierarchy.Hierarchy) error
+}

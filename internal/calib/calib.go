@@ -16,6 +16,7 @@
 package calib
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -57,7 +58,7 @@ func MeasureMessageSizes(agentPower, serverPower float64, opts runtime.Options, 
 		return MessageSizes{}, err
 	}
 	defer dep.Stop()
-	if _, err := dep.System.RunClients(clients, dur); err != nil {
+	if _, err := dep.System.RunClients(context.Background(), clients, dur); err != nil {
 		return MessageSizes{}, err
 	}
 	ms := dep.Meter.Stats()
@@ -118,7 +119,7 @@ func MeasureWrep(agentPower, serverPower float64, opts runtime.Options, degrees 
 		if err != nil {
 			return WrepCalibration{}, err
 		}
-		if _, err := dep.System.RunClients(2, perDegree); err != nil {
+		if _, err := dep.System.RunClients(context.Background(), 2, perDegree); err != nil {
 			dep.Stop()
 			return WrepCalibration{}, err
 		}

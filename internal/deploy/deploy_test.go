@@ -1,6 +1,7 @@
 package deploy_test
 
 import (
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -42,7 +43,7 @@ func TestLaunchAndDrive(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer dep.Stop()
-	stats, err := dep.System.RunClients(2, 200*time.Millisecond)
+	stats, err := dep.System.RunClients(context.Background(), 2, 200*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestMeteredLaunch(t *testing.T) {
 	if dep.Meter == nil {
 		t.Fatal("metered launch returned nil meter")
 	}
-	if _, err := dep.System.RunClients(1, 100*time.Millisecond); err != nil {
+	if _, err := dep.System.RunClients(context.Background(), 1, 100*time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
 	if dep.Meter.TotalMessages() == 0 {
@@ -121,7 +122,7 @@ func TestTCPLaunch(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer dep.Stop()
-	stats, err := dep.System.RunClients(2, 200*time.Millisecond)
+	stats, err := dep.System.RunClients(context.Background(), 2, 200*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}

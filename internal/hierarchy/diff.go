@@ -1,0 +1,437 @@
+package hierarchy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements the reconfiguration patch engine: the minimal edit
+// script turning one deployment hierarchy into another. The autonomic
+// control loop (internal/autonomic) diffs the currently deployed tree
+// against a freshly replanned one and applies the resulting patch to the
+// live middleware instead of tearing it down — the point of live
+// reconfiguration is that the patch is much smaller than the deployment.
+//
+// Nodes are identified by their physical node name: a node present in both
+// trees is the *same* deployed element, possibly moved (reparented),
+// re-roled (promoted/demoted), or re-rated (power drift learned by the
+// monitor). Nodes present only in the new tree are added; nodes present
+// only in the old tree are removed.
+
+// OpKind enumerates the patch operations.
+type OpKind int
+
+const (
+	// OpPromote converts a deployed server into an agent (so it can accept
+	// children attached by later ops).
+	OpPromote OpKind = iota
+	// OpAdd deploys a new element (agent or server) under Parent.
+	OpAdd
+	// OpReparent moves an element (and, for agents, its whole subtree)
+	// under a new parent.
+	OpReparent
+	// OpSetPower updates the recorded computing power of an element
+	// (effective power learned from observed service times).
+	OpSetPower
+	// OpRemove undeploys a childless element.
+	OpRemove
+	// OpDemote converts a childless agent back into a server.
+	OpDemote
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpPromote:
+		return "promote"
+	case OpAdd:
+		return "add"
+	case OpReparent:
+		return "reparent"
+	case OpSetPower:
+		return "set-power"
+	case OpRemove:
+		return "remove"
+	case OpDemote:
+		return "demote"
+	}
+	return fmt.Sprintf("op(%d)", int(k))
+}
+
+// Op is one edit of a reconfiguration patch.
+type Op struct {
+	// Kind selects the operation.
+	Kind OpKind
+	// Name is the physical node name of the element operated on.
+	Name string
+	// Parent is the destination parent name (OpAdd, OpReparent).
+	Parent string
+	// Power is the node power (OpAdd, OpSetPower).
+	Power float64
+	// Role is the element role (OpAdd only).
+	Role Role
+}
+
+// String renders the op compactly for logs and status reports.
+func (o Op) String() string {
+	switch o.Kind {
+	case OpAdd:
+		return fmt.Sprintf("add %s %s under %s (w=%g)", o.Role, o.Name, o.Parent, o.Power)
+	case OpReparent:
+		return fmt.Sprintf("reparent %s under %s", o.Name, o.Parent)
+	case OpSetPower:
+		return fmt.Sprintf("set-power %s w=%g", o.Name, o.Power)
+	default:
+		return fmt.Sprintf("%s %s", o.Kind, o.Name)
+	}
+}
+
+// Patch is a deterministic edit script: applying it to the hierarchy it was
+// diffed from yields a tree equivalent to the target hierarchy.
+type Patch struct {
+	Ops []Op
+}
+
+// Len returns the number of edits. The autonomic loop compares it against
+// the element count of a full deployment to prove a patch beats a redeploy.
+func (p Patch) Len() int { return len(p.Ops) }
+
+// String renders one op per line.
+func (p Patch) String() string {
+	var b strings.Builder
+	for _, op := range p.Ops {
+		fmt.Fprintf(&b, "%s\n", op)
+	}
+	return b.String()
+}
+
+// ErrRootChanged reports that the two hierarchies have different root
+// elements. A root swap cannot be expressed as an in-place patch (every
+// client addresses the root by name), so callers fall back to a full
+// redeploy.
+var ErrRootChanged = errors.New("hierarchy: root changed; patch cannot apply, full redeploy required")
+
+// Diff computes the minimal deterministic edit script turning old into a
+// tree equivalent to new. Ops are emitted in an order that is always
+// applicable mid-flight on a live system:
+//
+//  1. promotes (existing servers that must accept children),
+//  2. adds, in preorder of the new tree (parents before children),
+//  3. reparents, in preorder of the new tree (destinations are final),
+//  4. power updates, in preorder of the new tree,
+//  5. removes, in postorder of the old tree (children before parents),
+//  6. demotes (agents whose children are all gone by now).
+func Diff(old, new *Hierarchy) (Patch, error) {
+	if err := old.Validate(Structural); err != nil {
+		return Patch{}, fmt.Errorf("hierarchy: diff old: %w", err)
+	}
+	if err := new.Validate(Structural); err != nil {
+		return Patch{}, fmt.Errorf("hierarchy: diff new: %w", err)
+	}
+	if old.MustNode(old.Root()).Name != new.MustNode(new.Root()).Name {
+		return Patch{}, ErrRootChanged
+	}
+
+	oldByName := indexByName(old)
+	newByName := indexByName(new)
+
+	var patch Patch
+
+	// 1. Promotes.
+	new.Walk(func(n Node) {
+		if o, ok := oldByName[n.Name]; ok && o.Role == RoleServer && n.Role == RoleAgent {
+			patch.Ops = append(patch.Ops, Op{Kind: OpPromote, Name: n.Name})
+		}
+	})
+	// 2. Adds (preorder: a new node's parent is either pre-existing or was
+	// added by an earlier op).
+	new.Walk(func(n Node) {
+		if _, ok := oldByName[n.Name]; ok || n.ID == new.Root() {
+			return
+		}
+		parent := new.MustNode(n.Parent).Name
+		patch.Ops = append(patch.Ops, Op{Kind: OpAdd, Name: n.Name, Parent: parent, Power: n.Power, Role: n.Role})
+	})
+	// 3. Reparents.
+	new.Walk(func(n Node) {
+		o, ok := oldByName[n.Name]
+		if !ok || n.ID == new.Root() {
+			return
+		}
+		oldParent := old.MustNode(o.Parent).Name
+		newParent := new.MustNode(n.Parent).Name
+		if oldParent != newParent {
+			patch.Ops = append(patch.Ops, Op{Kind: OpReparent, Name: n.Name, Parent: newParent})
+		}
+	})
+	// 4. Power updates.
+	new.Walk(func(n Node) {
+		if o, ok := oldByName[n.Name]; ok && o.Power != n.Power {
+			patch.Ops = append(patch.Ops, Op{Kind: OpSetPower, Name: n.Name, Power: n.Power})
+		}
+	})
+	// 5. Removes, children before parents.
+	postorderWalk(old, old.Root(), func(n Node) {
+		if _, ok := newByName[n.Name]; !ok {
+			patch.Ops = append(patch.Ops, Op{Kind: OpRemove, Name: n.Name})
+		}
+	})
+	// 6. Demotes.
+	new.Walk(func(n Node) {
+		if o, ok := oldByName[n.Name]; ok && o.Role == RoleAgent && n.Role == RoleServer {
+			patch.Ops = append(patch.Ops, Op{Kind: OpDemote, Name: n.Name})
+		}
+	})
+	return patch, nil
+}
+
+func indexByName(h *Hierarchy) map[string]Node {
+	m := make(map[string]Node, h.Len())
+	h.Walk(func(n Node) { m[n.Name] = n })
+	return m
+}
+
+func postorderWalk(h *Hierarchy, id int, visit func(n Node)) {
+	n := h.MustNode(id)
+	for _, c := range n.Children {
+		postorderWalk(h, c, visit)
+	}
+	visit(n)
+}
+
+// applyNode is the mutable name-keyed form a patch is replayed against.
+type applyNode struct {
+	name     string
+	power    float64
+	role     Role
+	parent   string // "" for the root
+	children []string
+}
+
+// Apply replays the patch on a copy of h and returns the patched hierarchy.
+// h is not modified. Every op is checked against the same invariants the
+// live runtime enforces (parents must be agents, removed nodes must be
+// childless), so a patch that Apply accepts is safe to hand to
+// runtime.System element by element.
+func Apply(h *Hierarchy, p Patch) (*Hierarchy, error) {
+	if err := h.Validate(Structural); err != nil {
+		return nil, fmt.Errorf("hierarchy: apply: %w", err)
+	}
+	nodes := make(map[string]*applyNode, h.Len())
+	var rootName string
+	h.Walk(func(n Node) {
+		an := &applyNode{name: n.Name, power: n.Power, role: n.Role}
+		if n.Parent == -1 {
+			rootName = n.Name
+		} else {
+			an.parent = h.MustNode(n.Parent).Name
+		}
+		for _, c := range n.Children {
+			an.children = append(an.children, h.MustNode(c).Name)
+		}
+		nodes[n.Name] = an
+	})
+
+	get := func(name string) (*applyNode, error) {
+		an, ok := nodes[name]
+		if !ok {
+			return nil, fmt.Errorf("hierarchy: patch references unknown node %q", name)
+		}
+		return an, nil
+	}
+	detach := func(an *applyNode) error {
+		parent, err := get(an.parent)
+		if err != nil {
+			return err
+		}
+		for i, c := range parent.children {
+			if c == an.name {
+				parent.children = append(parent.children[:i], parent.children[i+1:]...)
+				return nil
+			}
+		}
+		return fmt.Errorf("hierarchy: node %q missing from parent %q", an.name, an.parent)
+	}
+	attach := func(an *applyNode, parentName string) error {
+		parent, err := get(parentName)
+		if err != nil {
+			return err
+		}
+		if parent.role != RoleAgent {
+			return fmt.Errorf("hierarchy: patch attaches %q under server %q", an.name, parentName)
+		}
+		parent.children = append(parent.children, an.name)
+		an.parent = parentName
+		return nil
+	}
+
+	for _, op := range p.Ops {
+		switch op.Kind {
+		case OpPromote:
+			an, err := get(op.Name)
+			if err != nil {
+				return nil, err
+			}
+			if an.role != RoleServer {
+				return nil, fmt.Errorf("hierarchy: promote %q: not a server", op.Name)
+			}
+			an.role = RoleAgent
+		case OpAdd:
+			if _, dup := nodes[op.Name]; dup {
+				return nil, fmt.Errorf("hierarchy: add %q: already deployed", op.Name)
+			}
+			an := &applyNode{name: op.Name, power: op.Power, role: op.Role}
+			if err := attach(an, op.Parent); err != nil {
+				return nil, err
+			}
+			nodes[op.Name] = an
+		case OpReparent:
+			an, err := get(op.Name)
+			if err != nil {
+				return nil, err
+			}
+			if an.parent == "" {
+				return nil, fmt.Errorf("hierarchy: reparent %q: is the root", op.Name)
+			}
+			if err := detach(an); err != nil {
+				return nil, err
+			}
+			if err := attach(an, op.Parent); err != nil {
+				return nil, err
+			}
+		case OpSetPower:
+			an, err := get(op.Name)
+			if err != nil {
+				return nil, err
+			}
+			if op.Power <= 0 {
+				return nil, fmt.Errorf("hierarchy: set-power %q: non-positive power %g", op.Name, op.Power)
+			}
+			an.power = op.Power
+		case OpRemove:
+			an, err := get(op.Name)
+			if err != nil {
+				return nil, err
+			}
+			if len(an.children) != 0 {
+				return nil, fmt.Errorf("hierarchy: remove %q: still has %d children", op.Name, len(an.children))
+			}
+			if an.parent == "" {
+				return nil, fmt.Errorf("hierarchy: remove %q: is the root", op.Name)
+			}
+			if err := detach(an); err != nil {
+				return nil, err
+			}
+			delete(nodes, op.Name)
+		case OpDemote:
+			an, err := get(op.Name)
+			if err != nil {
+				return nil, err
+			}
+			if an.role != RoleAgent {
+				return nil, fmt.Errorf("hierarchy: demote %q: not an agent", op.Name)
+			}
+			if len(an.children) != 0 {
+				return nil, fmt.Errorf("hierarchy: demote %q: still has %d children", op.Name, len(an.children))
+			}
+			an.role = RoleServer
+		default:
+			return nil, fmt.Errorf("hierarchy: unknown op kind %v", op.Kind)
+		}
+	}
+
+	out := New(h.Name)
+	root, ok := nodes[rootName]
+	if !ok {
+		return nil, errors.New("hierarchy: patch removed the root")
+	}
+	if _, err := out.AddRoot(root.name, root.power); err != nil {
+		return nil, err
+	}
+	var build func(parentID int, an *applyNode) error
+	build = func(parentID int, an *applyNode) error {
+		for _, childName := range an.children {
+			child, err := get(childName)
+			if err != nil {
+				return err
+			}
+			var id int
+			if child.role == RoleAgent {
+				id, err = out.AddAgent(parentID, child.name, child.power)
+			} else {
+				id, err = out.AddServer(parentID, child.name, child.power)
+			}
+			if err != nil {
+				return err
+			}
+			if err := build(id, child); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := build(out.Root(), root); err != nil {
+		return nil, err
+	}
+	if out.Len() != len(nodes) {
+		return nil, fmt.Errorf("hierarchy: patch left %d node(s) unreachable", len(nodes)-out.Len())
+	}
+	if err := out.Validate(Structural); err != nil {
+		return nil, fmt.Errorf("hierarchy: patched tree invalid: %w", err)
+	}
+	return out, nil
+}
+
+// Equivalent reports whether two hierarchies describe the same deployment:
+// same nodes (by name), same roles and powers, same parent/child structure.
+// Child order is ignored — it is an artifact of patch-application order, not
+// a property of the deployment.
+func Equivalent(a, b *Hierarchy) bool {
+	if a.Len() != b.Len() || a.Root() == -1 || b.Root() == -1 {
+		return a.Len() == b.Len() && a.Root() == -1 && b.Root() == -1
+	}
+	bByName := indexByName(b)
+	var eq func(aID, bID int) bool
+	eq = func(aID, bID int) bool {
+		an, bn := a.MustNode(aID), b.MustNode(bID)
+		if an.Name != bn.Name || an.Role != bn.Role || an.Power != bn.Power {
+			return false
+		}
+		if len(an.Children) != len(bn.Children) {
+			return false
+		}
+		aKids := childNames(a, an)
+		bKids := childNames(b, bn)
+		for i := range aKids {
+			if aKids[i] != bKids[i] {
+				return false
+			}
+		}
+		for _, name := range aKids {
+			ac := -1
+			for _, c := range an.Children {
+				if a.MustNode(c).Name == name {
+					ac = c
+					break
+				}
+			}
+			bc := bByName[name].ID
+			if !eq(ac, bc) {
+				return false
+			}
+		}
+		return true
+	}
+	return eq(a.Root(), b.Root())
+}
+
+func childNames(h *Hierarchy, n Node) []string {
+	names := make([]string, 0, len(n.Children))
+	for _, c := range n.Children {
+		names = append(names, h.MustNode(c).Name)
+	}
+	sort.Strings(names)
+	return names
+}

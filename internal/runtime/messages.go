@@ -64,6 +64,29 @@ type ServiceReply struct {
 // Shutdown asks an element's loop to exit.
 type Shutdown struct{}
 
+// Attach asks an agent to start routing scheduling requests to a new child
+// (live reconfiguration: add-server, reparent).
+type Attach struct {
+	// Child is the element name to add to the agent's child list.
+	Child string
+}
+
+// Detach asks an agent to stop routing scheduling requests to a child. The
+// child element itself keeps running until it is drained and deregistered;
+// in-flight requests it already accepted complete normally.
+type Detach struct {
+	// Child is the element name to remove from the agent's child list.
+	Child string
+}
+
+// SetPower updates an element's recorded computing power. Servers fold the
+// new value into their performance predictions immediately, which is how a
+// reconfiguration patch teaches the scheduling phase about learned drift.
+type SetPower struct {
+	// Power is the new power in MFlop/s.
+	Power float64
+}
+
 // Envelope wraps a message with its sender for transports that cannot
 // recover it from the connection.
 type Envelope struct {
@@ -78,6 +101,9 @@ func init() {
 	gob.Register(ServiceRequest{})
 	gob.Register(ServiceReply{})
 	gob.Register(Shutdown{})
+	gob.Register(Attach{})
+	gob.Register(Detach{})
+	gob.Register(SetPower{})
 }
 
 // String renders an envelope compactly for traces.

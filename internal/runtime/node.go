@@ -3,6 +3,7 @@ package runtime
 import (
 	"encoding/gob"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -82,6 +83,10 @@ type agentElem struct {
 
 	pending map[uint64]*replyAgg
 
+	// done is closed when the element loop exits, so reconfiguration can
+	// wait for retirement.
+	done chan struct{}
+
 	sampleMu    sync.Mutex
 	wrepSamples []WrepSample
 }
@@ -96,12 +101,20 @@ type replyAgg struct {
 
 func (a *agentElem) run(inbox <-chan Envelope) {
 	defer a.sys.wg.Done()
+	defer close(a.done)
 	o := a.sys.opts
 	c := o.Costs
 	for env := range inbox {
 		switch msg := env.Msg.(type) {
 		case Shutdown:
 			return
+		case Attach:
+			a.attach(msg.Child)
+		case Detach:
+			a.detach(msg.Child)
+		case SetPower:
+			// Agents have no server-side prediction to refresh; the rated
+			// power lives in the system topology for replanning.
 		case SchedRequest:
 			o.sleepVirtual(c.AgentSreq / o.Bandwidth) // receive request
 			o.sleepVirtual(c.AgentWreq / a.power)     // Wreq
@@ -163,6 +176,30 @@ func (a *agentElem) finish(id uint64, agg *replyAgg) {
 	_ = a.sys.send(a.name, agg.requester, SchedReply{ID: id, Candidates: agg.candidates})
 }
 
+// attach adds a child to the routing list (idempotent). It runs inside the
+// agent's own loop, so the children slice is never touched concurrently.
+func (a *agentElem) attach(child string) {
+	for _, c := range a.children {
+		if c == child {
+			return
+		}
+	}
+	a.children = append(a.children, child)
+}
+
+// detach removes a child from the routing list. Aggregations already in
+// flight keep their original fan-out count; a reply from the detached child
+// is still accepted, and the scheduling timeout covers the case where it
+// never arrives.
+func (a *agentElem) detach(child string) {
+	for i, c := range a.children {
+		if c == child {
+			a.children = append(a.children[:i], a.children[i+1:]...)
+			return
+		}
+	}
+}
+
 // recordWrep stores one timed reply-treatment sample for calibration.
 func (a *agentElem) recordWrep(d time.Duration) {
 	a.sampleMu.Lock()
@@ -180,32 +217,79 @@ func (a *agentElem) recordWrep(d time.Duration) {
 type serverElem struct {
 	sys   *System
 	name  string
-	power float64
+	power float64 // physical speed (MFlop/s) the node actually delivers
+
+	// ratedBits is the power the server *believes* it has and folds into
+	// its scheduling-phase predictions (float64 bits). It starts equal to
+	// the physical power and is refreshed by SetPower patches; the gap
+	// between rated and effective speed is exactly the drift the autonomic
+	// loop closes.
+	ratedBits atomic.Uint64
+
+	// bgBits is the background-load factor (float64 bits): the injected
+	// slowdown of §5.3's heterogenisation. Effective speed is
+	// power / factor. Zero bits mean factor 1 (no load).
+	bgBits atomic.Uint64
 
 	pending atomic.Int64 // selected-but-unfinished service requests
 
 	// Served counts completed service requests, for Ni accounting.
 	served atomic.Int64
 
+	// svcMu guards the per-server observed service-time accumulation the
+	// autonomic monitor consumes.
+	svcMu      sync.Mutex
+	svcSeconds float64
+	svcCount   int64
+
+	// lastActive is the unix-nano timestamp of the last processed message,
+	// for the remove-server drain heuristic.
+	lastActive atomic.Int64
+
+	// done is closed when the element loop exits.
+	done chan struct{}
+
 	// crashed servers ignore all traffic (failure injection).
 	crashed atomic.Bool
 }
 
+// rated returns the believed power used in predictions.
+func (s *serverElem) rated() float64 {
+	if bits := s.ratedBits.Load(); bits != 0 {
+		return math.Float64frombits(bits)
+	}
+	return s.power
+}
+
+// loadFactor returns the injected background-load slowdown (>= 1 nominally).
+func (s *serverElem) loadFactor() float64 {
+	if bits := s.bgBits.Load(); bits != 0 {
+		return math.Float64frombits(bits)
+	}
+	return 1
+}
+
 func (s *serverElem) run(inbox <-chan Envelope) {
 	defer s.sys.wg.Done()
+	defer close(s.done)
 	o := s.sys.opts
 	c := o.Costs
 	for env := range inbox {
+		s.lastActive.Store(time.Now().UnixNano())
 		switch msg := env.Msg.(type) {
 		case Shutdown:
 			return
+		case SetPower:
+			if msg.Power > 0 {
+				s.ratedBits.Store(math.Float64bits(msg.Power))
+			}
 		case SchedRequest:
 			if s.crashed.Load() {
 				continue
 			}
 			o.sleepVirtual(c.ServerSreq / o.Bandwidth) // Eq. 3
 			o.sleepVirtual(c.ServerWpre / s.power)     // prediction
-			est := float64(s.pending.Load()+1) * (o.Wapp / s.power)
+			est := float64(s.pending.Load()+1) * (o.Wapp / s.rated())
 			o.sleepVirtual(c.ServerSrep / o.Bandwidth) // Eq. 4
 			_ = s.sys.send(s.name, env.From, SchedReply{
 				ID:         msg.ID,
@@ -217,7 +301,7 @@ func (s *serverElem) run(inbox <-chan Envelope) {
 			}
 			s.pending.Add(1)
 			o.sleepVirtual(c.ServerSreq / o.Bandwidth)
-			err := s.execute(msg)
+			seconds, err := s.execute(msg)
 			s.pending.Add(-1)
 			o.sleepVirtual(c.ServerSrep / o.Bandwidth)
 			reply := ServiceReply{ID: msg.ID, OK: err == nil}
@@ -225,24 +309,62 @@ func (s *serverElem) run(inbox <-chan Envelope) {
 				reply.Err = err.Error()
 			} else {
 				s.served.Add(1)
+				s.recordService(seconds)
 			}
 			_ = s.sys.send(s.name, msg.ReplyTo, reply)
 		default:
 			s.sys.noteError(fmt.Errorf("server %s: unexpected message %T", s.name, env.Msg))
 		}
+		s.lastActive.Store(time.Now().UnixNano())
 	}
 }
 
-// execute performs the service work: a real DGEMM when configured, the
-// calibrated sleep otherwise.
-func (s *serverElem) execute(msg ServiceRequest) error {
+// recordService accumulates one observed service execution time (virtual
+// seconds), the raw signal the autonomic monitor turns into effective
+// per-node power.
+func (s *serverElem) recordService(seconds float64) {
+	s.svcMu.Lock()
+	s.svcSeconds += seconds
+	s.svcCount++
+	s.svcMu.Unlock()
+}
+
+// takeService drains the accumulated service-time observations.
+func (s *serverElem) takeService() (seconds float64, count int64) {
+	s.svcMu.Lock()
+	seconds, count = s.svcSeconds, s.svcCount
+	s.svcSeconds, s.svcCount = 0, 0
+	s.svcMu.Unlock()
+	return seconds, count
+}
+
+// execute performs the service work and reports its duration in virtual
+// seconds: a real DGEMM when configured (measured wall-clock), the
+// calibrated sleep otherwise (the modelled time, scaled by the injected
+// background load).
+func (s *serverElem) execute(msg ServiceRequest) (float64, error) {
 	o := s.sys.opts
 	if n := msg.N; n > 0 && o.DgemmN > 0 {
+		start := time.Now()
 		a := blas.RandomMatrix(n, n, int64(msg.ID))
 		b := blas.RandomMatrix(n, n, int64(msg.ID)+1)
 		out := blas.NewMatrix(n, n)
-		return blas.DgemmBlocked(1, a, b, 0, &out, 0)
+		err := blas.DgemmBlocked(1, a, b, 0, &out, 0)
+		elapsed := time.Since(start).Seconds() * s.loadFactor()
+		// Background load on a real-compute server is modelled as the extra
+		// wall time the co-scheduled job would steal.
+		if extra := elapsed - time.Since(start).Seconds(); extra > 0 {
+			time.Sleep(time.Duration(extra * float64(time.Second)))
+		}
+		// Report in virtual seconds like the calibrated path, so the
+		// monitor's effective-power inversion (Wapp / seconds) sees one
+		// consistent time base regardless of execution mode.
+		if o.TimeScale > 0 {
+			elapsed /= o.TimeScale
+		}
+		return elapsed, err
 	}
-	o.sleepVirtual(o.Wapp / s.power)
-	return nil
+	virtual := o.Wapp * s.loadFactor() / s.power
+	o.sleepVirtual(virtual)
+	return virtual, nil
 }

@@ -1,6 +1,7 @@
 package runtime_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -55,7 +56,7 @@ func TestRuntimeCompletesRequestsOnChanTransport(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sys.Stop()
-	stats, err := sys.RunClients(4, 400*time.Millisecond)
+	stats, err := sys.RunClients(context.Background(), 4, 400*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestRuntimeCompletesRequestsOnTCPTransport(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sys.Stop()
-	stats, err := sys.RunClients(4, 400*time.Millisecond)
+	stats, err := sys.RunClients(context.Background(), 4, 400*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestRuntimeTwoLevelHierarchyRoutesToAllServers(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sys.Stop()
-	stats, err := sys.RunClients(8, 600*time.Millisecond)
+	stats, err := sys.RunClients(context.Background(), 8, 600*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestRuntimeSurvivesServerCrash(t *testing.T) {
 	if err := sys.CrashServer("sed-a"); err != nil {
 		t.Fatal(err)
 	}
-	stats, err := sys.RunClients(2, 800*time.Millisecond)
+	stats, err := sys.RunClients(context.Background(), 2, 800*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestRuntimeRealDgemmExecution(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sys.Stop()
-	stats, err := sys.RunClients(2, 300*time.Millisecond)
+	stats, err := sys.RunClients(context.Background(), 2, 300*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func TestMeteredTransportCountsTraffic(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sys.Stop()
-	if _, err := sys.RunClients(1, 200*time.Millisecond); err != nil {
+	if _, err := sys.RunClients(context.Background(), 1, 200*time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
 	if mt.TotalMessages() == 0 || mt.TotalBytes() == 0 {
@@ -201,5 +202,234 @@ func TestDeployRejectsBadOptions(t *testing.T) {
 	}
 	if _, err := runtime.Deploy(h, runtime.NewChanTransport(), runtime.Options{Bandwidth: 100, Wapp: 0}); err == nil {
 		t.Error("expected error for zero wapp")
+	}
+}
+
+func TestRunClientsCancellable(t *testing.T) {
+	sys, err := runtime.Deploy(buildStar(t, 2), runtime.NewChanTransport(), testOptions(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(100*time.Millisecond, cancel)
+	start := time.Now()
+	stats, err := sys.RunClients(ctx, 2, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took > 3*time.Second {
+		t.Fatalf("cancelled window took %v, want prompt return", took)
+	}
+	if stats.Elapsed >= 10*time.Second {
+		t.Fatalf("stats report the full window (%v) despite cancellation", stats.Elapsed)
+	}
+	t.Logf("cancelled after %v with %d completions", stats.Elapsed, stats.Completed)
+}
+
+// TestCrashDegradationVisibleInSignals injects a leaf crash mid-load and
+// checks that the signal the autonomic Analyze stage consumes is really
+// there: the crashed server's ServedCounts freeze while the survivor's
+// keep growing, and the LoadStats of the window record timeouts.
+func TestCrashDegradationVisibleInSignals(t *testing.T) {
+	opts := testOptions(200)
+	opts.ReplyTimeout = 150 * time.Millisecond
+	sys, err := runtime.Deploy(buildStar(t, 2), runtime.NewChanTransport(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Stop()
+
+	var atCrash map[string]int64
+	done := make(chan struct{})
+	time.AfterFunc(300*time.Millisecond, func() {
+		defer close(done)
+		atCrash = sys.ServedCounts()
+		if err := sys.CrashServer("sed-a"); err != nil {
+			t.Error(err)
+		}
+	})
+	healthy, err := sys.RunClients(context.Background(), 4, 400*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash fires 300ms into this second window: mid-load.
+	degraded, err := sys.RunClients(context.Background(), 4, 1000*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	final := sys.ServedCounts()
+	if atCrash["sed-a"] == 0 && atCrash["sed-b"] == 0 {
+		t.Fatalf("no load before the crash: %v", atCrash)
+	}
+	// In-flight tolerance of one request that was already executing.
+	if final["sed-a"] > atCrash["sed-a"]+1 {
+		t.Errorf("crashed server kept serving: %d -> %d", atCrash["sed-a"], final["sed-a"])
+	}
+	if final["sed-b"] <= atCrash["sed-b"] {
+		t.Errorf("surviving server froze too: %d -> %d", atCrash["sed-b"], final["sed-b"])
+	}
+	// The crashed child wedges every scheduling phase until the agent's
+	// reply timeout: per-window throughput collapses — the LoadStats signal
+	// the autonomic Analyze stage detects.
+	if healthy.Completed == 0 || degraded.Completed == 0 {
+		t.Fatalf("platform wedged entirely: healthy %+v degraded %+v", healthy, degraded)
+	}
+	if degraded.Throughput > healthy.Throughput/2 {
+		t.Errorf("throughput degradation not visible: %.1f -> %.1f req/s",
+			healthy.Throughput, degraded.Throughput)
+	}
+	t.Logf("crash signals: served %v -> %v, throughput %.1f -> %.1f req/s (timeouts %d)",
+		atCrash, final, healthy.Throughput, degraded.Throughput, degraded.Timeouts)
+}
+
+// TestLiveAddRemoveServer grows and shrinks a running deployment under
+// load without redeploying.
+func TestLiveAddRemoveServer(t *testing.T) {
+	sys, err := runtime.Deploy(buildStar(t, 2), runtime.NewChanTransport(), testOptions(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Stop()
+
+	if err := sys.AddServer("agent-0", "sed-x", 400); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := sys.RunClients(context.Background(), 6, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := sys.ServedCounts()
+	if counts["sed-x"] == 0 {
+		t.Errorf("added server served nothing: %v (stats %+v)", counts, stats)
+	}
+	snap, err := sys.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Len() != 4 {
+		t.Fatalf("snapshot has %d nodes, want 4:\n%s", snap.Len(), snap)
+	}
+	if err := snap.Validate(hierarchy.Final); err != nil {
+		t.Fatalf("snapshot invalid after add: %v", err)
+	}
+
+	if err := sys.RemoveServer("sed-b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunClients(context.Background(), 4, 300*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	counts = sys.ServedCounts()
+	if _, still := counts["sed-b"]; still {
+		t.Errorf("removed server still reporting: %v", counts)
+	}
+	snap, err = sys.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Len() != 3 {
+		t.Fatalf("snapshot has %d nodes after removal, want 3:\n%s", snap.Len(), snap)
+	}
+	svc := sys.TakeServiceStats()
+	if svc["sed-a"].Count == 0 && svc["sed-x"].Count == 0 {
+		t.Errorf("no service-time observations after removal: %v", svc)
+	}
+}
+
+// TestLivePatchMatchesDiff replans a different shape, diffs, applies the
+// patch to the live system, and checks the live topology converged to the
+// target tree — the Execute step of the MAPE-K loop in isolation.
+func TestLivePatchMatchesDiff(t *testing.T) {
+	sys, err := runtime.Deploy(buildStar(t, 4), runtime.NewChanTransport(), testOptions(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Stop()
+
+	// Target: sed-a promoted to an agent holding sed-c, sed-d and a new
+	// sed-e; sed-b stays under the root at drifted power.
+	target := hierarchy.New("rt-star")
+	root, _ := target.AddRoot("agent-0", 400)
+	a1, err := target.AddAgent(root, "sed-a", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := target.AddServer(root, "sed-b", 200); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"sed-c", "sed-d"} {
+		if _, err := target.AddServer(a1, name, 400); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := target.AddServer(a1, "sed-e", 300); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := sys.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	patch, err := hierarchy.Diff(snap, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if patch.Len() >= target.Len() {
+		t.Fatalf("patch (%d ops) not smaller than a redeploy (%d elements):\n%s", patch.Len(), target.Len(), patch)
+	}
+	if n, err := sys.ApplyPatch(patch); err != nil {
+		t.Fatalf("applied %d/%d ops: %v", n, patch.Len(), err)
+	}
+	after, err := sys.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hierarchy.Equivalent(after, target) {
+		t.Fatalf("live topology differs from target:\nlive:\n%s\ntarget:\n%s", after, target)
+	}
+	stats, err := sys.RunClients(context.Background(), 6, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed == 0 {
+		t.Fatalf("patched platform serves nothing: %+v, errors %v", stats, sys.Errors())
+	}
+	// The added server is deployed and visible in the Ni accounting; whether
+	// it wins requests depends on the estimates (faster servers may
+	// legitimately absorb the whole load).
+	if _, ok := sys.ServedCounts()["sed-e"]; !ok {
+		t.Errorf("server added by patch missing from ServedCounts: %v", sys.ServedCounts())
+	}
+}
+
+// TestBackgroundLoadSlowsServer checks the drift-injection primitive: a
+// loaded server's observed service time roughly doubles while its
+// predictions (rated power) stay stale until SetPower teaches them.
+func TestBackgroundLoadSlowsServer(t *testing.T) {
+	sys, err := runtime.Deploy(buildStar(t, 2), runtime.NewChanTransport(), testOptions(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Stop()
+	if _, err := sys.RunClients(context.Background(), 4, 300*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	base := sys.TakeServiceStats()
+	if err := sys.SetBackgroundLoad("sed-a", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunClients(context.Background(), 4, 300*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	loaded := sys.TakeServiceStats()
+	if base["sed-a"].Count == 0 || loaded["sed-a"].Count == 0 {
+		t.Fatalf("missing observations: base %v loaded %v", base, loaded)
+	}
+	baseMean := base["sed-a"].Seconds / float64(base["sed-a"].Count)
+	loadedMean := loaded["sed-a"].Seconds / float64(loaded["sed-a"].Count)
+	if loadedMean < 1.5*baseMean {
+		t.Errorf("background load barely visible: %.4fs -> %.4fs", baseMean, loadedMean)
 	}
 }

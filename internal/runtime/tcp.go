@@ -16,7 +16,7 @@ type TCPTransport struct {
 	mu        sync.Mutex
 	listeners map[string]net.Listener
 	addrs     map[string]string
-	boxes     map[string]chan Envelope
+	boxes     map[string]*inbox
 	conns     map[string]*tcpConn
 	closed    bool
 	wg        sync.WaitGroup
@@ -33,7 +33,7 @@ func NewTCPTransport() *TCPTransport {
 	return &TCPTransport{
 		listeners: make(map[string]net.Listener),
 		addrs:     make(map[string]string),
-		boxes:     make(map[string]chan Envelope),
+		boxes:     make(map[string]*inbox),
 		conns:     make(map[string]*tcpConn),
 	}
 }
@@ -53,17 +53,17 @@ func (t *TCPTransport) Register(name string) (<-chan Envelope, error) {
 	if err != nil {
 		return nil, fmt.Errorf("runtime: listen for %q: %w", name, err)
 	}
-	box := make(chan Envelope, inboxSize)
+	box := newInbox()
 	t.listeners[name] = ln
 	t.addrs[name] = ln.Addr().String()
 	t.boxes[name] = box
 
 	t.wg.Add(1)
 	go t.acceptLoop(ln, box)
-	return box, nil
+	return box.ch, nil
 }
 
-func (t *TCPTransport) acceptLoop(ln net.Listener, box chan Envelope) {
+func (t *TCPTransport) acceptLoop(ln net.Listener, box *inbox) {
 	defer t.wg.Done()
 	for {
 		conn, err := ln.Accept()
@@ -80,10 +80,9 @@ func (t *TCPTransport) acceptLoop(ln net.Listener, box chan Envelope) {
 				if err := dec.Decode(&env); err != nil {
 					return
 				}
-				func() {
-					defer func() { _ = recover() }() // box closed during teardown
-					box <- env
-				}()
+				// A send error means the box retired mid-decode; dropping
+				// the message is the teardown semantic.
+				_ = box.send(env)
 			}
 		}()
 	}
@@ -123,6 +122,39 @@ func (t *TCPTransport) Send(from, to string, msg any) error {
 	return nil
 }
 
+// Deregister implements Transport: it closes the element's listener and
+// inbox and drops cached connections to it, freeing the name for reuse.
+func (t *TCPTransport) Deregister(name string) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return errors.New("runtime: transport closed")
+	}
+	box, ok := t.boxes[name]
+	if !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("runtime: element %q not registered", name)
+	}
+	if ln := t.listeners[name]; ln != nil {
+		ln.Close()
+	}
+	delete(t.listeners, name)
+	delete(t.addrs, name)
+	delete(t.boxes, name)
+	suffix := "\x00" + name
+	for key, c := range t.conns {
+		if len(key) >= len(suffix) && key[len(key)-len(suffix):] == suffix {
+			c.conn.Close()
+			delete(t.conns, key)
+		}
+	}
+	t.mu.Unlock()
+	// Decoder goroutines feeding this box drain out once their connections
+	// close; retire() waits for in-flight sends before closing.
+	box.retire()
+	return nil
+}
+
 // Close implements Transport.
 func (t *TCPTransport) Close() error {
 	t.mu.Lock()
@@ -138,12 +170,12 @@ func (t *TCPTransport) Close() error {
 		c.conn.Close()
 	}
 	boxes := t.boxes
-	t.boxes = map[string]chan Envelope{}
+	t.boxes = map[string]*inbox{}
 	t.mu.Unlock()
 
 	t.wg.Wait()
 	for _, box := range boxes {
-		close(box)
+		box.retire()
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Transport delivers envelopes between named elements. Implementations must
@@ -16,6 +17,11 @@ type Transport interface {
 	Register(name string) (<-chan Envelope, error)
 	// Send delivers msg to the named element's inbox.
 	Send(from, to string, msg any) error
+	// Deregister removes a named element and closes its inbox, freeing the
+	// name for a later Register. Live reconfiguration (RemoveServer,
+	// promotion) retires elements this way without tearing the transport
+	// down. Deregistering an unknown name is an error.
+	Deregister(name string) error
 	// Close tears the transport down; pending inboxes are closed.
 	Close() error
 }
@@ -25,17 +31,65 @@ type Transport interface {
 // protocol's request/reply cycles.
 const inboxSize = 1024
 
+// inbox is one element's guarded mailbox: the closed flag and the channel
+// close are synchronised with in-flight sends, so live deregistration (an
+// element retired by a reconfiguration patch) cannot race a sender.
+type inbox struct {
+	mu     sync.RWMutex
+	ch     chan Envelope
+	closed bool
+}
+
+func newInbox() *inbox {
+	return &inbox{ch: make(chan Envelope, inboxSize)}
+}
+
+// send delivers env unless the inbox is already retired. The read lock is
+// held across the (possibly blocking) channel send; close waits for it, and
+// the element keeps draining its channel until close, so senders always
+// make progress.
+func (b *inbox) send(env Envelope) error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return fmt.Errorf("runtime: element retired")
+	}
+	b.ch <- env
+	return nil
+}
+
+// retire closes the channel after in-flight sends complete. A sender can
+// be blocked on a full channel whose owner already exited (teardown of a
+// wedged element) — it then holds the read lock forever, so retire drains
+// messages while spinning for the write lock to free such senders.
+// "Message dropped at teardown" is the correct semantic for anything
+// drained here.
+func (b *inbox) retire() {
+	for !b.mu.TryLock() {
+		select {
+		case <-b.ch:
+		default:
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	if !b.closed {
+		b.closed = true
+		close(b.ch)
+	}
+	b.mu.Unlock()
+}
+
 // ChanTransport is the in-process transport: one buffered channel per
 // element.
 type ChanTransport struct {
 	mu     sync.Mutex
-	boxes  map[string]chan Envelope
+	boxes  map[string]*inbox
 	closed bool
 }
 
 // NewChanTransport returns an empty in-process transport.
 func NewChanTransport() *ChanTransport {
-	return &ChanTransport{boxes: make(map[string]chan Envelope)}
+	return &ChanTransport{boxes: make(map[string]*inbox)}
 }
 
 // Register implements Transport.
@@ -48,15 +102,15 @@ func (t *ChanTransport) Register(name string) (<-chan Envelope, error) {
 	if _, dup := t.boxes[name]; dup {
 		return nil, fmt.Errorf("runtime: element %q already registered", name)
 	}
-	ch := make(chan Envelope, inboxSize)
-	t.boxes[name] = ch
-	return ch, nil
+	b := newInbox()
+	t.boxes[name] = b
+	return b.ch, nil
 }
 
 // Send implements Transport.
 func (t *ChanTransport) Send(from, to string, msg any) error {
 	t.mu.Lock()
-	ch, ok := t.boxes[to]
+	b, ok := t.boxes[to]
 	closed := t.closed
 	t.mu.Unlock()
 	if closed {
@@ -65,26 +119,40 @@ func (t *ChanTransport) Send(from, to string, msg any) error {
 	if !ok {
 		return fmt.Errorf("runtime: unknown element %q", to)
 	}
-	defer func() {
-		// A racing Close may close the inbox under us; sending on a closed
-		// channel panics, and "message dropped at teardown" is the correct
-		// semantic for that race.
-		_ = recover()
-	}()
-	ch <- Envelope{From: from, Msg: msg}
+	return b.send(Envelope{From: from, Msg: msg})
+}
+
+// Deregister implements Transport.
+func (t *ChanTransport) Deregister(name string) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return fmt.Errorf("runtime: transport closed")
+	}
+	b, ok := t.boxes[name]
+	if !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("runtime: element %q not registered", name)
+	}
+	delete(t.boxes, name)
+	t.mu.Unlock()
+	b.retire()
 	return nil
 }
 
 // Close implements Transport.
 func (t *ChanTransport) Close() error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.closed {
+		t.mu.Unlock()
 		return nil
 	}
 	t.closed = true
-	for _, ch := range t.boxes {
-		close(ch)
+	boxes := t.boxes
+	t.boxes = map[string]*inbox{}
+	t.mu.Unlock()
+	for _, b := range boxes {
+		b.retire()
 	}
 	return nil
 }
@@ -140,6 +208,9 @@ func (m *MeteredTransport) Send(from, to string, msg any) error {
 	m.totalMsgs.Add(1)
 	return m.inner.Send(from, to, msg)
 }
+
+// Deregister implements Transport.
+func (m *MeteredTransport) Deregister(name string) error { return m.inner.Deregister(name) }
 
 // Close implements Transport.
 func (m *MeteredTransport) Close() error { return m.inner.Close() }

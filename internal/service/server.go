@@ -93,6 +93,10 @@ type Server struct {
 	pool     *Pool
 	metrics  *Metrics
 	mux      *http.ServeMux
+
+	autoMu       sync.Mutex
+	auto         *autonomicSession
+	autoStarting bool
 }
 
 // New builds a Server with started workers.
@@ -127,8 +131,11 @@ func (s *Server) Cache() *PlanCache { return s.cache }
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops the worker pool.
-func (s *Server) Close() { s.pool.Close() }
+// Close stops the worker pool and any running autonomic session.
+func (s *Server) Close() {
+	s.stopAutonomic()
+	s.pool.Close()
+}
 
 func (s *Server) routes() {
 	s.mux.Handle("POST /v1/plan", s.instrument("plan", s.handlePlan))
@@ -139,6 +146,10 @@ func (s *Server) routes() {
 	s.mux.Handle("DELETE /v1/platforms/{name}", s.instrument("platforms_delete", s.handlePlatformDelete))
 	s.mux.Handle("GET /v1/metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.Handle("POST /v1/deploy", s.instrument("deploy", s.handleDeploy))
+	s.mux.Handle("POST /v1/autonomic/start", s.instrument("autonomic_start", s.handleAutonomicStart))
+	s.mux.Handle("POST /v1/autonomic/stop", s.instrument("autonomic_stop", s.handleAutonomicStop))
+	s.mux.Handle("GET /v1/autonomic/status", s.instrument("autonomic_status", s.handleAutonomicStatus))
+	s.mux.Handle("POST /v1/autonomic/inject", s.instrument("autonomic_inject", s.handleAutonomicInject))
 }
 
 // statusRecorder captures the response status for metrics.
@@ -543,7 +554,7 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 	}
 	defer dep.Stop()
 
-	stats, err := dep.System.RunClients(clients, duration)
+	stats, err := dep.System.RunClients(r.Context(), clients, duration)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "load: %v", err)
 		return

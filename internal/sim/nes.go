@@ -108,11 +108,27 @@ type simAgent struct {
 
 // simServer is a deployed computational server (SeD).
 type simServer struct {
-	dep     *Deployment
-	name    string
-	power   float64
-	res     *Resource
+	dep   *Deployment
+	name  string
+	power float64 // physical speed the node actually delivers
+	res   *Resource
+
+	// rated is the power the server's predictions believe in. It starts at
+	// the physical power; SetPower patches refresh it when drift is
+	// learned. The gap between rated and effective speed is the drift the
+	// autonomic loop detects.
+	rated float64
+
+	// bg is the background-load slowdown factor (1 = unloaded): effective
+	// compute speed is power/bg, the §5.3 heterogenisation applied live.
+	bg float64
+
 	pending int // service requests selected-but-not-finished (for prediction)
+
+	// svcSeconds/svcCount accumulate observed execution times, the
+	// monitoring signal of the autonomic loop.
+	svcSeconds float64
+	svcCount   int64
 }
 
 // entity is the common scheduling-phase interface of agents and servers.
@@ -160,7 +176,7 @@ func Instantiate(eng *Engine, h *hierarchy.Hierarchy, costs model.Costs, bandwid
 	build = func(id int) entity {
 		n := h.MustNode(id)
 		if n.Role == hierarchy.RoleServer {
-			s := &simServer{dep: d, name: n.Name, power: n.Power, res: NewResource(eng)}
+			s := &simServer{dep: d, name: n.Name, power: n.Power, rated: n.Power, bg: 1, res: NewResource(eng)}
 			d.servers = append(d.servers, s)
 			return s
 		}
@@ -278,10 +294,13 @@ func (s *simServer) deliverSched(replyTo func(schedResult)) {
 
 // estimate is this server's current expected completion time for one more
 // service request: the backlog of already-selected requests plus its own
-// execution, normalised by power — the earliest-completion metric DIET's
-// performance prediction feeds into the agents' monitoring database.
+// execution, normalised by the *rated* power — the earliest-completion
+// metric DIET's performance prediction feeds into the agents' monitoring
+// database. Rated power goes stale under background-load drift until a
+// SetPower patch refreshes it: exactly the mis-scheduling the autonomic
+// loop corrects.
 func (s *simServer) estimate() float64 {
-	return float64(s.pending+1) * (s.dep.wapp / s.power)
+	return float64(s.pending+1) * (s.dep.wapp / s.rated)
 }
 
 // --- service phase ----------------------------------------------------
@@ -293,8 +312,11 @@ func (s *simServer) estimate() float64 {
 func (d *Deployment) submitService(s *simServer, wapp float64, onDone func()) {
 	c, bw := d.costs, d.bw
 	s.pending++
-	s.res.Do(c.ServerSreq/bw+wapp/s.power+c.ServerSrep/bw, func() {
+	compute := wapp * s.bg / s.power
+	s.res.Do(c.ServerSreq/bw+compute+c.ServerSrep/bw, func() {
 		s.pending--
+		s.svcSeconds += compute
+		s.svcCount++
 		d.Completed++
 		d.PerServer[s.name]++
 		onDone()
