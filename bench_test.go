@@ -12,6 +12,8 @@ import (
 	"adept/internal/experiments"
 	"adept/internal/model"
 	"adept/internal/platform"
+	"adept/internal/portfolio"
+	"adept/internal/scenario"
 	"adept/internal/service"
 	"adept/internal/sim"
 	"adept/internal/workload"
@@ -126,6 +128,53 @@ func BenchmarkHeuristicPlanLargePool(b *testing.B) {
 		}
 	}
 }
+
+// --- planner scaling benchmarks (the CI bench regression gate) ----------
+//
+// scenarioRequest builds a trace-perturbed platform (the §5.3
+// heterogenised-cluster family) whose deployment grows to the full pool
+// under a DGEMM-1000 workload, so the benchmarks measure the planner's
+// full growth loop, not an early exit.
+// scripts/bench.sh runs the six benchmarks below, writes BENCH_plan.json,
+// and fails when the 5k incremental/naive speedup drops under 10x or when
+// ns/op / allocs regress against a recorded baseline (cmd/benchguard).
+func scenarioRequest(b *testing.B, n int) core.Request {
+	b.Helper()
+	plat, err := (scenario.Spec{Family: scenario.TracePerturbed, N: n, Seed: 7}).Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.Request{
+		Platform: plat,
+		Costs:    model.DIETDefaults(),
+		Wapp:     workload.DGEMM{N: 1000}.MFlop(),
+	}
+}
+
+func benchPlanner(b *testing.B, planner core.Planner, n int) {
+	b.Helper()
+	req := scenarioRequest(b, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := planner.Plan(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeuristicPlan{100,1k,5k} plan through the incremental
+// evaluator; the Naive variants plan through the retained full-recompute
+// reference (the pre-refactor cost profile). Same deployments, different
+// evaluation engines.
+func BenchmarkHeuristicPlan100(b *testing.B)      { benchPlanner(b, core.NewHeuristic(), 100) }
+func BenchmarkHeuristicPlan1k(b *testing.B)       { benchPlanner(b, core.NewHeuristic(), 1000) }
+func BenchmarkHeuristicPlan5k(b *testing.B)       { benchPlanner(b, core.NewHeuristic(), 5000) }
+func BenchmarkHeuristicPlanNaive100(b *testing.B) { benchPlanner(b, core.NewHeuristicNaive(), 100) }
+func BenchmarkHeuristicPlanNaive1k(b *testing.B)  { benchPlanner(b, core.NewHeuristicNaive(), 1000) }
+func BenchmarkHeuristicPlanNaive5k(b *testing.B)  { benchPlanner(b, core.NewHeuristicNaive(), 5000) }
+
+// BenchmarkPortfolioPlan1k races the full stock portfolio on a 1k pool.
+func BenchmarkPortfolioPlan1k(b *testing.B) { benchPlanner(b, portfolio.New(), 1000) }
 
 // BenchmarkAblationHeuristicVsGreedySwap quantifies what the swap-refiner
 // extension adds over the faithful Algorithm 1 (DESIGN.md ablation): the

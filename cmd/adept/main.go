@@ -36,7 +36,7 @@ func main() {
 func run() error {
 	var (
 		platformPath = flag.String("platform", "", "platform description JSON file (required)")
-		plannerName  = flag.String("planner", "heuristic", "planner: heuristic, heuristic+swap, star, balanced, dary, exhaustive")
+		plannerName  = flag.String("planner", "heuristic", "planner: heuristic, heuristic+swap, star, balanced, dary, exhaustive, portfolio")
 		dgemmN       = flag.Int("dgemm", 310, "DGEMM problem dimension defining the service cost")
 		wapp         = flag.Float64("wapp", 0, "service cost in MFlop (overrides -dgemm when set)")
 		demand       = flag.Float64("demand", 0, "client demand in requests/second (0 = maximize)")

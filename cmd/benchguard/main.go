@@ -1,0 +1,277 @@
+// Command benchguard is the planner-benchmark regression gate.
+//
+// It has three modes, composable in one invocation (scripts/bench.sh wires
+// them into CI):
+//
+//	benchguard -parse bench.txt -out BENCH_plan.json
+//	    Parse `go test -bench` output into a JSON summary (ns/op, B/op,
+//	    allocs/op per benchmark, averaged over -count repetitions).
+//
+//	benchguard -new BENCH_plan.json -require-speedup 10 \
+//	    -speedup-pair BenchmarkHeuristicPlanNaive5k:BenchmarkHeuristicPlan5k
+//	    Enforce a minimum within-run speedup ratio (numerator is the slow
+//	    benchmark). Within-run ratios are machine-independent, so this
+//	    gate is stable across laptops and CI runners.
+//
+//	benchguard -base old.json -new new.json -tol 0.20 [-allocs-tol 0.20]
+//	    Fail when any benchmark present in both files regressed by more
+//	    than the tolerance in ns/op or allocs/op. Absolute numbers are
+//	    machine-dependent: compare only files recorded on the same class
+//	    of machine (CI keeps its own rolling baseline via the actions
+//	    cache).
+//
+//	benchguard -base old.json -new new.json -roll-out merged.json
+//	    Write the per-benchmark best-ever merge of the two files: the
+//	    rolling baseline advances only on improvement, so sub-threshold
+//	    regressions cannot ratchet it.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one benchmark's averaged result.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Runs        int     `json:"runs"`
+}
+
+// File is the BENCH_plan.json schema.
+type File struct {
+	Benchmarks map[string]*Metrics `json:"benchmarks"`
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchguard: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	parse := flag.String("parse", "", "path to `go test -bench` output to parse")
+	out := flag.String("out", "BENCH_plan.json", "JSON output path for -parse")
+	newPath := flag.String("new", "", "freshly recorded BENCH_plan.json")
+	basePath := flag.String("base", "", "baseline BENCH_plan.json to compare -new against")
+	tol := flag.Float64("tol", 0.20, "allowed relative regression in ns/op")
+	allocsTol := flag.Float64("allocs-tol", -1, "allowed relative regression in allocs/op (default: same as -tol)")
+	rollOut := flag.String("roll-out", "", "write a best-ever merge of -base and -new (per-benchmark minima) to this path; prevents sub-threshold regressions from ratcheting the rolling baseline")
+	requireSpeedup := flag.Float64("require-speedup", 0, "minimum slow/fast ns/op ratio for every -speedup-pair")
+	var pairs multiFlag
+	flag.Var(&pairs, "speedup-pair", "slowBench:fastBench pair for -require-speedup (repeatable)")
+	flag.Parse()
+
+	if *parse != "" {
+		f, err := parseBenchOutput(*parse)
+		if err != nil {
+			fail("%v", err)
+		}
+		if len(f.Benchmarks) == 0 {
+			fail("no benchmark lines found in %s", *parse)
+		}
+		data, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			fail("%v", err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("benchguard: wrote %d benchmarks to %s\n", len(f.Benchmarks), *out)
+	}
+
+	if *requireSpeedup > 0 {
+		if *newPath == "" {
+			fail("-require-speedup needs -new")
+		}
+		cur := loadFile(*newPath)
+		if len(pairs) == 0 {
+			fail("-require-speedup needs at least one -speedup-pair")
+		}
+		for _, pair := range pairs {
+			slow, fast, ok := strings.Cut(pair, ":")
+			if !ok {
+				fail("malformed -speedup-pair %q (want slow:fast)", pair)
+			}
+			sm, fm := cur.Benchmarks[slow], cur.Benchmarks[fast]
+			if sm == nil || fm == nil {
+				fail("speedup pair %q: benchmark missing from %s", pair, *newPath)
+			}
+			ratio := sm.NsPerOp / fm.NsPerOp
+			fmt.Printf("benchguard: %s / %s = %.1fx (required ≥ %.1fx)\n", slow, fast, ratio, *requireSpeedup)
+			if ratio < *requireSpeedup {
+				fail("speedup %.2fx below required %.2fx", ratio, *requireSpeedup)
+			}
+		}
+	}
+
+	// -roll-out is a merge operation, not a gate: the tolerance compare
+	// runs only when no merge was requested (CI gates first, rolls after).
+	if *basePath != "" && *rollOut == "" {
+		if *newPath == "" {
+			fail("-base needs -new")
+		}
+		if *allocsTol < 0 {
+			*allocsTol = *tol
+		}
+		base, cur := loadFile(*basePath), loadFile(*newPath)
+		regressed := 0
+		compared := 0
+		for name, b := range base.Benchmarks {
+			c, ok := cur.Benchmarks[name]
+			if !ok {
+				fmt.Printf("benchguard: %s missing from new run (skipped)\n", name)
+				continue
+			}
+			compared++
+			if r := rel(c.NsPerOp, b.NsPerOp); r > *tol {
+				fmt.Fprintf(os.Stderr, "benchguard: %s ns/op regressed %.1f%% (%.0f -> %.0f)\n", name, 100*r, b.NsPerOp, c.NsPerOp)
+				regressed++
+			}
+			if r := rel(c.AllocsPerOp, b.AllocsPerOp); r > *allocsTol {
+				fmt.Fprintf(os.Stderr, "benchguard: %s allocs/op regressed %.1f%% (%.0f -> %.0f)\n", name, 100*r, b.AllocsPerOp, c.AllocsPerOp)
+				regressed++
+			}
+		}
+		if regressed > 0 {
+			fail("%d metric(s) regressed beyond tolerance", regressed)
+		}
+		fmt.Printf("benchguard: %d benchmarks within tolerance (ns %.0f%%, allocs %.0f%%) of baseline\n", compared, 100**tol, 100**allocsTol)
+	}
+
+	if *rollOut != "" {
+		if *newPath == "" {
+			fail("-roll-out needs -new")
+		}
+		cur := loadFile(*newPath)
+		merged := &File{Benchmarks: map[string]*Metrics{}}
+		if *basePath != "" {
+			if base, err := os.ReadFile(*basePath); err == nil {
+				var f File
+				if err := json.Unmarshal(base, &f); err == nil {
+					for name, m := range f.Benchmarks {
+						cp := *m
+						merged.Benchmarks[name] = &cp
+					}
+				}
+			}
+		}
+		for name, c := range cur.Benchmarks {
+			b, ok := merged.Benchmarks[name]
+			if !ok {
+				cp := *c
+				merged.Benchmarks[name] = &cp
+				continue
+			}
+			// Keep the best-ever value per metric: a run that passed the
+			// tolerance gate but was slightly slower must not become the
+			// new yardstick, or sub-threshold regressions compound.
+			b.NsPerOp = min(b.NsPerOp, c.NsPerOp)
+			b.BytesPerOp = min(b.BytesPerOp, c.BytesPerOp)
+			b.AllocsPerOp = min(b.AllocsPerOp, c.AllocsPerOp)
+			b.Runs = c.Runs
+		}
+		data, err := json.MarshalIndent(merged, "", "  ")
+		if err != nil {
+			fail("%v", err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*rollOut, data, 0o644); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("benchguard: rolled best-ever baseline (%d benchmarks) to %s\n", len(merged.Benchmarks), *rollOut)
+	}
+}
+
+// rel returns the relative increase of cur over base. The denominator is
+// floored at one unit so a zero baseline (e.g. 0 allocs/op) still gates:
+// rel(1000, 0) = 1000, not 0.
+func rel(cur, base float64) float64 {
+	if base < 1 {
+		base = 1
+	}
+	return (cur - base) / base
+}
+
+func loadFile(path string) *File {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		fail("%s: %v", path, err)
+	}
+	return &f
+}
+
+// parseBenchOutput reads standard `go test -bench -benchmem` output.
+// Repeated lines for the same benchmark (-count > 1) are averaged.
+func parseBenchOutput(path string) (*File, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	f := &File{Benchmarks: map[string]*Metrics{}}
+	sums := map[string]*Metrics{}
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// "BenchmarkName-8  N  123 ns/op  45 B/op  6 allocs/op"
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		m := sums[name]
+		if m == nil {
+			m = &Metrics{}
+			sums[name] = m
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsPerOp += v
+			case "B/op":
+				m.BytesPerOp += v
+			case "allocs/op":
+				m.AllocsPerOp += v
+			}
+		}
+		m.Runs++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for name, m := range sums {
+		runs := float64(m.Runs)
+		f.Benchmarks[name] = &Metrics{
+			NsPerOp:     m.NsPerOp / runs,
+			BytesPerOp:  m.BytesPerOp / runs,
+			AllocsPerOp: m.AllocsPerOp / runs,
+			Runs:        m.Runs,
+		}
+	}
+	return f, nil
+}
+
+// multiFlag collects repeated string flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }

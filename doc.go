@@ -11,10 +11,14 @@
 //
 //   - internal/autonomic   — MAPE-K control loop: drift detection and
 //     live hierarchy patching over a running deployment
-//   - internal/core        — the planning heuristic (Algorithm 1)
+//   - internal/core        — the planning heuristic (Algorithm 1) and the
+//     incremental placement evaluator its hot path plans through
 //   - internal/model       — the steady-state performance model (Eqs. 1–16)
 //   - internal/hierarchy   — deployment trees, diff/patch engine, XML
 //   - internal/platform    — heterogeneous platform descriptions
+//   - internal/scenario    — declarative platform-family generators
+//     (star, bimodal, power-law, clustered, trace-perturbed)
+//   - internal/portfolio   — parallel planner race returning the best plan
 //   - internal/baseline    — star / balanced / d-ary / exhaustive planners
 //   - internal/sim         — discrete-event M(r,s,w) simulator
 //   - internal/runtime     — concurrent goroutine middleware (chan/TCP)

@@ -7,9 +7,10 @@
 // per-server service times (feeding the internal/forecast estimators to
 // learn effective per-node powers), Analyze runs a drift detector with
 // hysteresis (power drift, server crash, throughput sag), Plan re-invokes
-// the internal/core planner against the updated platform, and Execute
-// applies the replanned tree as a minimal hierarchy.Diff patch to the
-// running system instead of redeploying from scratch.
+// a planner — by default the internal/portfolio race of every stock
+// planner — against the updated platform, and Execute applies the
+// replanned tree as a minimal hierarchy.Diff patch to the running system
+// instead of redeploying from scratch.
 package autonomic
 
 import (
@@ -23,13 +24,14 @@ import (
 	"adept/internal/hierarchy"
 	"adept/internal/model"
 	"adept/internal/platform"
+	"adept/internal/portfolio"
 	"adept/internal/workload"
 )
 
 // Config tunes the control loop.
 type Config struct {
-	// Planner computes replacement deployments (default: the Algorithm 1
-	// heuristic).
+	// Planner computes replacement deployments (default: the portfolio
+	// race, whose throughput dominates every individual stock planner).
 	Planner core.Planner
 	// Platform is the nominal node pool (powers as benchmarked at deploy
 	// time) plus the link bandwidth. Replanning starts from this pool with
@@ -73,7 +75,7 @@ type Config struct {
 
 func (c Config) withDefaults() Config {
 	if c.Planner == nil {
-		c.Planner = core.NewHeuristic()
+		c.Planner = portfolio.New()
 	}
 	if c.Alpha <= 0 || c.Alpha > 1 {
 		c.Alpha = 0.5
@@ -357,9 +359,14 @@ func (c *Controller) plan(ctx context.Context, cur *hierarchy.Hierarchy, crashed
 
 	// Crash evictions always take the replanned tree (the crashed node
 	// must leave). Otherwise a structural change must beat the honest
-	// current deployment by MinGain; if it does not, the adaptation
-	// reduces to teaching the live system its effective powers.
+	// current deployment by MinGain; if it does not — or if it would swap
+	// the root on a target that cannot rebuild from scratch — the
+	// adaptation reduces to teaching the live system its effective powers.
 	if len(v.Crashed) > 0 || plan.Eval.Rho > rhoBefore*(1+c.cfg.MinGain) {
+		rootSwap := plan.Hierarchy.MustNode(plan.Hierarchy.Root()).Name != cur.MustNode(cur.Root()).Name
+		if rootSwap && len(v.Crashed) == 0 && !c.target.CanRedeploy() {
+			return honest, rhoBefore, honestEval.Rho, nil
+		}
 		return plan.Hierarchy, rhoBefore, rhoAfter, nil
 	}
 	return honest, rhoBefore, honestEval.Rho, nil

@@ -89,6 +89,10 @@ func (t *LiveTarget) Apply(ctx context.Context, p hierarchy.Patch) (int, error) 
 	return t.System().ApplyPatch(p)
 }
 
+// CanRedeploy implements Target: possible whenever a transport factory
+// was provided.
+func (t *LiveTarget) CanRedeploy() bool { return t.NewTransport != nil }
+
 // Redeploy implements Target: stop the old system, deploy h on a fresh
 // transport, and swap.
 func (t *LiveTarget) Redeploy(ctx context.Context, h *hierarchy.Hierarchy) error {

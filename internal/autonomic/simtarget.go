@@ -52,3 +52,6 @@ func (t *SimTarget) Apply(ctx context.Context, p hierarchy.Patch) (int, error) {
 func (t *SimTarget) Redeploy(ctx context.Context, h *hierarchy.Hierarchy) error {
 	return errors.New("autonomic: sim target does not support full redeploy")
 }
+
+// CanRedeploy implements Target: a simulated deployment cannot be rebuilt.
+func (t *SimTarget) CanRedeploy() bool { return false }

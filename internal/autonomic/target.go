@@ -40,4 +40,9 @@ type Target interface {
 	// fallback when a patch cannot express the change (root swap).
 	// Implementations may refuse (the sim target does).
 	Redeploy(ctx context.Context, h *hierarchy.Hierarchy) error
+	// CanRedeploy reports whether Redeploy is supported. The planning step
+	// consults it up front: on a target that cannot rebuild, a replanned
+	// tree demanding a root swap is discarded in favour of the in-place
+	// belief fix instead of failing the cycle at execute time.
+	CanRedeploy() bool
 }

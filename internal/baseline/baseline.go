@@ -14,6 +14,7 @@ import (
 
 	"adept/internal/core"
 	"adept/internal/hierarchy"
+	"adept/internal/model"
 	"adept/internal/platform"
 )
 
@@ -136,6 +137,13 @@ func (b *Balanced) Plan(req core.Request) (*core.Plan, error) {
 // (fewest nodes on ties). On heterogeneous platforms it still runs —
 // treating the pool in decreasing-power order with agents drawn first — but
 // optimality only holds for homogeneous pools.
+//
+// Each (degree, levels) candidate is scored in O(1) from power prefix sums
+// instead of being materialised: agents of one level form contiguous runs
+// of the sorted pool with a common degree, and agent throughput is monotone
+// in power, so the weakest (last) agent of each run carries the level's
+// scheduling minimum; the service term needs only the server count and
+// power sum. Only the winning candidate is built as a hierarchy.
 type OptimalDAry struct{}
 
 // Name implements core.Planner.
@@ -153,20 +161,57 @@ func (o *OptimalDAry) PlanContext(ctx context.Context, req core.Request) (*core.
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
+	c, bw, wapp := req.Costs, req.Platform.Bandwidth, req.Wapp
 	nodes := req.Platform.SortByPowerDesc()
 	n := len(nodes)
 
-	var best *core.Plan
-	consider := func(p *core.Plan, err error) {
-		if err != nil {
-			return
+	prefix := make([]float64, n+1)
+	for i, nd := range nodes {
+		prefix[i+1] = prefix[i] + nd.Power
+	}
+	// numTable[k] is the Eq. 10 numerator 1 + k·Wpre/Wapp accumulated
+	// sequentially, matching model.ServerCompTime's summation.
+	numTable := make([]float64, n+1)
+	numTable[0] = 1
+	for k := 1; k <= n; k++ {
+		numTable[k] = numTable[k-1] + c.ServerWpre/wapp
+	}
+	srxstx := model.ServerReceiveTime(c, bw) + model.ServerSendTime(c, bw)
+
+	// evalCand scores one candidate without building it: agents are
+	// nodes[0:agents) (upper levels all degree d, bottom level round-robin
+	// ceil/floor), servers are nodes[agents:agents+servers).
+	evalCand := func(d, levels, agents, bottom, servers int) float64 {
+		sched := math.Inf(1)
+		if upper := agents - bottom; upper > 0 {
+			if t := model.AgentThroughput(c, bw, nodes[upper-1].Power, d); t < sched {
+				sched = t
+			}
 		}
-		if best == nil || p.Capped > best.Capped ||
-			(p.Capped == best.Capped && p.NodesUsed < best.NodesUsed) {
-			best = p
+		ceilCnt := servers % bottom
+		floorDeg := servers / bottom
+		if ceilCnt > 0 {
+			if t := model.AgentThroughput(c, bw, nodes[agents-bottom+ceilCnt-1].Power, floorDeg+1); t < sched {
+				sched = t
+			}
 		}
+		if floorDeg > 0 {
+			if t := model.AgentThroughput(c, bw, nodes[agents-1].Power, floorDeg); t < sched {
+				sched = t
+			}
+		}
+		// Weakest server carries the prediction minimum (monotone in power).
+		if t := model.ServerPredictionThroughput(c, bw, nodes[agents+servers-1].Power); t < sched {
+			sched = t
+		}
+		den := (prefix[agents+servers] - prefix[agents]) / wapp
+		service := 1 / (srxstx + numTable[servers]/den)
+		return math.Min(sched, service)
 	}
 
+	bestCapped := math.Inf(-1)
+	bestUsed := 0
+	bestD, bestLevels, bestServers := 0, 0, 0
 	for d := 1; d <= n-1; d++ {
 		if err := core.CheckContext(ctx, o.Name()); err != nil {
 			return nil, err
@@ -194,17 +239,22 @@ func (o *OptimalDAry) PlanContext(ctx context.Context, req core.Request) (*core.
 			if levels > 1 && (d < 2 || servers < 2*bottom) {
 				continue
 			}
-			h, err := buildDAry(req.Platform.Name, nodes, d, levels, servers)
-			if err != nil {
-				continue
+			capped := req.Demand.Cap(evalCand(d, levels, agents, bottom, servers))
+			used := agents + servers
+			if capped > bestCapped || (capped == bestCapped && used < bestUsed) {
+				bestCapped, bestUsed = capped, used
+				bestD, bestLevels, bestServers = d, levels, servers
 			}
-			consider(core.Finalize(o.Name(), req, h))
 		}
 	}
-	if best == nil {
+	if bestD == 0 {
 		return nil, fmt.Errorf("baseline: optimal-dary found no feasible deployment for %d nodes", n)
 	}
-	return best, nil
+	h, err := buildDAry(req.Platform.Name, nodes, bestD, bestLevels, bestServers)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: optimal-dary rebuild: %w", err)
+	}
+	return core.Finalize(o.Name(), req, h)
 }
 
 // agentCount returns 1 + d + d² + … for `levels` agent levels.

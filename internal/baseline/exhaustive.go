@@ -3,6 +3,7 @@ package baseline
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"adept/internal/core"
 	"adept/internal/hierarchy"
@@ -22,6 +23,11 @@ const parentUnused = -2
 // demand-capped throughput, breaking ties towards fewer nodes. It is the
 // ground-truth optimum for the small heterogeneous pools used in tests and
 // benchmarks.
+//
+// The enumeration shares one scratch arena across all candidate vectors and
+// maintains child counts incrementally along the recursion, so evaluating a
+// leaf allocates nothing — the dominant cost of the pre-refactor version
+// was rebuilding per-vector children/agent/server slices on the heap.
 type Exhaustive struct{}
 
 // Name implements core.Planner.
@@ -38,6 +44,14 @@ func (e *Exhaustive) Plan(req core.Request) (*core.Plan, error) {
 // hot path.
 const ctxPollInterval = 4096
 
+// exhaustiveScratch is the reusable per-search arena.
+type exhaustiveScratch struct {
+	parent   []int // parentUnused, -1 (root), or parent index
+	childCnt []int // maintained incrementally by the recursion
+	stack    []int
+	seen     []bool
+}
+
 // PlanContext implements core.Planner; the enumeration aborts within
 // ctxPollInterval candidate evaluations of the context firing.
 func (e *Exhaustive) PlanContext(ctx context.Context, req core.Request) (*core.Plan, error) {
@@ -49,11 +63,15 @@ func (e *Exhaustive) PlanContext(ctx context.Context, req core.Request) (*core.P
 		return nil, fmt.Errorf("baseline: exhaustive search limited to %d nodes, got %d", MaxExhaustiveNodes, n)
 	}
 
-	parent := make([]int, n) // parentUnused, -1 (root), or parent index
+	sc := &exhaustiveScratch{
+		parent:   make([]int, n),
+		childCnt: make([]int, n),
+		stack:    make([]int, 0, n),
+		seen:     make([]bool, n),
+	}
 	bestCapped := -1.0
 	bestUsed := 0
 	var bestVec []int
-	var bestEval model.Evaluation
 	var ctxErr error
 	sincePoll := 0
 
@@ -63,17 +81,18 @@ func (e *Exhaustive) PlanContext(ctx context.Context, req core.Request) (*core.P
 			sincePoll = 0
 			ctxErr = core.CheckContext(ctx, e.Name())
 		}
-		ev, used, ok := evalParentVector(req, parent)
+		rho, used, ok := evalParentVector(req, sc)
 		if !ok {
 			return
 		}
-		capped := req.Demand.Cap(ev.Rho)
+		capped := req.Demand.Cap(rho)
 		if capped > bestCapped || (capped == bestCapped && used < bestUsed) {
-			bestCapped, bestUsed, bestEval = capped, used, ev
-			bestVec = append(bestVec[:0], parent...)
+			bestCapped, bestUsed = capped, used
+			bestVec = append(bestVec[:0], sc.parent...)
 		}
 	}
 
+	parent := sc.parent
 	var rec func(i, rootIdx int)
 	rec = func(i, rootIdx int) {
 		if ctxErr != nil {
@@ -95,7 +114,9 @@ func (e *Exhaustive) PlanContext(ctx context.Context, req core.Request) (*core.P
 				continue
 			}
 			parent[i] = j
+			sc.childCnt[j]++
 			rec(i+1, rootIdx)
+			sc.childCnt[j]--
 		}
 	}
 	for rootIdx := 0; rootIdx < n && ctxErr == nil; rootIdx++ {
@@ -115,21 +136,14 @@ func (e *Exhaustive) PlanContext(ctx context.Context, req core.Request) (*core.P
 	if err := h.Validate(hierarchy.Final); err != nil {
 		return nil, fmt.Errorf("baseline: exhaustive produced invalid deployment: %w", err)
 	}
-	return &core.Plan{
-		Hierarchy: h,
-		Eval:      bestEval,
-		Capped:    bestCapped,
-		NodesUsed: bestUsed,
-		Planner:   e.Name(),
-	}, nil
+	return core.Finalize(e.Name(), req, h)
 }
 
 // evalParentVector validates and evaluates the deployment encoded by the
-// parent vector without materialising a hierarchy. ok is false when the
-// vector does not encode a valid deployment.
-func evalParentVector(req core.Request, parent []int) (ev model.Evaluation, used int, ok bool) {
-	n := len(parent)
-	children := make([][]int, n)
+// scratch's parent vector without materialising a hierarchy or allocating.
+// ok is false when the vector does not encode a valid deployment.
+func evalParentVector(req core.Request, sc *exhaustiveScratch) (rho float64, used int, ok bool) {
+	parent, childCnt := sc.parent, sc.childCnt
 	rootIdx := -1
 	for i, p := range parent {
 		switch {
@@ -140,59 +154,81 @@ func evalParentVector(req core.Request, parent []int) (ev model.Evaluation, used
 			used++
 		default:
 			if parent[p] == parentUnused {
-				return ev, 0, false // child of an unused node
+				return 0, 0, false // child of an unused node
 			}
-			children[p] = append(children[p], i)
 			used++
 		}
 	}
-	if rootIdx == -1 || used < 2 || len(children[rootIdx]) < 1 {
-		return ev, 0, false
+	if rootIdx == -1 || used < 2 || childCnt[rootIdx] < 1 {
+		return 0, 0, false
 	}
 	// Non-root internal nodes need at least two children (paper invariant).
 	for i, p := range parent {
 		if p == parentUnused || i == rootIdx {
 			continue
 		}
-		if len(children[i]) == 1 {
-			return ev, 0, false
+		if childCnt[i] == 1 {
+			return 0, 0, false
 		}
 	}
 	// Reachability from root must cover all used nodes (detects cycles).
-	seen := make([]bool, n)
-	stack := []int{rootIdx}
+	seen := sc.seen
+	for i := range seen {
+		seen[i] = false
+	}
+	stack := append(sc.stack[:0], rootIdx)
 	reach := 0
 	for len(stack) > 0 {
 		i := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if seen[i] {
-			return ev, 0, false
+			return 0, 0, false
 		}
 		seen[i] = true
 		reach++
-		stack = append(stack, children[i]...)
+		for j, p := range parent {
+			if p == i {
+				stack = append(stack, j)
+			}
+		}
 	}
+	sc.stack = stack[:0]
 	if reach != used {
-		return ev, 0, false
+		return 0, 0, false
 	}
 
-	var agents []model.Agent
-	var servers []float64
+	// One allocation-free model pass: agents contribute their scheduling
+	// throughput, servers their prediction throughput and the Eq. 10
+	// num/den accumulators (summed in index order, exactly as
+	// model.ServerCompTime would over the server power slice).
+	c, bw, wapp := req.Costs, req.Platform.Bandwidth, req.Wapp
 	nodes := req.Platform.Nodes
+	sched := math.Inf(1)
+	num, den := 1.0, 0.0
+	nServers := 0
 	for i, p := range parent {
 		if p == parentUnused {
 			continue
 		}
-		if len(children[i]) > 0 {
-			agents = append(agents, model.Agent{Power: nodes[i].Power, Degree: len(children[i])})
+		w := nodes[i].Power
+		if childCnt[i] > 0 {
+			if t := model.AgentThroughput(c, bw, w, childCnt[i]); t < sched {
+				sched = t
+			}
 		} else {
-			servers = append(servers, nodes[i].Power)
+			nServers++
+			num += c.ServerWpre / wapp
+			den += w / wapp
+			if t := model.ServerPredictionThroughput(c, bw, w); t < sched {
+				sched = t
+			}
 		}
 	}
-	if len(servers) == 0 {
-		return ev, 0, false
+	if nServers == 0 {
+		return 0, 0, false
 	}
-	return model.Evaluate(req.Costs, req.Platform.Bandwidth, req.Wapp, agents, servers), used, true
+	service := 1 / (model.ServerReceiveTime(c, bw) + model.ServerSendTime(c, bw) + num/den)
+	return math.Min(sched, service), used, true
 }
 
 // buildFromParentVector materialises the hierarchy encoded by a (validated)

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math"
+
+	"adept/internal/model"
+)
+
+// NaiveEvaluator is the reference PlacementEvaluator: it keeps the same
+// deployment mirror as the incremental Evaluator but answers every query
+// with a full Θ(n) sweep over all nodes, exactly what the planner hot path
+// did before the incremental engine existed (per-candidate model rebuilds
+// in rhoAfterAdd / cappedRho).
+//
+// It is retained on purpose, not as dead code:
+//
+//   - the property/fuzz tests hold Evaluator and NaiveEvaluator to 1e-9
+//     agreement on every generated scenario, so the incremental
+//     bookkeeping can never silently drift from the §3 model;
+//   - the BenchmarkHeuristicPlanNaive* benchmarks plan through it to
+//     quantify the incremental speedup (the CI bench gate requires ≥10x
+//     at 5k nodes).
+type NaiveEvaluator struct {
+	costs model.Costs
+	bw    float64
+	wapp  float64
+	nodes []evalNode
+}
+
+// NewNaiveEvaluator returns an empty reference evaluator.
+func NewNaiveEvaluator(c model.Costs, bandwidth, wapp float64) *NaiveEvaluator {
+	return &NaiveEvaluator{costs: c, bw: bandwidth, wapp: wapp}
+}
+
+// Reset implements PlacementEvaluator.
+func (e *NaiveEvaluator) Reset() { e.nodes = e.nodes[:0] }
+
+func (e *NaiveEvaluator) ensure(id int) {
+	for len(e.nodes) <= id {
+		e.nodes = append(e.nodes, evalNode{})
+	}
+}
+
+// AddAgent implements PlacementEvaluator.
+func (e *NaiveEvaluator) AddAgent(id, parent int, power float64) {
+	e.ensure(id)
+	e.nodes[id] = evalNode{power: power, role: roleAgent}
+	if parent >= 0 {
+		e.nodes[parent].degree++
+	}
+}
+
+// AddServer implements PlacementEvaluator.
+func (e *NaiveEvaluator) AddServer(id, parent int, power float64) {
+	e.ensure(id)
+	e.nodes[id] = evalNode{power: power, role: roleServer}
+	if parent >= 0 {
+		e.nodes[parent].degree++
+	}
+}
+
+// Promote implements PlacementEvaluator.
+func (e *NaiveEvaluator) Promote(id int) {
+	e.nodes[id].role = roleAgent
+	e.nodes[id].degree = 0
+}
+
+// SetPower implements PlacementEvaluator.
+func (e *NaiveEvaluator) SetPower(id int, power float64) {
+	e.nodes[id].power = power
+}
+
+// sweep recomputes ρ_sched and ρ_service from scratch. The three override
+// hooks graft one hypothetical change into the sweep without mutating
+// state: agent overrideID evaluates with degree+degreeDelta and (when
+// swapPower ≥ 0) that backing power; server swapServer evaluates with the
+// agent's old power; extraServer ≥ 0 adds one unattached server power.
+type naiveOverride struct {
+	agentID     int     // -1 none
+	degreeDelta int     // applied to agentID
+	agentPower  float64 // <0: keep
+	serverID    int     // -1 none: server whose power is replaced
+	serverPower float64
+	extraServer float64 // <0 none: power of one additional server
+	dropServer  int     // -1 none: server excluded from the sweep
+}
+
+func (e *NaiveEvaluator) sweep(ov naiveOverride) (sched, service float64) {
+	sched = math.Inf(1)
+	nServers := 0
+	sum := 0.0
+	for id := range e.nodes {
+		n := e.nodes[id]
+		switch n.role {
+		case roleAgent:
+			power, degree := n.power, n.degree
+			if id == ov.agentID {
+				degree += ov.degreeDelta
+				if ov.agentPower >= 0 {
+					power = ov.agentPower
+				}
+			}
+			if t := model.AgentThroughput(e.costs, e.bw, power, degree); t < sched {
+				sched = t
+			}
+		case roleServer:
+			if id == ov.dropServer {
+				continue
+			}
+			power := n.power
+			if id == ov.serverID {
+				power = ov.serverPower
+			}
+			nServers++
+			sum += power
+			if t := model.ServerPredictionThroughput(e.costs, e.bw, power); t < sched {
+				sched = t
+			}
+		}
+	}
+	if ov.extraServer >= 0 {
+		nServers++
+		sum += ov.extraServer
+		if t := model.ServerPredictionThroughput(e.costs, e.bw, ov.extraServer); t < sched {
+			sched = t
+		}
+	}
+	if nServers == 0 {
+		return 0, 0
+	}
+	service = serviceFromAggregates(e.costs, e.bw, e.wapp, nServers, sum)
+	return sched, service
+}
+
+// noOverride evaluates the mirror as-is.
+var noOverride = naiveOverride{agentID: -1, agentPower: -1, serverID: -1, extraServer: -1, dropServer: -1}
+
+// Eval implements PlacementEvaluator.
+func (e *NaiveEvaluator) Eval() (sched, service float64) {
+	return e.sweep(noOverride)
+}
+
+// RhoAfterAttach implements PlacementEvaluator.
+func (e *NaiveEvaluator) RhoAfterAttach(parent int, power float64) float64 {
+	ov := noOverride
+	ov.agentID, ov.degreeDelta, ov.extraServer = parent, 1, power
+	sched, service := e.sweep(ov)
+	return math.Min(sched, service)
+}
+
+// RhoAfterReback implements PlacementEvaluator.
+func (e *NaiveEvaluator) RhoAfterReback(agentID int, power float64) float64 {
+	ov := noOverride
+	ov.agentID, ov.agentPower = agentID, power
+	sched, service := e.sweep(ov)
+	return math.Min(sched, service)
+}
+
+// RhoAfterSwap implements PlacementEvaluator.
+func (e *NaiveEvaluator) RhoAfterSwap(agentID, serverID int) float64 {
+	ov := noOverride
+	ov.agentID, ov.agentPower = agentID, e.nodes[serverID].power
+	ov.serverID, ov.serverPower = serverID, e.nodes[agentID].power
+	sched, service := e.sweep(ov)
+	return math.Min(sched, service)
+}
+
+// RhoAfterDrop implements PlacementEvaluator.
+func (e *NaiveEvaluator) RhoAfterDrop(serverID, parentID int) float64 {
+	ov := noOverride
+	ov.agentID, ov.degreeDelta = parentID, -1
+	ov.dropServer = serverID
+	sched, service := e.sweep(ov)
+	return math.Min(sched, service)
+}

@@ -1,0 +1,186 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"adept/internal/baseline"
+	"adept/internal/core"
+	"adept/internal/hierarchy"
+	"adept/internal/model"
+	"adept/internal/platform"
+	"adept/internal/scenario"
+	"adept/internal/workload"
+)
+
+// relClose reports |a-b| <= tol relative to max(|a|,|b|,1).
+func relClose(a, b, tol float64) bool {
+	scale := math.Max(math.Max(math.Abs(a), math.Abs(b)), 1)
+	return math.Abs(a-b) <= tol*scale
+}
+
+// planInvariants runs the full invariant battery on one generated request.
+// It is shared by the fuzz target and the corpus property test.
+func planInvariants(t *testing.T, req core.Request, label string) {
+	t.Helper()
+	hp, err := core.NewHeuristic().Plan(req)
+	if err != nil {
+		t.Fatalf("%s: heuristic: %v", label, err)
+	}
+
+	// 1. The plan satisfies the paper's shape invariants and maps onto the
+	// platform pool.
+	if err := hp.Hierarchy.Validate(hierarchy.Final); err != nil {
+		t.Errorf("%s: invalid plan: %v\n%s", label, err, hp.Hierarchy)
+	}
+	if err := hp.Hierarchy.CheckAgainstPlatform(req.Platform); err != nil {
+		t.Errorf("%s: plan outside platform: %v", label, err)
+	}
+
+	// 2. ρ = min(ρ_sched, ρ_service), and the demand cap holds.
+	if want := math.Min(hp.Eval.Sched, hp.Eval.Service); hp.Eval.Rho != want {
+		t.Errorf("%s: rho %g != min(sched %g, service %g)", label, hp.Eval.Rho, hp.Eval.Sched, hp.Eval.Service)
+	}
+	if req.Demand.Bounded() && hp.Capped > float64(req.Demand) {
+		t.Errorf("%s: capped %g exceeds demand %g", label, hp.Capped, float64(req.Demand))
+	}
+
+	// 3. The heuristic never predicts below the intuitive star baseline
+	// (on demand-capped requests the comparison is on useful throughput:
+	// the planner deliberately trades surplus ρ for fewer nodes).
+	sp, err := (&baseline.Star{}).Plan(req)
+	if err != nil {
+		t.Fatalf("%s: star: %v", label, err)
+	}
+	if hp.Capped < sp.Capped && !relClose(hp.Capped, sp.Capped, 1e-9) {
+		t.Errorf("%s: heuristic capped %.9g below star %.9g\nplatform: %s", label, hp.Capped, sp.Capped, platformJSON(t, req.Platform))
+	}
+	if !req.Demand.Bounded() && hp.Eval.Rho < sp.Eval.Rho && !relClose(hp.Eval.Rho, sp.Eval.Rho, 1e-9) {
+		t.Errorf("%s: heuristic rho %.9g below star rho %.9g\nplatform: %s", label, hp.Eval.Rho, sp.Eval.Rho, platformJSON(t, req.Platform))
+	}
+
+	// 4. The incremental evaluator agrees with the naive reference on the
+	// finished deployment and on a speculative what-if.
+	inc := core.NewEvaluator(req.Costs, req.Platform.Bandwidth, req.Wapp)
+	naive := core.NewNaiveEvaluator(req.Costs, req.Platform.Bandwidth, req.Wapp)
+	core.LoadHierarchy(inc, hp.Hierarchy)
+	core.LoadHierarchy(naive, hp.Hierarchy)
+	is, iv := inc.Eval()
+	ns, nv := naive.Eval()
+	if !relClose(is, ns, 1e-9) || !relClose(iv, nv, 1e-9) {
+		t.Errorf("%s: evaluators disagree: incremental (%.12g, %.12g) vs naive (%.12g, %.12g)", label, is, iv, ns, nv)
+	}
+	if !relClose(is, hp.Eval.Sched, 1e-9) || !relClose(iv, hp.Eval.Service, 1e-9) {
+		t.Errorf("%s: evaluator (%.12g, %.12g) disagrees with model (%.12g, %.12g)", label, is, iv, hp.Eval.Sched, hp.Eval.Service)
+	}
+	root := hp.Hierarchy.Root()
+	probe := req.Platform.Nodes[len(req.Platform.Nodes)/2].Power
+	if !relClose(inc.RhoAfterAttach(root, probe), naive.RhoAfterAttach(root, probe), 1e-9) {
+		t.Errorf("%s: RhoAfterAttach disagrees: %.12g vs %.12g", label, inc.RhoAfterAttach(root, probe), naive.RhoAfterAttach(root, probe))
+	}
+
+	// 5. Planning through the naive evaluator yields the same throughput.
+	np, err := core.NewHeuristicNaive().Plan(req)
+	if err != nil {
+		t.Fatalf("%s: naive heuristic: %v", label, err)
+	}
+	if !relClose(np.Eval.Rho, hp.Eval.Rho, 1e-9) {
+		t.Errorf("%s: naive-evaluator plan rho %.12g != incremental %.12g", label, np.Eval.Rho, hp.Eval.Rho)
+	}
+
+	// 6. The swap refiner never loses throughput.
+	rp, err := (&core.SwapRefiner{Inner: core.NewHeuristic()}).Plan(req)
+	if err != nil {
+		t.Fatalf("%s: swap: %v", label, err)
+	}
+	if rp.Capped < hp.Capped {
+		t.Errorf("%s: swap-refined capped %.9g below plain %.9g", label, rp.Capped, hp.Capped)
+	}
+}
+
+func platformJSON(t *testing.T, p *platform.Platform) string {
+	t.Helper()
+	data, err := p.MarshalIndent()
+	if err != nil {
+		return err.Error()
+	}
+	return string(data)
+}
+
+// fuzzRequest decodes raw fuzz inputs into a planning request over a
+// scenario-family platform. ok is false for inputs outside the model's
+// domain (they are skipped, not failures).
+func fuzzRequest(familyIdx, nRaw uint8, seed, wappMilli, demandMilli int64, bwSel uint8) (core.Request, bool) {
+	families := scenario.Families()
+	spec := scenario.Spec{
+		Family:    families[int(familyIdx)%len(families)],
+		N:         2 + int(nRaw)%63,
+		Bandwidth: []float64{10, 100, 1000}[int(bwSel)%3],
+		Seed:      seed,
+	}
+	plat, err := spec.Generate()
+	if err != nil {
+		return core.Request{}, false
+	}
+	wapp := float64(wappMilli) / 1000
+	if wapp < 0 {
+		wapp = -wapp
+	}
+	if wapp < 0.05 || wapp > 1e5 {
+		return core.Request{}, false
+	}
+	var demand workload.Demand
+	if demandMilli > 0 {
+		demand = workload.Demand(float64(demandMilli) / 1000)
+		if float64(demand) > 1e7 {
+			return core.Request{}, false
+		}
+	}
+	req := core.Request{
+		Platform: plat,
+		Costs:    model.DIETDefaults(),
+		Wapp:     wapp,
+		Demand:   demand,
+	}
+	return req, req.Validate() == nil
+}
+
+// FuzzPlanInvariants fuzzes the planner over every scenario family: any
+// input that produces a valid request must satisfy the full invariant
+// battery (plan validity, ρ = min law, star dominance, incremental-vs-
+// naive evaluator agreement to 1e-9, swap-refiner monotonicity).
+func FuzzPlanInvariants(f *testing.F) {
+	// One seed per family plus demand/bandwidth/Wapp corners; the checked-in
+	// corpus under testdata/fuzz extends these.
+	f.Add(uint8(0), uint8(10), int64(1), int64(59582), int64(0), uint8(1))
+	f.Add(uint8(1), uint8(30), int64(2), int64(2000000), int64(0), uint8(0))
+	f.Add(uint8(2), uint8(61), int64(3), int64(59582), int64(150000), uint8(2))
+	f.Add(uint8(3), uint8(5), int64(4), int64(1333330), int64(0), uint8(1))
+	f.Add(uint8(4), uint8(0), int64(5), int64(59582), int64(25000), uint8(1))
+	f.Fuzz(func(t *testing.T, familyIdx, nRaw uint8, seed, wappMilli, demandMilli int64, bwSel uint8) {
+		req, ok := fuzzRequest(familyIdx, nRaw, seed, wappMilli, demandMilli, bwSel)
+		if !ok {
+			t.Skip()
+		}
+		planInvariants(t, req, "fuzz")
+	})
+}
+
+// TestPlanInvariantsAcrossCorpus is the deterministic table-driven twin of
+// the fuzz target: the full scenario corpus at two workload sizes.
+func TestPlanInvariantsAcrossCorpus(t *testing.T) {
+	for _, spec := range scenario.Corpus(23) {
+		plat, err := spec.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, dgemm := range []int{100, 1000} {
+			req := core.Request{
+				Platform: plat,
+				Costs:    model.DIETDefaults(),
+				Wapp:     workload.DGEMM{N: dgemm}.MFlop(),
+			}
+			planInvariants(t, req, string(spec.Family))
+		}
+	}
+}

@@ -36,15 +36,28 @@ func sortNodes(c model.Costs, bandwidth float64, nodes []platform.Node) []platfo
 	if d < 1 {
 		d = 1
 	}
-	sort.SliceStable(sorted, func(i, j int) bool {
-		pi := calcSchPow(c, bandwidth, sorted[i].Power, d)
-		pj := calcSchPow(c, bandwidth, sorted[j].Power, d)
-		if pi != pj {
-			return pi > pj
+	// Precompute the sort key once per node instead of twice per
+	// comparison: at 10k nodes the repeated model evaluations inside the
+	// comparator used to dominate whole-plan latency.
+	keys := make([]float64, len(sorted))
+	for i, n := range sorted {
+		keys[i] = calcSchPow(c, bandwidth, n.Power, d)
+	}
+	idx := make([]int, len(sorted))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if keys[idx[a]] != keys[idx[b]] {
+			return keys[idx[a]] > keys[idx[b]]
 		}
-		return sorted[i].Name < sorted[j].Name
+		return sorted[idx[a]].Name < sorted[idx[b]].Name
 	})
-	return sorted
+	out := make([]platform.Node, len(sorted))
+	for i, j := range idx {
+		out[i] = sorted[j]
+	}
+	return out
 }
 
 // supportedChildren returns the largest number of children a node of power

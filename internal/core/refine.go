@@ -8,15 +8,28 @@ import (
 
 // SwapRefiner is a post-planning local-search extension (beyond the paper's
 // Algorithm 1, in the direction its future-work section sketches): it takes
-// a finished plan and repeatedly tries to swap the physical node backing an
-// agent with a weaker node — either a deployed server or an unused pool
-// node — keeping the tree shape fixed. On service-limited deployments this
-// releases powerful nodes from scheduling duty back into serving, which
-// Algorithm 1 cannot do because it always drafts the most powerful nodes as
-// agents first.
+// a finished plan and repeatedly applies the best strictly improving move
+// from two families, keeping the tree shape otherwise fixed:
 //
-// The refiner only ever improves the demand-capped throughput; when no swap
-// improves it the input plan is returned unchanged.
+//   - swap: re-back an agent with a weaker node (a deployed server — the
+//     two exchange backings — or an unused pool node). On service-limited
+//     deployments this releases powerful nodes from scheduling duty back
+//     into serving, which Algorithm 1 cannot do because it always drafts
+//     the most powerful nodes as agents first.
+//   - drop: remove a weak leaf server. Every server pays the Wpre
+//     prediction cost on every request and the weakest server can carry
+//     the prediction bottleneck (Eq. 14), so on hub-dominated pools
+//     shedding a weak server raises both phases at once — the exhaustive
+//     optimum on such pools visibly leaves nodes unused.
+//
+// The refiner only ever improves the demand-capped throughput; when no
+// move improves it the input plan is returned unchanged.
+//
+// Every candidate move is scored with one O(log n) evaluator what-if
+// (RhoAfterSwap / RhoAfterReback / RhoAfterDrop) instead of the clone +
+// full-model evaluation of the naive formulation; swaps never change the
+// tree shape and drops are validated by a degree check, so no
+// per-candidate validation pass is needed either.
 type SwapRefiner struct {
 	// Inner produces the plan to refine.
 	Inner Planner
@@ -44,20 +57,24 @@ func (r *SwapRefiner) PlanContext(ctx context.Context, req Request) (*Plan, erro
 		rounds = 2 * len(req.Platform.Nodes)
 	}
 	h := plan.Hierarchy.Clone()
+	ev := NewEvaluator(req.Costs, req.Platform.Bandwidth, req.Wapp)
+	LoadHierarchy(ev, h)
 	bestCapped := plan.Capped
 
+	improved := false
 	for round := 0; round < rounds; round++ {
 		if err := CheckContext(ctx, r.Name()); err != nil {
 			return nil, err
 		}
-		swapped, newCapped := r.bestSwap(req, h, bestCapped)
-		if swapped == nil {
+		newH, newCapped, ok := r.bestMove(req, h, ev, bestCapped)
+		if !ok {
 			break
 		}
-		h = swapped
+		h = newH
 		bestCapped = newCapped
+		improved = true
 	}
-	if bestCapped <= plan.Capped {
+	if !improved || bestCapped <= plan.Capped {
 		return plan, nil
 	}
 	refined, err := Finalize(r.Name(), req, h)
@@ -67,9 +84,10 @@ func (r *SwapRefiner) PlanContext(ctx context.Context, req Request) (*Plan, erro
 	return refined, nil
 }
 
-// bestSwap tries every (agent, replacement) pair and returns the hierarchy
-// after the single best strictly improving swap, or nil when none improves.
-func (r *SwapRefiner) bestSwap(req Request, h *hierarchy.Hierarchy, cur float64) (*hierarchy.Hierarchy, float64) {
+// bestMove scores every swap and drop candidate with an evaluator what-if
+// and applies the single best strictly improving one, returning the
+// (possibly replaced) hierarchy. ok is false when nothing improves.
+func (r *SwapRefiner) bestMove(req Request, h *hierarchy.Hierarchy, ev *Evaluator, cur float64) (*hierarchy.Hierarchy, float64, bool) {
 	deployed := make(map[string]int, h.Len()) // name -> node ID
 	for _, n := range h.Nodes() {
 		deployed[n.Name] = n.ID
@@ -91,7 +109,9 @@ func (r *SwapRefiner) bestSwap(req Request, h *hierarchy.Hierarchy, cur float64)
 		cands = append(cands, cand{pn.Name, pn.Power, -1})
 	}
 
-	var best *hierarchy.Hierarchy
+	bestAgent := -1
+	var bestCand cand
+	dropID := -1
 	bestRho := cur
 	for _, aid := range h.Agents() {
 		agent := h.MustNode(aid)
@@ -99,27 +119,81 @@ func (r *SwapRefiner) bestSwap(req Request, h *hierarchy.Hierarchy, cur float64)
 			if cd.power >= agent.Power {
 				continue // only release power, never hoard more of it
 			}
-			trial := h.Clone()
-			swapNodeBacking(trial, aid, cd.id, cd.name, cd.power, agent.Name, agent.Power)
-			if trial.Validate(hierarchy.Final) != nil {
-				continue
+			var rho float64
+			if cd.id >= 0 {
+				rho = ev.RhoAfterSwap(aid, cd.id)
+			} else {
+				rho = ev.RhoAfterReback(aid, cd.power)
 			}
-			if rho := cappedRho(req, trial); rho > bestRho {
-				best, bestRho = trial, rho
+			if capped := req.Demand.Cap(rho); capped > bestRho {
+				bestAgent, bestCand, dropID, bestRho = aid, cd, -1, capped
 			}
 		}
 	}
-	return best, bestRho
+	for _, sid := range h.Servers() {
+		s := h.MustNode(sid)
+		pdeg := h.Degree(s.Parent)
+		// The parent must stay shape-valid: one child for the root, two
+		// for any other agent.
+		min := 2
+		if s.Parent == h.Root() {
+			min = 1
+		}
+		if pdeg-1 < min {
+			continue
+		}
+		if capped := req.Demand.Cap(ev.RhoAfterDrop(sid, s.Parent)); capped > bestRho {
+			bestAgent, dropID, bestRho = -1, sid, capped
+		}
+	}
+
+	switch {
+	case dropID >= 0:
+		// Rebuild without the dropped leaf; IDs shift, so the evaluator
+		// mirror is reloaded from scratch (drops are rare and O(n)).
+		newH := rebuildWithout(h, dropID)
+		ev.Reset()
+		LoadHierarchy(ev, newH)
+		return newH, bestRho, true
+	case bestAgent >= 0:
+		// Apply the winning swap: re-back the agent with the candidate
+		// node; when the candidate is a deployed server the two exchange
+		// backings, otherwise the agent's old backing leaves the
+		// deployment. IDs and node data come from the live hierarchy, so
+		// SetBacking cannot fail here.
+		agent := h.MustNode(bestAgent)
+		_ = h.SetBacking(bestAgent, bestCand.name, bestCand.power)
+		ev.SetPower(bestAgent, bestCand.power)
+		if bestCand.id >= 0 {
+			_ = h.SetBacking(bestCand.id, agent.Name, agent.Power)
+			ev.SetPower(bestCand.id, agent.Power)
+		}
+		return h, bestRho, true
+	}
+	return h, cur, false
 }
 
-// swapNodeBacking re-backs agent aid with the candidate physical node; when
-// the candidate is a deployed server (sid >= 0) the two nodes exchange
-// backings, otherwise the agent's old backing simply leaves the deployment.
-func swapNodeBacking(h *hierarchy.Hierarchy, aid, sid int, candName string, candPower float64, agentName string, agentPower float64) {
-	// IDs and node data come from the live hierarchy, so SetBacking cannot
-	// fail here.
-	_ = h.SetBacking(aid, candName, candPower)
-	if sid >= 0 {
-		_ = h.SetBacking(sid, agentName, agentPower)
+// rebuildWithout returns a copy of h with leaf node drop removed.
+func rebuildWithout(h *hierarchy.Hierarchy, drop int) *hierarchy.Hierarchy {
+	out := hierarchy.New(h.Name)
+	var rec func(id, parent int)
+	rec = func(id, parent int) {
+		if id == drop {
+			return
+		}
+		n := h.MustNode(id)
+		var nid int
+		if parent < 0 {
+			nid, _ = out.AddRoot(n.Name, n.Power)
+		} else if n.Role == hierarchy.RoleAgent {
+			nid, _ = out.AddAgent(parent, n.Name, n.Power)
+		} else {
+			nid, _ = out.AddServer(parent, n.Name, n.Power)
+		}
+		for _, c := range n.Children {
+			rec(c, nid)
+		}
 	}
+	rec(h.Root(), -1)
+	return out
 }

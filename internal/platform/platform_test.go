@@ -1,8 +1,10 @@
 package platform_test
 
 import (
+	"bytes"
 	"math/rand"
 	"path/filepath"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -292,6 +294,68 @@ func TestGenerateExplicitRand(t *testing.T) {
 	for i := range h1.Nodes {
 		if h1.Nodes[i] != h2.Nodes[i] {
 			t.Fatalf("Heterogenize with equal streams diverged at node %d", i)
+		}
+	}
+}
+
+// TestGenerateByteIdenticalAcrossRunsAndGoroutines is the determinism
+// contract the scenario corpus, the fuzz harness, and the golden
+// benchmarks all lean on: the same GenSpec (or the same Heterogenize
+// seed) must yield byte-identical platforms no matter how many goroutines
+// generate concurrently. Any map-iteration or shared-state
+// nondeterminism in generation would surface here as diverging JSON.
+func TestGenerateByteIdenticalAcrossRunsAndGoroutines(t *testing.T) {
+	spec := platform.GenSpec{
+		Name: "det", N: 200, Bandwidth: 100, MinPower: 50, MaxPower: 2000, Seed: 42,
+	}
+	ref, err := platform.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, err := ref.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refHet, err := platform.Heterogenize(ref, platform.BackgroundLoad{
+		Fraction: 0.6, LoadFactors: []float64{0.25, 0.5, 0.75}, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refHetJSON, err := refHet.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 16
+	type out struct{ gen, het []byte }
+	results := make([]out, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p, err := platform.Generate(spec)
+			if err != nil {
+				return
+			}
+			results[w].gen, _ = p.MarshalIndent()
+			h, err := platform.Heterogenize(p, platform.BackgroundLoad{
+				Fraction: 0.6, LoadFactors: []float64{0.25, 0.5, 0.75}, Seed: 7,
+			})
+			if err != nil {
+				return
+			}
+			results[w].het, _ = h.MarshalIndent()
+		}(w)
+	}
+	wg.Wait()
+	for w, r := range results {
+		if !bytes.Equal(r.gen, refJSON) {
+			t.Errorf("goroutine %d: Generate bytes diverged", w)
+		}
+		if !bytes.Equal(r.het, refHetJSON) {
+			t.Errorf("goroutine %d: Heterogenize bytes diverged", w)
 		}
 	}
 }

@@ -1,0 +1,188 @@
+package portfolio_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"adept/internal/baseline"
+	"adept/internal/core"
+	"adept/internal/model"
+	"adept/internal/portfolio"
+	"adept/internal/scenario"
+	"adept/internal/workload"
+)
+
+func corpusRequest(t *testing.T, spec scenario.Spec, wapp float64) core.Request {
+	t.Helper()
+	plat, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Request{Platform: plat, Costs: model.DIETDefaults(), Wapp: wapp}
+}
+
+// TestPortfolioDominatesMembersAcrossCorpus is the portfolio's defining
+// property: on every scenario-corpus platform its predicted demand-capped
+// throughput is at least that of the plain heuristic and the star baseline.
+func TestPortfolioDominatesMembersAcrossCorpus(t *testing.T) {
+	wapps := []float64{workload.DGEMM{N: 100}.MFlop(), workload.DGEMM{N: 1000}.MFlop()}
+	pf := portfolio.New()
+	heur := core.NewHeuristic()
+	star := &baseline.Star{}
+	for _, spec := range scenario.Corpus(11, 4, 16, 48) {
+		for _, wapp := range wapps {
+			req := corpusRequest(t, spec, wapp)
+			pp, stats, err := pf.PlanWithStats(context.Background(), req)
+			if err != nil {
+				t.Fatalf("%s n=%d: portfolio: %v", spec.Family, spec.N, err)
+			}
+			hp, err := heur.Plan(req)
+			if err != nil {
+				t.Fatalf("%s n=%d: heuristic: %v", spec.Family, spec.N, err)
+			}
+			sp, err := star.Plan(req)
+			if err != nil {
+				t.Fatalf("%s n=%d: star: %v", spec.Family, spec.N, err)
+			}
+			if pp.Capped < hp.Capped {
+				t.Errorf("%s n=%d wapp=%.0f: portfolio %.6f < heuristic %.6f", spec.Family, spec.N, wapp, pp.Capped, hp.Capped)
+			}
+			if pp.Capped < sp.Capped {
+				t.Errorf("%s n=%d wapp=%.0f: portfolio %.6f < star %.6f", spec.Family, spec.N, wapp, pp.Capped, sp.Capped)
+			}
+			winners := 0
+			for _, st := range stats {
+				if st.Winner {
+					winners++
+					if !strings.HasPrefix(pp.Planner, "portfolio:") {
+						t.Errorf("winner plan not branded: %q", pp.Planner)
+					}
+				}
+			}
+			if winners != 1 {
+				t.Errorf("%s n=%d: %d winners, want 1", spec.Family, spec.N, winners)
+			}
+		}
+	}
+}
+
+// TestPortfolioSkipsExhaustiveOnLargePools checks the MaxNodes gate.
+func TestPortfolioSkipsExhaustiveOnLargePools(t *testing.T) {
+	req := corpusRequest(t, scenario.Spec{Family: scenario.Bimodal, N: 40, Seed: 3}, workload.DGEMM{N: 310}.MFlop())
+	_, stats, err := portfolio.New().PlanWithStats(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, st := range stats {
+		if st.Variant == "exhaustive" {
+			found = true
+			if st.Skipped == "" {
+				t.Error("exhaustive not skipped on a 40-node pool")
+			}
+		}
+	}
+	if !found {
+		t.Error("exhaustive variant missing from stats")
+	}
+}
+
+// TestPortfolioUsesExhaustiveOnTinyPools checks the ground-truth variant
+// actually races (and, being optimal, wins ties at worst) on small pools.
+func TestPortfolioUsesExhaustiveOnTinyPools(t *testing.T) {
+	req := corpusRequest(t, scenario.Spec{Family: scenario.PowerLaw, N: 5, Seed: 9}, workload.DGEMM{N: 100}.MFlop())
+	pp, stats, err := portfolio.New().PlanWithStats(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := (&baseline.Exhaustive{}).Plan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.Capped < ep.Capped {
+		t.Errorf("portfolio %.6f below exhaustive optimum %.6f", pp.Capped, ep.Capped)
+	}
+	for _, st := range stats {
+		if st.Variant == "exhaustive" && (st.Skipped != "" || st.Err != "") {
+			t.Errorf("exhaustive did not run on a 5-node pool: %+v", st)
+		}
+	}
+}
+
+// TestPortfolioMatchesExhaustiveOptimum pins the portfolio to the
+// exhaustive ground truth on every enumerable small platform: wherever the
+// swap-refined heuristic's optimality gap opens (see
+// internal/baseline's TestHeuristicOptimalityGap), the exhaustive variant
+// closes it.
+func TestPortfolioMatchesExhaustiveOptimum(t *testing.T) {
+	pf := portfolio.New()
+	exhaustive := &baseline.Exhaustive{}
+	wapps := []float64{workload.DGEMM{N: 10}.MFlop(), workload.DGEMM{N: 100}.MFlop()}
+	for n := 2; n <= 6; n++ {
+		for _, fam := range scenario.Families() {
+			spec := scenario.Spec{Family: fam, N: n, Seed: int64(n) * 31}
+			for _, wapp := range wapps {
+				req := corpusRequest(t, spec, wapp)
+				opt, err := exhaustive.Plan(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pp, err := pf.Plan(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if pp.Capped < opt.Capped*(1-1e-9) {
+					t.Errorf("%s n=%d wapp=%.0f: portfolio %.6f below exhaustive optimum %.6f", fam, n, wapp, pp.Capped, opt.Capped)
+				}
+			}
+		}
+	}
+}
+
+// TestPortfolioHonoursCancellation checks a dead context yields an error,
+// not a plan.
+func TestPortfolioHonoursCancellation(t *testing.T) {
+	req := corpusRequest(t, scenario.Spec{Family: scenario.Clustered, N: 60, Seed: 2}, workload.DGEMM{N: 310}.MFlop())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := portfolio.New().PlanWithStats(ctx, req); err == nil {
+		t.Fatal("cancelled context produced a plan")
+	}
+}
+
+// TestPortfolioDemandCutoff: with a trivially met demand the portfolio
+// returns a plan that meets it exactly (capped at the demand) — and the
+// winner must be a minimal deployment, not the whole-pool star: the early
+// cutoff only fires on frugal variants precisely so the fewer-nodes
+// tie-break survives racing.
+func TestPortfolioDemandCutoff(t *testing.T) {
+	req := corpusRequest(t, scenario.Spec{Family: scenario.TracePerturbed, N: 30, Seed: 4}, workload.DGEMM{N: 100}.MFlop())
+	req.Demand = workload.Demand(1) // 1 req/s: any member meets it
+	pp, _, err := portfolio.New().PlanWithStats(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.Capped != 1 {
+		t.Errorf("capped %.3f, want demand 1", pp.Capped)
+	}
+	if pp.NodesUsed > 3 {
+		t.Errorf("demand-met plan uses %d of 30 nodes; the frugal tie-break should have kept it minimal", pp.NodesUsed)
+	}
+}
+
+// TestPortfolioIsACorePlanner locks the interface contract.
+func TestPortfolioIsACorePlanner(t *testing.T) {
+	var pl core.Planner = portfolio.New()
+	if pl.Name() != "portfolio" {
+		t.Errorf("name %q", pl.Name())
+	}
+	req := corpusRequest(t, scenario.Spec{Family: scenario.Star, N: 10, Seed: 1}, workload.DGEMM{N: 310}.MFlop())
+	plan, err := pl.Plan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Hierarchy.Validate(0) != nil {
+		t.Error("portfolio plan invalid")
+	}
+}

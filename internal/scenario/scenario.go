@@ -1,0 +1,279 @@
+// Package scenario generates families of synthetic target platforms for
+// stress-testing, fuzzing, and benchmarking the deployment planners far
+// beyond the two Grid'5000 sites of the paper's evaluation.
+//
+// A Spec is a declarative description (family, size, bandwidth, seed, and a
+// few family knobs); Generate expands it into a concrete
+// platform.Platform. Generation is strictly deterministic: the same Spec
+// always yields a byte-identical platform, regardless of how many
+// goroutines generate concurrently — every Spec draws from its own seeded
+// source and node construction is a plain ordered loop (no map iteration).
+//
+// The families model the heterogeneity shapes deployment planners meet in
+// practice:
+//
+//   - Star: one powerful head node and a sea of uniform weak leaves — the
+//     shape that rewards a flat star deployment.
+//   - Bimodal: two node classes (e.g. an old and a new cluster
+//     generation), the canonical "two-site" heterogeneity.
+//   - PowerLaw: Pareto-distributed powers, a few very strong nodes and a
+//     long weak tail — desktop-grid style.
+//   - Clustered: k homogeneous-ish clusters with distinct means and small
+//     intra-cluster jitter — federated clusters, the closest family to
+//     the paper's Lyon+Orsay testbed.
+//   - TracePerturbed: the paper's §5.3 heterogenisation replayed
+//     synthetically — a homogeneous cluster with background load stealing
+//     fixed power fractions from a seeded node subset, plus measurement
+//     jitter.
+//
+// Corpus returns a representative cross product of families and sizes used
+// by the property tests (internal/core), the portfolio tests
+// (internal/portfolio), and the planner benchmarks.
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"adept/internal/platform"
+)
+
+// Family names a platform-generation family.
+type Family string
+
+// The supported families.
+const (
+	Star           Family = "star"
+	Bimodal        Family = "bimodal"
+	PowerLaw       Family = "power-law"
+	Clustered      Family = "clustered"
+	TracePerturbed Family = "trace-perturbed"
+)
+
+// Families lists all families in stable order.
+func Families() []Family {
+	return []Family{Star, Bimodal, PowerLaw, Clustered, TracePerturbed}
+}
+
+// Spec declaratively describes one synthetic platform. Zero-valued knobs
+// take family defaults (withDefaults), so {Family, N, Bandwidth, Seed} is a
+// complete spec.
+type Spec struct {
+	Family Family `json:"family"`
+	// Name labels the platform; defaults to "<family>-n<N>-s<Seed>".
+	Name string `json:"name,omitempty"`
+	// N is the pool size (minimum 2: one agent, one server).
+	N int `json:"n"`
+	// Bandwidth is the homogeneous link bandwidth in Mb/s (default 100).
+	Bandwidth float64 `json:"bandwidth_mbps,omitempty"`
+	// Seed drives all randomness of this spec.
+	Seed int64 `json:"seed"`
+
+	// HubFactor (Star) is the head node's power multiple of the leaf mean
+	// (default 8).
+	HubFactor float64 `json:"hub_factor,omitempty"`
+	// LeafPower (Star) is the mean leaf power in MFlop/s (default 200).
+	LeafPower float64 `json:"leaf_power,omitempty"`
+
+	// HighFraction (Bimodal) is the fraction of high-power nodes
+	// (default 0.25).
+	HighFraction float64 `json:"high_fraction,omitempty"`
+	// LowPower and HighPower (Bimodal) are the two class means
+	// (defaults 150 and 1200).
+	LowPower  float64 `json:"low_power,omitempty"`
+	HighPower float64 `json:"high_power,omitempty"`
+
+	// Alpha (PowerLaw) is the Pareto shape (default 1.6; smaller = heavier
+	// tail).
+	Alpha float64 `json:"alpha,omitempty"`
+	// MinPower and MaxPower (PowerLaw, Clustered) bound the node powers
+	// (defaults 50 and 4000).
+	MinPower float64 `json:"min_power,omitempty"`
+	MaxPower float64 `json:"max_power,omitempty"`
+
+	// Clusters (Clustered) is the cluster count (default 4).
+	Clusters int `json:"clusters,omitempty"`
+	// Spread (Clustered, TracePerturbed) is the relative intra-cluster /
+	// measurement jitter (default 0.05).
+	Spread float64 `json:"spread,omitempty"`
+
+	// BasePower (TracePerturbed) is the unloaded node power (default 400,
+	// the repo's Grid'5000-class reference calibration).
+	BasePower float64 `json:"base_power,omitempty"`
+	// LoadFraction (TracePerturbed) is the fraction of nodes running
+	// background load (default 0.6, the §5.3 setup).
+	LoadFraction float64 `json:"load_fraction,omitempty"`
+}
+
+// withDefaults fills zero-valued knobs.
+func (s Spec) withDefaults() Spec {
+	if s.Bandwidth == 0 {
+		s.Bandwidth = 100
+	}
+	if s.Name == "" {
+		s.Name = fmt.Sprintf("%s-n%d-s%d", s.Family, s.N, s.Seed)
+	}
+	if s.HubFactor == 0 {
+		s.HubFactor = 8
+	}
+	if s.LeafPower == 0 {
+		s.LeafPower = 200
+	}
+	if s.HighFraction == 0 {
+		s.HighFraction = 0.25
+	}
+	if s.LowPower == 0 {
+		s.LowPower = 150
+	}
+	if s.HighPower == 0 {
+		s.HighPower = 1200
+	}
+	if s.Alpha == 0 {
+		s.Alpha = 1.6
+	}
+	if s.MinPower == 0 {
+		s.MinPower = 50
+	}
+	if s.MaxPower == 0 {
+		s.MaxPower = 4000
+	}
+	if s.Clusters == 0 {
+		s.Clusters = 4
+	}
+	if s.Spread == 0 {
+		s.Spread = 0.05
+	}
+	if s.BasePower == 0 {
+		s.BasePower = 400
+	}
+	if s.LoadFraction == 0 {
+		s.LoadFraction = 0.6
+	}
+	return s
+}
+
+// Generate expands the spec into a platform. The result is deterministic
+// in the spec (byte-identical JSON across calls and goroutines).
+func (s Spec) Generate() (*platform.Platform, error) {
+	s = s.withDefaults()
+	if s.N < 2 {
+		return nil, fmt.Errorf("scenario: N must be at least 2, got %d", s.N)
+	}
+	if s.Bandwidth <= 0 {
+		return nil, fmt.Errorf("scenario: bandwidth must be positive, got %g", s.Bandwidth)
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	p := &platform.Platform{Name: s.Name, Bandwidth: s.Bandwidth}
+	powers, err := s.powers(rng)
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range powers {
+		p.Nodes = append(p.Nodes, platform.Node{
+			Name:  fmt.Sprintf("%s-%04d", s.Name, i),
+			Power: w,
+		})
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: generated invalid platform: %w", err)
+	}
+	return p, nil
+}
+
+// jitter multiplies base by a clamped relative gaussian perturbation.
+func jitter(rng *rand.Rand, base, spread float64) float64 {
+	f := 1 + spread*rng.NormFloat64()
+	if f < 0.1 {
+		f = 0.1
+	}
+	return base * f
+}
+
+// powers draws the node power vector, in node order.
+func (s Spec) powers(rng *rand.Rand) ([]float64, error) {
+	out := make([]float64, s.N)
+	switch s.Family {
+	case Star:
+		out[0] = s.HubFactor * s.LeafPower
+		for i := 1; i < s.N; i++ {
+			out[i] = jitter(rng, s.LeafPower, s.Spread)
+		}
+	case Bimodal:
+		high := int(math.Round(s.HighFraction * float64(s.N)))
+		if high < 1 {
+			high = 1
+		}
+		for i := 0; i < s.N; i++ {
+			base := s.LowPower
+			if i < high {
+				base = s.HighPower
+			}
+			out[i] = jitter(rng, base, s.Spread)
+		}
+	case PowerLaw:
+		for i := 0; i < s.N; i++ {
+			// Pareto(MinPower, Alpha), clamped at MaxPower.
+			u := rng.Float64()
+			w := s.MinPower * math.Pow(1-u, -1/s.Alpha)
+			if w > s.MaxPower {
+				w = s.MaxPower
+			}
+			out[i] = w
+		}
+	case Clustered:
+		// Cluster means spread geometrically across [MinPower, MaxPower];
+		// nodes assigned round-robin so every cluster is populated.
+		means := make([]float64, s.Clusters)
+		ratio := s.MaxPower / s.MinPower
+		for k := 0; k < s.Clusters; k++ {
+			frac := 0.5
+			if s.Clusters > 1 {
+				frac = float64(k) / float64(s.Clusters-1)
+			}
+			means[k] = s.MinPower * math.Pow(ratio, frac)
+		}
+		for i := 0; i < s.N; i++ {
+			out[i] = jitter(rng, means[i%s.Clusters], s.Spread)
+		}
+	case TracePerturbed:
+		// §5.3 replayed: a homogeneous cluster, background load pinning a
+		// seeded subset to 1/4, 1/2 or 3/4 of its power, plus measurement
+		// jitter on every node.
+		factors := []float64{0.25, 0.5, 0.75}
+		perm := rng.Perm(s.N)
+		loaded := int(s.LoadFraction * float64(s.N))
+		for i := 0; i < s.N; i++ {
+			out[i] = s.BasePower
+		}
+		for k := 0; k < loaded; k++ {
+			out[perm[k]] *= factors[k%len(factors)]
+		}
+		for i := 0; i < s.N; i++ {
+			out[i] = jitter(rng, out[i], s.Spread/5)
+		}
+	default:
+		return nil, fmt.Errorf("scenario: unknown family %q (have %v)", s.Family, Families())
+	}
+	return out, nil
+}
+
+// Corpus returns one spec per (family, size) pair, seeds derived from the
+// base seed. It is the shared test/benchmark corpus: small enough to
+// enumerate in tests, diverse enough to cover every planner regime.
+func Corpus(seed int64, sizes ...int) []Spec {
+	if len(sizes) == 0 {
+		sizes = []int{4, 12, 40, 120}
+	}
+	var specs []Spec
+	for fi, fam := range Families() {
+		for si, n := range sizes {
+			specs = append(specs, Spec{
+				Family: fam,
+				N:      n,
+				Seed:   seed + int64(fi*1000+si),
+			})
+		}
+	}
+	return specs
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"adept/internal/autonomic"
+	"adept/internal/core"
 	"adept/internal/deploy"
 	"adept/internal/hierarchy"
 	"adept/internal/runtime"
@@ -166,10 +167,15 @@ func (s *Server) handleAutonomicStart(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "reparse plan XML: %v", err)
 		return
 	}
-	planner, err := SelectPlanner(ar.Planner)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+	// An explicit planner name pins the replan step; otherwise the control
+	// loop's default (the portfolio race) is used.
+	var planner core.Planner
+	if ar.Planner != "" {
+		var err error
+		if planner, err = SelectPlanner(ar.Planner); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
 	}
 	clients := ar.Clients
 	if clients <= 0 {

@@ -18,6 +18,7 @@ import (
 	"adept/internal/hierarchy"
 	"adept/internal/model"
 	"adept/internal/platform"
+	"adept/internal/portfolio"
 	"adept/internal/runtime"
 	"adept/internal/workload"
 )
@@ -38,6 +39,8 @@ func SelectPlanner(name string) (core.Planner, error) {
 		return &baseline.OptimalDAry{}, nil
 	case "exhaustive":
 		return &baseline.Exhaustive{}, nil
+	case "portfolio":
+		return portfolio.New(), nil
 	default:
 		return nil, fmt.Errorf("unknown planner %q", name)
 	}
@@ -46,7 +49,7 @@ func SelectPlanner(name string) (core.Planner, error) {
 // PlannerNames lists the names SelectPlanner accepts, for error messages
 // and documentation endpoints.
 func PlannerNames() []string {
-	return []string{"heuristic", "heuristic+swap", "star", "balanced", "dary", "exhaustive"}
+	return []string{"heuristic", "heuristic+swap", "star", "balanced", "dary", "exhaustive", "portfolio"}
 }
 
 // Config tunes the daemon.
@@ -201,6 +204,10 @@ type PlanRequest struct {
 	DgemmN       int                `json:"dgemm_n,omitempty"`
 	Demand       float64            `json:"demand,omitempty"`
 	Costs        *model.Costs       `json:"costs,omitempty"`
+	// Portfolio races every stock planner (internal/portfolio) and
+	// answers with the best plan plus per-variant stats. Mutually
+	// exclusive with Planner (it is a planner selection of its own).
+	Portfolio bool `json:"portfolio,omitempty"`
 	// TimeoutMillis optionally shortens the server-side planning deadline.
 	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
 	// NoCache forces a fresh planning run (the result still refreshes the
@@ -224,6 +231,9 @@ type PlanResponse struct {
 	Depth      int     `json:"depth"`
 	XML        string  `json:"xml"`
 	ElapsedMS  float64 `json:"elapsed_ms"`
+	// Variants reports the portfolio race (portfolio requests only;
+	// answers served from the cache omit it — the race never re-ran).
+	Variants []portfolio.Result `json:"variants,omitempty"`
 }
 
 // resolve turns the wire request into a planner plus core.Request.
@@ -244,8 +254,14 @@ func (s *Server) resolve(pr *PlanRequest) (core.Planner, core.Request, error) {
 		return nil, req, errors.New("missing platform or platform_name")
 	}
 
-	planner, err := SelectPlanner(pr.Planner)
-	if err != nil {
+	var planner core.Planner
+	var err error
+	if pr.Portfolio {
+		if pr.Planner != "" && pr.Planner != "portfolio" {
+			return nil, req, fmt.Errorf("portfolio=true conflicts with planner %q", pr.Planner)
+		}
+		planner = portfolio.New()
+	} else if planner, err = SelectPlanner(pr.Planner); err != nil {
 		return nil, req, fmt.Errorf("%v (have %v)", err, PlannerNames())
 	}
 
@@ -286,6 +302,7 @@ func (s *Server) plan(r *http.Request, pr *PlanRequest) (*PlanResponse, core.Req
 	start := time.Now()
 	cached := false
 	var plan *core.Plan
+	var variants []portfolio.Result
 	if !pr.NoCache {
 		plan, cached = s.cache.Get(key)
 	}
@@ -298,7 +315,17 @@ func (s *Server) plan(r *http.Request, pr *PlanRequest) (*PlanResponse, core.Req
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
-		plan, err = s.pool.Plan(ctx, planner, req)
+		if pf, ok := planner.(*portfolio.Planner); ok {
+			// Run the race through the worker pool but keep its
+			// per-variant stats for the response.
+			plan, err = s.pool.Submit(ctx, func(ctx context.Context) (*core.Plan, error) {
+				p, vs, err := pf.PlanWithStats(ctx, req)
+				variants = vs
+				return p, err
+			})
+		} else {
+			plan, err = s.pool.Plan(ctx, planner, req)
+		}
 		if err != nil {
 			// A planner failure is a property of the request (pool too big
 			// for the exhaustive search, no feasible deployment, …), not a
@@ -336,6 +363,7 @@ func (s *Server) plan(r *http.Request, pr *PlanRequest) (*PlanResponse, core.Req
 		Depth:      hs.Depth,
 		XML:        xml,
 		ElapsedMS:  float64(time.Since(start)) / float64(time.Millisecond),
+		Variants:   variants,
 	}
 	return resp, req, http.StatusOK, nil
 }

@@ -522,3 +522,70 @@ func TestPlannerContextCancellation(t *testing.T) {
 		}
 	}
 }
+
+// TestPlanPortfolioOption exercises portfolio=true end to end: the race
+// runs through the worker pool, the response carries per-variant stats
+// with exactly one winner, the returned throughput dominates the plain
+// heuristic's, and a cached repeat omits the stats (the race never
+// re-ran). A conflicting explicit planner is rejected.
+func TestPlanPortfolioOption(t *testing.T) {
+	_, ts := newTestServer(t)
+	plat := testPlatform(20)
+
+	resp, body := postJSON(t, ts.URL+"/v1/plan", PlanRequest{Platform: plat, DgemmN: 310, Portfolio: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var pr PlanResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Variants) == 0 {
+		t.Fatal("portfolio response carries no variant stats")
+	}
+	winners := 0
+	for _, v := range pr.Variants {
+		if v.Winner {
+			winners++
+			if want := "portfolio:" + v.Variant; pr.Planner != want {
+				t.Errorf("planner %q, want %q", pr.Planner, want)
+			}
+		}
+	}
+	if winners != 1 {
+		t.Errorf("%d winners in stats, want 1", winners)
+	}
+
+	respH, bodyH := postJSON(t, ts.URL+"/v1/plan", PlanRequest{Platform: plat, DgemmN: 310})
+	if respH.StatusCode != http.StatusOK {
+		t.Fatalf("heuristic status %d: %s", respH.StatusCode, bodyH)
+	}
+	var hr PlanResponse
+	if err := json.Unmarshal(bodyH, &hr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Capped < hr.Capped {
+		t.Errorf("portfolio capped %.4f below heuristic %.4f", pr.Capped, hr.Capped)
+	}
+
+	// Cached repeat: same key, no fresh race, so no variant stats.
+	resp2, body2 := postJSON(t, ts.URL+"/v1/plan", PlanRequest{Platform: plat, DgemmN: 310, Portfolio: true})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("repeat status %d: %s", resp2.StatusCode, body2)
+	}
+	var pr2 PlanResponse
+	if err := json.Unmarshal(body2, &pr2); err != nil {
+		t.Fatal(err)
+	}
+	if !pr2.Cached {
+		t.Error("repeat portfolio request not served from cache")
+	}
+	if len(pr2.Variants) != 0 {
+		t.Error("cached response repeats variant stats")
+	}
+
+	respBad, bodyBad := postJSON(t, ts.URL+"/v1/plan", PlanRequest{Platform: plat, DgemmN: 310, Portfolio: true, Planner: "star"})
+	if respBad.StatusCode != http.StatusBadRequest {
+		t.Errorf("conflicting planner accepted: status %d: %s", respBad.StatusCode, bodyBad)
+	}
+}

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# bench.sh — the planner bench regression harness.
+#
+# Runs the BenchmarkHeuristicPlan{100,1k,5k} scaling benchmarks (plus their
+# Naive twins planning through the retained full-recompute evaluator),
+# writes BENCH_plan.json, and gates:
+#
+#   1. the 5k incremental-vs-naive speedup must be >= 10x (within-run
+#      ratio: machine-independent, enforced everywhere);
+#   2. when a baseline file exists (BENCH_BASELINE, default
+#      BENCH_plan_baseline.json), ns/op may not regress more than
+#      BENCH_NS_TOL (default 20%) and allocs/op more than
+#      BENCH_ALLOCS_TOL (default 20%) against it (same-machine
+#      comparison; CI keeps a best-ever rolling baseline in the actions
+#      cache and widens the ns tolerance for runner variance).
+#
+# Knobs: BENCHTIME (default 3x), COUNT (default 1), BENCH_BASELINE,
+# BENCH_NS_TOL, BENCH_ALLOCS_TOL.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-3x}"
+COUNT="${COUNT:-1}"
+BASELINE="${BENCH_BASELINE:-BENCH_plan_baseline.json}"
+NS_TOL="${BENCH_NS_TOL:-0.20}"
+ALLOCS_TOL="${BENCH_ALLOCS_TOL:-0.20}"
+
+go test -run '^$' \
+  -bench 'BenchmarkHeuristicPlan(100|1k|5k)$|BenchmarkHeuristicPlanNaive(100|1k|5k)$' \
+  -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . | tee bench_plan.txt
+
+go run ./cmd/benchguard -parse bench_plan.txt -out BENCH_plan.json
+
+go run ./cmd/benchguard -new BENCH_plan.json \
+  -require-speedup 10 \
+  -speedup-pair BenchmarkHeuristicPlanNaive5k:BenchmarkHeuristicPlan5k
+
+if [ -f "$BASELINE" ]; then
+  go run ./cmd/benchguard -base "$BASELINE" -new BENCH_plan.json -tol "$NS_TOL" -allocs-tol "$ALLOCS_TOL"
+else
+  echo "bench.sh: no baseline at $BASELINE — skipping regression compare (seed one with: cp BENCH_plan.json $BASELINE)"
+fi
