@@ -3,8 +3,10 @@ package adept_test
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 
 	"adept/internal/baseline"
@@ -281,6 +283,89 @@ func BenchmarkServicePlanCache(b *testing.B) {
 	}
 	b.Run("cold", func(b *testing.B) { do(b, true) })
 	b.Run("warm", func(b *testing.B) { do(b, false) })
+}
+
+// BenchmarkServicePlanThroughput measures the serving layer end to end
+// under the two key workloads real traffic is made of, driving the adeptd
+// handler from GOMAXPROCS goroutines:
+//
+//   - hot: every request repeats one of 8 pre-warmed keys, so the whole
+//     round trip is decode → sharded-cache hit on a pre-rendered entry →
+//     encode. This is the path the cache sharding and rendered entries
+//     exist for; ns/op here is the daemon's floor per request.
+//   - mixed: 90% hot keys, 10% cold (a unique Wapp forces a fresh
+//     planner run through the pool), the shape of a realistic key
+//     distribution with churn.
+//
+// scripts/bench.sh records both into BENCH_plan.json, so cmd/benchguard
+// gates serving-layer regressions exactly like planner regressions.
+func BenchmarkServicePlanThroughput(b *testing.B) {
+	run := func(b *testing.B, coldEvery int) {
+		srv, err := service.New(service.Config{CacheSize: 4096, QueueDepth: 4096})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		handler := srv.Handler()
+
+		const hotKeys = 8
+		hotBodies := make([][]byte, hotKeys)
+		for i := range hotBodies {
+			plat, err := platform.Generate(platform.GenSpec{
+				Name: fmt.Sprintf("bench-tp-%d", i), N: 120,
+				Bandwidth: 100, MinPower: 100, MaxPower: 800, Seed: int64(100 + i),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			hotBodies[i], err = json.Marshal(service.PlanRequest{Platform: plat, DgemmN: 310})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Pre-warm so the hot path measures hits, not first plans.
+			req := httptest.NewRequest(http.MethodPost, "/v1/plan", bytes.NewReader(hotBodies[i]))
+			rec := httptest.NewRecorder()
+			handler.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("warmup status %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+		coldTemplate := hotBodies[0]
+		var seq atomic.Int64
+
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				i++
+				body := hotBodies[i%hotKeys]
+				if coldEvery > 0 && i%coldEvery == 0 {
+					// A unique wapp value rewrites the content address:
+					// guaranteed cache miss, fresh pool run.
+					var pr service.PlanRequest
+					if err := json.Unmarshal(coldTemplate, &pr); err != nil {
+						b.Fatal(err)
+					}
+					pr.DgemmN = 0
+					pr.Wapp = 1e6 + float64(seq.Add(1))
+					var err error
+					body, err = json.Marshal(pr)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				req := httptest.NewRequest(http.MethodPost, "/v1/plan", bytes.NewReader(body))
+				rec := httptest.NewRecorder()
+				handler.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+				}
+			}
+		})
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	}
+	b.Run("hot", func(b *testing.B) { run(b, 0) })
+	b.Run("mixed", func(b *testing.B) { run(b, 10) })
 }
 
 // BenchmarkModelEvaluate measures one throughput-model evaluation of a

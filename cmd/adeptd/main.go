@@ -1,7 +1,10 @@
 // Command adeptd serves deployment planning over HTTP: the long-running
-// ADePT daemon. It wraps internal/service — a platform registry, a
-// content-addressed plan cache with LRU eviction, and a bounded worker
-// pool running the planners concurrently — behind a JSON API:
+// ADePT daemon. It wraps internal/service — a platform registry
+// (journalled to -platform-dir so registrations survive restarts), a
+// content-addressed sharded plan cache of pre-rendered responses,
+// singleflight coalescing of identical concurrent requests, and a
+// bounded worker pool that sheds excess load with 429 + Retry-After —
+// behind a JSON API:
 //
 //	POST   /v1/plan              plan one deployment (cache-accelerated)
 //	POST   /v1/plan/batch        fan one call out over many requests
@@ -20,6 +23,12 @@
 //
 //	adeptd [-addr :8080] [-platform-dir dir] [-cache 256]
 //	       [-workers N] [-queue 64] [-plan-timeout 30s]
+//
+// -platform-dir both preloads *.json platforms at startup and receives
+// the write-through journal of later PUT /v1/platforms calls (atomic
+// temp-file renames). -queue bounds jobs waiting for a planner worker;
+// when it is full the daemon answers 429 with Retry-After instead of
+// blocking (see cmd/adeptload for measuring this under load).
 //
 // Example session:
 //
@@ -74,11 +83,20 @@ func run() error {
 	defer srv.Close()
 
 	if *platformDir != "" {
+		// The platform dir is both the startup preload and the journal:
+		// PUT /v1/platforms/* writes through to it (atomic temp-file
+		// rename), so a restart pointed here keeps its registrations.
+		if err := os.MkdirAll(*platformDir, 0o755); err != nil {
+			return err
+		}
 		names, err := srv.Registry().LoadDir(*platformDir)
 		if err != nil {
 			return err
 		}
-		log.Printf("loaded %d platform(s) from %s: %v", len(names), *platformDir, names)
+		if err := srv.Registry().PersistTo(*platformDir); err != nil {
+			return err
+		}
+		log.Printf("loaded %d platform(s) from %s (journaling writes back): %v", len(names), *platformDir, names)
 	}
 
 	httpSrv := &http.Server{

@@ -1,0 +1,352 @@
+// Command adeptload is a closed-loop load generator for the adeptd
+// planning daemon: the serving-layer counterpart of scripts/bench.sh. It
+// drives POST /v1/plan with a configurable mix of hot keys (repeated
+// requests that coalesce and hit the plan cache) and cold keys (unique
+// content addresses that force a fresh planner run), paces them at a
+// target request rate, and reports achieved throughput, a latency
+// histogram with percentiles, and the daemon-side outcome mix (cached /
+// coalesced / fresh / shed).
+//
+// Usage:
+//
+//	adeptload [-url http://localhost:8080] [-duration 10s] [-rps 200]
+//	          [-conns 8] [-hot 0.9] [-hot-keys 4] [-nodes 60]
+//	          [-planner heuristic] [-seed 1] [-json]
+//
+// With -rps 0 the workers run unpaced (pure closed loop: each connection
+// issues its next request as soon as the previous one answers), which
+// measures the daemon's saturation throughput. A paced run held below
+// saturation measures latency under load instead; 429 responses count as
+// shed, not as errors, since backpressure is the daemon behaving as
+// configured (see -queue on adeptd).
+//
+// The generator registers its hot platforms under adeptload-hot-<i> via
+// PUT /v1/platforms, so the daemon must be reachable before the run.
+// Exit status is non-zero when no request succeeded.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adept/internal/platform"
+	"adept/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "adeptload:", err)
+		os.Exit(1)
+	}
+}
+
+// planWire is the subset of adeptd's request/response bodies the
+// generator needs; duplicating the three fields keeps the binary free of
+// a dependency on internal/service's server types.
+type planWire struct {
+	PlatformName string  `json:"platform_name,omitempty"`
+	Planner      string  `json:"planner,omitempty"`
+	Wapp         float64 `json:"wapp,omitempty"`
+	DgemmN       int     `json:"dgemm_n,omitempty"`
+}
+
+type planAnswer struct {
+	Cached    bool `json:"cached"`
+	Coalesced bool `json:"coalesced"`
+}
+
+// recorder accumulates one worker's observations; workers never share a
+// recorder, so recording is lock-free and merged after the run.
+type recorder struct {
+	latencies []float64 // seconds, successful requests only
+	ok        int
+	shed      int // 429: admission control, not an error
+	errors    int
+	cached    int
+	coalesced int
+	fresh     int
+}
+
+func (r *recorder) merge(o *recorder) {
+	r.latencies = append(r.latencies, o.latencies...)
+	r.ok += o.ok
+	r.shed += o.shed
+	r.errors += o.errors
+	r.cached += o.cached
+	r.coalesced += o.coalesced
+	r.fresh += o.fresh
+}
+
+func run() error {
+	var (
+		url      = flag.String("url", "http://localhost:8080", "adeptd base URL")
+		duration = flag.Duration("duration", 10*time.Second, "load window")
+		rps      = flag.Float64("rps", 0, "target request rate (0 = unpaced closed loop)")
+		conns    = flag.Int("conns", 8, "concurrent closed-loop connections")
+		hot      = flag.Float64("hot", 0.9, "fraction of requests on hot keys (cache/coalesce path)")
+		hotKeys  = flag.Int("hot-keys", 4, "number of distinct hot keys")
+		nodes    = flag.Int("nodes", 60, "platform size (nodes) per key")
+		planner  = flag.String("planner", "", "planner to request (default heuristic)")
+		seed     = flag.Int64("seed", 1, "platform generation seed")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-request client timeout")
+		jsonOut  = flag.Bool("json", false, "emit a JSON summary instead of text")
+	)
+	flag.Parse()
+	if *conns <= 0 || *hotKeys <= 0 || *nodes < 2 {
+		return fmt.Errorf("need positive -conns/-hot-keys and -nodes >= 2")
+	}
+	if *hot < 0 || *hot > 1 {
+		return fmt.Errorf("-hot %g outside [0,1]", *hot)
+	}
+
+	client := &http.Client{Timeout: *timeout}
+
+	// Register the hot platforms. Each hot key is one (platform, dgemm)
+	// pair, so repeated requests against it share one content address.
+	for i := 0; i < *hotKeys; i++ {
+		p, err := platform.Generate(platform.GenSpec{
+			Name: fmt.Sprintf("adeptload-hot-%d", i), N: *nodes,
+			Bandwidth: 100, MinPower: 100, MaxPower: 800, Seed: *seed + int64(i),
+		})
+		if err != nil {
+			return err
+		}
+		body, err := p.MarshalIndent()
+		if err != nil {
+			return err
+		}
+		req, err := http.NewRequest(http.MethodPut,
+			fmt.Sprintf("%s/v1/platforms/adeptload-hot-%d", *url, i), bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return fmt.Errorf("register platform: %w (is adeptd running at %s?)", err, *url)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("register platform: status %d", resp.StatusCode)
+		}
+	}
+
+	// Pacing: a token channel filled at the target rate. Unpaced runs get
+	// a nil channel (never selected) and issue back to back.
+	var tokens chan struct{}
+	stop := make(chan struct{})
+	if *rps > 0 {
+		tokens = make(chan struct{}, *conns)
+		interval := time.Duration(float64(time.Second) / *rps)
+		if interval <= 0 {
+			interval = time.Nanosecond
+		}
+		go func() {
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					select {
+					case tokens <- struct{}{}:
+					default: // generator is behind; drop the token, not the pace
+					}
+				}
+			}
+		}()
+	}
+
+	var coldSeq atomic.Int64
+	deadline := time.Now().Add(*duration)
+	recs := make([]*recorder, *conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *conns; w++ {
+		rec := &recorder{}
+		recs[w] = rec
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
+			for time.Now().Before(deadline) {
+				if tokens != nil {
+					select {
+					case <-tokens:
+					case <-time.After(time.Until(deadline)):
+						return
+					}
+				}
+				wire := planWire{
+					PlatformName: fmt.Sprintf("adeptload-hot-%d", rng.Intn(*hotKeys)),
+					Planner:      *planner,
+					DgemmN:       310,
+				}
+				if rng.Float64() >= *hot {
+					// Cold key: a unique Wapp yields a unique content
+					// address, forcing a fresh planner run.
+					wire.DgemmN = 0
+					wire.Wapp = 1e6 + float64(coldSeq.Add(1))
+				}
+				body, err := json.Marshal(wire)
+				if err != nil {
+					rec.errors++
+					continue
+				}
+				t0 := time.Now()
+				resp, err := client.Post(*url+"/v1/plan", "application/json", bytes.NewReader(body))
+				if err != nil {
+					rec.errors++
+					continue
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					var ans planAnswer
+					if err := json.NewDecoder(resp.Body).Decode(&ans); err != nil {
+						rec.errors++
+					} else {
+						rec.ok++
+						rec.latencies = append(rec.latencies, time.Since(t0).Seconds())
+						switch {
+						case ans.Cached:
+							rec.cached++
+						case ans.Coalesced:
+							rec.coalesced++
+						default:
+							rec.fresh++
+						}
+					}
+				case http.StatusTooManyRequests:
+					rec.shed++
+				default:
+					rec.errors++
+				}
+				// Drain before closing so the keep-alive connection is
+				// reused; otherwise every shed/error response costs a fresh
+				// TCP setup and the generator measures connection churn.
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	elapsed := time.Since(start)
+
+	total := &recorder{}
+	for _, rec := range recs {
+		total.merge(rec)
+	}
+	report(total, elapsed, *jsonOut)
+	if total.ok == 0 {
+		return fmt.Errorf("no request succeeded (%d shed, %d errors)", total.shed, total.errors)
+	}
+	return nil
+}
+
+// summary is the -json output schema.
+type summary struct {
+	DurationSeconds float64 `json:"duration_seconds"`
+	Requests        int     `json:"requests"`
+	OK              int     `json:"ok"`
+	Shed            int     `json:"shed"`
+	Errors          int     `json:"errors"`
+	Cached          int     `json:"cached"`
+	Coalesced       int     `json:"coalesced"`
+	Fresh           int     `json:"fresh"`
+	AchievedRPS     float64 `json:"achieved_rps"`
+	P50Millis       float64 `json:"p50_ms"`
+	P90Millis       float64 `json:"p90_ms"`
+	P99Millis       float64 `json:"p99_ms"`
+	MaxMillis       float64 `json:"max_ms"`
+}
+
+func report(r *recorder, elapsed time.Duration, asJSON bool) {
+	s := summary{
+		DurationSeconds: elapsed.Seconds(),
+		Requests:        r.ok + r.shed + r.errors,
+		OK:              r.ok,
+		Shed:            r.shed,
+		Errors:          r.errors,
+		Cached:          r.cached,
+		Coalesced:       r.coalesced,
+		Fresh:           r.fresh,
+		AchievedRPS:     float64(r.ok) / elapsed.Seconds(),
+	}
+	if len(r.latencies) > 0 {
+		s.P50Millis = stats.Percentile(r.latencies, 50) * 1e3
+		s.P90Millis = stats.Percentile(r.latencies, 90) * 1e3
+		s.P99Millis = stats.Percentile(r.latencies, 99) * 1e3
+		max := r.latencies[0]
+		for _, v := range r.latencies {
+			if v > max {
+				max = v
+			}
+		}
+		s.MaxMillis = max * 1e3
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s)
+		return
+	}
+
+	fmt.Printf("adeptload: %d requests in %.2fs (%.1f ok req/s)\n", s.Requests, s.DurationSeconds, s.AchievedRPS)
+	fmt.Printf("  ok %d (cached %d, coalesced %d, fresh %d)  shed(429) %d  errors %d\n",
+		s.OK, s.Cached, s.Coalesced, s.Fresh, s.Shed, s.Errors)
+	if len(r.latencies) == 0 {
+		return
+	}
+	fmt.Printf("  latency p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms\n",
+		s.P50Millis, s.P90Millis, s.P99Millis, s.MaxMillis)
+	printHistogram(r.latencies)
+}
+
+// printHistogram renders successful-request latencies into doubling
+// buckets starting at 0.25ms.
+func printHistogram(latencies []float64) {
+	sorted := append([]float64(nil), latencies...)
+	sort.Float64s(sorted)
+	edge := 0.25e-3
+	counts := []int{}
+	edges := []float64{}
+	i := 0
+	for i < len(sorted) {
+		n := 0
+		for i < len(sorted) && sorted[i] < edge {
+			n++
+			i++
+		}
+		counts = append(counts, n)
+		edges = append(edges, edge)
+		edge *= 2
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for b, c := range counts {
+		if c == 0 && (b == 0 || counts[b-1] == 0) {
+			continue // skip leading/embedded empty runs at the edges
+		}
+		bar := ""
+		if maxCount > 0 {
+			bar = string(bytes.Repeat([]byte{'#'}, c*40/maxCount))
+		}
+		fmt.Printf("  < %8.2fms %6d %s\n", edges[b]*1e3, c, bar)
+	}
+}

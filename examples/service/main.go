@@ -1,10 +1,19 @@
 // Planning-as-a-service walkthrough: start the adeptd service in-process,
 // register a platform, plan against it twice (observing the cache hit),
-// fan a batch across every planner, launch a live deployment through the
-// daemon, and read back the metrics — everything cmd/adeptd serves, driven
-// through its HTTP API exactly as a remote client would.
+// send a thundering herd of identical requests (observing that they
+// coalesce onto one planner run), fan a batch across every planner,
+// launch a live deployment through the daemon, and read back the metrics
+// — everything cmd/adeptd serves, driven through its HTTP API exactly as
+// a remote client would.
 //
 // Run with: go run ./examples/service
+//
+// For load-testing a real daemon over the network — target request
+// rates, hot/cold key mixes, latency histograms, and 429 backpressure —
+// use the closed-loop generator instead:
+//
+//	go run ./cmd/adeptd -addr :8080 &
+//	go run ./cmd/adeptload -url http://localhost:8080 -duration 10s -rps 200
 package main
 
 import (
@@ -14,6 +23,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 
 	"adept/internal/platform"
 	"adept/internal/service"
@@ -52,7 +62,39 @@ func main() {
 			i, pr.Planner, pr.Rho, pr.Bottleneck, pr.NodesUsed, pr.Cached, pr.ElapsedMS)
 	}
 
-	// 3. Batch: the same platform across every planner in one call.
+	// 3. Thundering herd: concurrent identical requests on a cold key
+	// coalesce onto a single planning run — the joiners answer with
+	// "coalesced": true and the daemon burns one pool worker, not eight.
+	herd, err := platform.Generate(platform.GenSpec{
+		Name: "herd", N: 300, Bandwidth: 100, MinPower: 100, MaxPower: 800, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const herdSize = 8
+	herdResults := make([]service.PlanResponse, herdSize)
+	var wg sync.WaitGroup
+	for i := 0; i < herdSize; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			postJSON(ts.URL+"/v1/plan", service.PlanRequest{Platform: herd, DgemmN: 310}, &herdResults[i])
+		}(i)
+	}
+	wg.Wait()
+	coalesced, cached := 0, 0
+	for _, pr := range herdResults {
+		if pr.Coalesced {
+			coalesced++
+		}
+		if pr.Cached {
+			cached++
+		}
+	}
+	fmt.Printf("\nthundering herd: %d identical requests -> %d coalesced, %d cached, %d planner run(s)\n",
+		herdSize, coalesced, cached, herdSize-coalesced-cached)
+
+	// 4. Batch: the same platform across every planner in one call.
 	var batch service.BatchResponse
 	var reqs []service.PlanRequest
 	planners := []string{"heuristic", "heuristic+swap", "star", "balanced", "dary"}
@@ -70,7 +112,7 @@ func main() {
 			item.Plan.Planner, item.Plan.Rho, item.Plan.NodesUsed, item.Plan.Depth)
 	}
 
-	// 4. Live deployment: the daemon launches the planned hierarchy on the
+	// 5. Live deployment: the daemon launches the planned hierarchy on the
 	// in-process middleware runtime and drives closed-loop clients.
 	var dep service.DeployResponse
 	postJSON(ts.URL+"/v1/deploy", service.DeployRequest{
@@ -84,7 +126,7 @@ func main() {
 	fmt.Printf("\nlive deploy: %d requests completed (%.1f req/s real) on %d servers\n",
 		dep.Completed, dep.Throughput, len(dep.ServedCounts))
 
-	// 5. Metrics: counters, cache hit/miss, latency percentiles.
+	// 6. Metrics: counters, cache hit/miss, coalescing, latency percentiles.
 	resp, err := http.Get(ts.URL + "/v1/metrics")
 	if err != nil {
 		log.Fatal(err)
@@ -94,8 +136,8 @@ func main() {
 		log.Fatal(err)
 	}
 	resp.Body.Close()
-	fmt.Printf("\nmetrics: %d requests, cache %d hit / %d miss, %d platform(s)\n",
-		rep.Requests, rep.CacheHits, rep.CacheMisses, rep.Platforms)
+	fmt.Printf("\nmetrics: %d requests, cache %d hit / %d miss (%d shards), %d coalesced, %d planner run(s), %d platform(s)\n",
+		rep.Requests, rep.CacheHits, rep.CacheMisses, rep.CacheShards, rep.Coalesced, rep.PlansExecuted, rep.Platforms)
 	for ep, em := range rep.Endpoints {
 		fmt.Printf("  %-16s %3d req  p50=%.2fms  p99=%.2fms\n", ep, em.Requests, em.P50Millis, em.P99Millis)
 	}

@@ -159,7 +159,7 @@ func (s *Server) handleAutonomicStart(w http.ResponseWriter, r *http.Request) {
 
 	resp, req, status, err := s.plan(r, &ar.PlanRequest)
 	if err != nil {
-		writeError(w, status, "%v", err)
+		writePlanError(w, status, err)
 		return
 	}
 	h, err := hierarchy.ParseXML(strings.NewReader(resp.XML))

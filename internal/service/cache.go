@@ -5,10 +5,13 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"sync"
 
 	"adept/internal/core"
+	"adept/internal/hierarchy"
 	"adept/internal/model"
 	"adept/internal/platform"
 	"adept/internal/workload"
@@ -47,12 +50,60 @@ func KeyFor(planner string, req core.Request) (CacheKey, error) {
 	return CacheKey(hex.EncodeToString(sum[:])), nil
 }
 
+// CachedPlan is the immutable rendered form of a plan as stored in the
+// cache: the plan itself (a private clone, to be treated as read-only),
+// plus the deployment XML and hierarchy stats precomputed once at Render
+// time. Hot cache hits are answered entirely from this struct, so
+// concurrent readers never touch a shared mutable *core.Plan — the
+// pre-sharding cache handed the same pointer to every caller, and the
+// handlers then ran XML marshalling and stats walks on it from many
+// goroutines at once.
+type CachedPlan struct {
+	Plan  *core.Plan
+	XML   string
+	Stats hierarchy.Stats
+}
+
+// errRenderPlan marks a failure to render a successfully planned
+// deployment — a daemon-side fault the HTTP layer maps to 500, never a
+// property of the client's request.
+var errRenderPlan = errors.New("service: render plan")
+
+// Render clones plan and precomputes its XML and hierarchy stats,
+// producing the immutable entry the cache stores. The clone isolates the
+// cache from any later mutation of the caller's plan.
+func Render(plan *core.Plan) (*CachedPlan, error) {
+	xml, err := plan.XML()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errRenderPlan, err)
+	}
+	stats := plan.Hierarchy.ComputeStats()
+	cp := *plan
+	cp.Hierarchy = plan.Hierarchy.Clone()
+	return &CachedPlan{Plan: &cp, XML: xml, Stats: stats}, nil
+}
+
+// defaultCacheShards is the segment count of the sharded cache. Sixteen
+// stripes keep lock hold times independent across the digest space at any
+// worker count the daemon realistically runs with.
+const defaultCacheShards = 16
+
 // PlanCache is a content-addressed, LRU-evicting plan cache. Identical
 // requests (same platform, costs, Wapp, demand, planner) hash to the same
 // key and are answered without re-planning; any change to any input
-// produces a different key and therefore a miss. Cached plans are shared
-// between callers and must be treated as read-only.
+// produces a different key and therefore a miss.
+//
+// The cache is sharded into power-of-two lock-striped segments selected
+// by the leading byte of the digest, so concurrent hot hits on different
+// keys do not serialise on one mutex. Capacity is split evenly across
+// shards and eviction is LRU per shard — with SHA-256 keys the shards
+// fill uniformly, so the global behaviour approximates a single LRU.
 type PlanCache struct {
+	shards []cacheShard
+	mask   uint32
+}
+
+type cacheShard struct {
 	mu       sync.Mutex
 	capacity int
 	entries  map[CacheKey]*list.Element
@@ -63,77 +114,174 @@ type PlanCache struct {
 
 type cacheEntry struct {
 	key  CacheKey
-	plan *core.Plan
+	plan *CachedPlan
 }
 
-// NewPlanCache builds a cache holding at most capacity plans; capacity
-// must be positive.
+// minShardCapacity floors the entries per shard: a small cache split into
+// single-entry stripes would thrash whenever two hot digests collide on a
+// shard, so the shard count shrinks before per-shard capacity does.
+const minShardCapacity = 8
+
+// NewPlanCache builds a cache holding at most capacity plans across the
+// default shard count (reduced for small capacities so every shard keeps
+// a useful LRU depth); capacity must be positive.
 func NewPlanCache(capacity int) (*PlanCache, error) {
+	shards := defaultCacheShards
+	for shards > 1 && capacity/shards < minShardCapacity {
+		shards /= 2
+	}
+	return newPlanCacheShards(capacity, shards)
+}
+
+// newPlanCacheShards builds a cache with an explicit shard count (rounded
+// down to a power of two, and never above capacity so every shard holds
+// at least one entry). Tests use a single shard for deterministic global
+// LRU order.
+func newPlanCacheShards(capacity, shards int) (*PlanCache, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("service: cache capacity must be positive, got %d", capacity)
 	}
-	return &PlanCache{
-		capacity: capacity,
-		entries:  make(map[CacheKey]*list.Element, capacity),
-		order:    list.New(),
-	}, nil
+	if shards <= 0 {
+		return nil, fmt.Errorf("service: cache shard count must be positive, got %d", shards)
+	}
+	for shards > capacity {
+		shards /= 2
+	}
+	n := 1
+	for n*2 <= shards {
+		n *= 2
+	}
+	c := &PlanCache{shards: make([]cacheShard, n), mask: uint32(n - 1)}
+	for i := range c.shards {
+		per := capacity / n
+		if i < capacity%n {
+			per++
+		}
+		c.shards[i] = cacheShard{
+			capacity: per,
+			entries:  make(map[CacheKey]*list.Element, per),
+			order:    list.New(),
+		}
+	}
+	return c, nil
 }
 
-// Get returns the cached plan for key, recording a hit or miss and
-// refreshing the entry's recency on a hit.
-func (c *PlanCache) Get(key CacheKey) (*core.Plan, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
+// shard selects the segment for key: the digest's leading byte for hex
+// keys (uniform by construction for SHA-256 addresses), an FNV hash
+// otherwise.
+func (c *PlanCache) shard(key CacheKey) *cacheShard {
+	if len(key) >= 2 {
+		if b, err := hex.DecodeString(string(key[:2])); err == nil {
+			return &c.shards[uint32(b[0])&c.mask]
+		}
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return &c.shards[h.Sum32()&c.mask]
+}
+
+// Get returns the cached rendered plan for key, recording a hit or miss
+// and refreshing the entry's recency on a hit. The returned entry is
+// shared between callers and must be treated as read-only.
+func (c *PlanCache) Get(key CacheKey) (*CachedPlan, bool) {
+	entry, ok := c.lookup(key)
 	if !ok {
-		c.misses++
+		c.noteMiss(key)
+	}
+	return entry, ok
+}
+
+// lookup is Get without the miss accounting: a hit is recorded (and
+// recency refreshed), an absence is reported silently. The serving layer
+// uses it so that a thundering herd coalescing onto one flight charges
+// one miss — attributed where the planning run happens — rather than N.
+func (c *PlanCache) lookup(key CacheKey) (*CachedPlan, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
 		return nil, false
 	}
-	c.hits++
-	c.order.MoveToFront(el)
+	s.hits++
+	s.order.MoveToFront(el)
 	return el.Value.(*cacheEntry).plan, true
 }
 
-// Put stores plan under key, evicting the least recently used entry when
-// the cache is at capacity. Storing an existing key refreshes its value
-// and recency.
-func (c *PlanCache) Put(key CacheKey, plan *core.Plan) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
+// noteMiss charges one miss against key's shard.
+func (c *PlanCache) noteMiss(key CacheKey) {
+	s := c.shard(key)
+	s.mu.Lock()
+	s.misses++
+	s.mu.Unlock()
+}
+
+// peek reports the cached entry without touching recency or the hit/miss
+// counters — the coalescing layer uses it to close the miss-to-flight
+// window without double-counting stats.
+func (c *PlanCache) peek(key CacheKey) (*CachedPlan, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*cacheEntry).plan, true
+}
+
+// Put stores the rendered plan under key, evicting the least recently
+// used entry of the key's shard when that shard is at capacity. Storing
+// an existing key refreshes its value and recency.
+func (c *PlanCache) Put(key CacheKey, plan *CachedPlan) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
 		el.Value.(*cacheEntry).plan = plan
-		c.order.MoveToFront(el)
+		s.order.MoveToFront(el)
 		return
 	}
-	if c.order.Len() >= c.capacity {
-		oldest := c.order.Back()
+	if s.order.Len() >= s.capacity {
+		oldest := s.order.Back()
 		if oldest != nil {
-			c.order.Remove(oldest)
-			delete(c.entries, oldest.Value.(*cacheEntry).key)
+			s.order.Remove(oldest)
+			delete(s.entries, oldest.Value.(*cacheEntry).key)
 		}
 	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, plan: plan})
+	s.entries[key] = s.order.PushFront(&cacheEntry{key: key, plan: plan})
 }
 
 // Contains reports whether key is cached without touching recency or the
 // hit/miss counters.
 func (c *PlanCache) Contains(key CacheKey) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	_, ok := c.entries[key]
+	_, ok := c.peek(key)
 	return ok
 }
 
-// Len returns the number of cached plans.
+// Len returns the number of cached plans across all shards.
 func (c *PlanCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.order.Len()
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// Stats returns the cumulative hit and miss counts.
+// Shards returns the shard count.
+func (c *PlanCache) Shards() int { return len(c.shards) }
+
+// Stats returns the cumulative hit and miss counts summed over shards.
 func (c *PlanCache) Stats() (hits, misses uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.misses
+		s.mu.Unlock()
+	}
+	return hits, misses
 }

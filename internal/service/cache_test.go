@@ -1,6 +1,9 @@
 package service
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
 	"testing"
 
 	"adept/internal/core"
@@ -87,6 +90,15 @@ func TestKeyForSensitivity(t *testing.T) {
 	}
 }
 
+func mustRender(t *testing.T, plan *core.Plan) *CachedPlan {
+	t.Helper()
+	entry, err := Render(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return entry
+}
+
 func TestCacheHitOnIdenticalRequest(t *testing.T) {
 	cache, err := NewPlanCache(4)
 	if err != nil {
@@ -105,7 +117,7 @@ func TestCacheHitOnIdenticalRequest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cache.Put(key, plan)
+	cache.Put(key, mustRender(t, plan))
 
 	// An identical request re-hashes to the same key and hits.
 	key2, err := KeyFor("heuristic", testRequest(t, 2))
@@ -116,11 +128,56 @@ func TestCacheHitOnIdenticalRequest(t *testing.T) {
 	if !ok {
 		t.Fatal("identical request missed")
 	}
-	if got != plan {
-		t.Error("hit returned a different plan")
+	if got.Plan.Eval.Rho != plan.Eval.Rho {
+		t.Errorf("hit rho %g != planned rho %g", got.Plan.Eval.Rho, plan.Eval.Rho)
+	}
+	wantXML, err := plan.XML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.XML != wantXML {
+		t.Error("pre-rendered XML differs from plan.XML()")
 	}
 	if hits, misses := cache.Stats(); hits != 1 || misses != 1 {
 		t.Errorf("stats = (%d hits, %d misses), want (1, 1)", hits, misses)
+	}
+}
+
+// The cached entry must be isolated from the plan the planner handed
+// over: mutating the original hierarchy after Put cannot corrupt what
+// other goroutines read back.
+func TestCacheEntryIsolatedFromCallerPlan(t *testing.T) {
+	cache, err := NewPlanCache(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := testRequest(t, 5)
+	plan, err := core.NewHeuristic().Plan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := KeyFor("heuristic", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Put(key, mustRender(t, plan))
+
+	agents := plan.Hierarchy.ComputeStats().Agents
+	// Vandalise the caller's copy.
+	if err := plan.Hierarchy.SetBacking(plan.Hierarchy.Root(), "vandal", 1); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := cache.Get(key)
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	if got.Stats.Agents != agents {
+		t.Errorf("cached stats mutated: agents %d, want %d", got.Stats.Agents, agents)
+	}
+	for _, n := range got.Plan.Hierarchy.Nodes() {
+		if n.Name == "vandal" {
+			t.Fatal("caller mutation leaked into cached hierarchy")
+		}
 	}
 }
 
@@ -138,7 +195,7 @@ func TestCacheMissOnChangedWapp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cache.Put(key, plan)
+	cache.Put(key, mustRender(t, plan))
 
 	changed := req
 	changed.Wapp = workload.DGEMM{N: 500}.MFlop()
@@ -151,19 +208,26 @@ func TestCacheMissOnChangedWapp(t *testing.T) {
 	}
 }
 
-func TestCacheLRUEviction(t *testing.T) {
-	cache, err := NewPlanCache(2)
+// stubEntry builds a minimal rendered entry for cache-mechanics tests
+// that never look inside the plan.
+func stubEntry() *CachedPlan {
+	return &CachedPlan{Plan: &core.Plan{Planner: "stub"}}
+}
+
+// A single-shard cache behaves as one global LRU: the classic recency/
+// eviction contract, deterministic because every key shares the stripe.
+func TestCacheLRUEvictionSingleShard(t *testing.T) {
+	cache, err := newPlanCacheShards(2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan := &core.Plan{Planner: "stub"}
-	cache.Put("a", plan)
-	cache.Put("b", plan)
+	cache.Put("a", stubEntry())
+	cache.Put("b", stubEntry())
 	// Touch "a" so "b" becomes least recently used.
 	if _, ok := cache.Get("a"); !ok {
 		t.Fatal("a missing")
 	}
-	cache.Put("c", plan) // evicts "b"
+	cache.Put("c", stubEntry()) // evicts "b"
 
 	if cache.Len() != 2 {
 		t.Errorf("len = %d, want 2", cache.Len())
@@ -179,8 +243,144 @@ func TestCacheLRUEviction(t *testing.T) {
 	}
 }
 
+// shardKey fabricates a hex key routed to the given shard index.
+func shardKey(t *testing.T, c *PlanCache, shard, n int) CacheKey {
+	t.Helper()
+	key := CacheKey(fmt.Sprintf("%02x%06d", shard, n))
+	if got := c.shard(key); got != &c.shards[shard&int(c.mask)] {
+		t.Fatalf("key %q not routed to shard %d", key, shard)
+	}
+	return key
+}
+
+// Eviction and recency are per shard: filling one stripe past its slice
+// of the capacity evicts only within that stripe and respects LRU order
+// there, while other stripes are untouched.
+func TestCacheShardEvictionAndRecency(t *testing.T) {
+	cache, err := newPlanCacheShards(16, 4) // 4 shards x 4 entries
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Shards() != 4 {
+		t.Fatalf("shards = %d, want 4", cache.Shards())
+	}
+
+	// Park one resident in shard 1; it must survive shard 0 churn.
+	resident := shardKey(t, cache, 1, 0)
+	cache.Put(resident, stubEntry())
+
+	keys := make([]CacheKey, 5)
+	for i := range keys {
+		keys[i] = shardKey(t, cache, 0, i)
+	}
+	for _, k := range keys[:4] {
+		cache.Put(k, stubEntry())
+	}
+	// Refresh keys[0] so keys[1] is shard 0's LRU victim.
+	if _, ok := cache.Get(keys[0]); !ok {
+		t.Fatal("keys[0] missing")
+	}
+	cache.Put(keys[4], stubEntry())
+
+	if cache.Contains(keys[1]) {
+		t.Error("shard-LRU victim survived")
+	}
+	for _, k := range []CacheKey{keys[0], keys[2], keys[3], keys[4]} {
+		if !cache.Contains(k) {
+			t.Errorf("key %s evicted, want resident", k)
+		}
+	}
+	if !cache.Contains(resident) {
+		t.Error("churn in shard 0 evicted shard 1's resident")
+	}
+	if cache.Len() != 5 {
+		t.Errorf("len = %d, want 5", cache.Len())
+	}
+}
+
+// The shard count rounds down to a power of two and never exceeds the
+// capacity, so every stripe holds at least one entry; total occupancy
+// never exceeds the configured capacity under uniform keys.
+func TestCacheShardSizing(t *testing.T) {
+	cases := []struct {
+		capacity, shards, want int
+	}{
+		{256, 16, 16},
+		{10, 16, 8},
+		{1, 16, 1},
+		{3, 4, 2},
+		{7, 7, 4},
+	}
+	for _, tc := range cases {
+		c, err := newPlanCacheShards(tc.capacity, tc.shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Shards(); got != tc.want {
+			t.Errorf("cap %d shards %d: got %d shards, want %d", tc.capacity, tc.shards, got, tc.want)
+		}
+		total := 0
+		for i := range c.shards {
+			if c.shards[i].capacity < 1 {
+				t.Errorf("cap %d shards %d: shard %d has capacity %d", tc.capacity, tc.shards, i, c.shards[i].capacity)
+			}
+			total += c.shards[i].capacity
+		}
+		if total != tc.capacity {
+			t.Errorf("cap %d shards %d: shard capacities sum to %d", tc.capacity, tc.shards, total)
+		}
+	}
+}
+
+// Under a flood of distinct SHA-256-style keys the cache stays within its
+// global capacity.
+func TestCacheBoundedUnderUniformKeys(t *testing.T) {
+	cache, err := NewPlanCache(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4096; i++ {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+		cache.Put(CacheKey(hex.EncodeToString(sum[:])), stubEntry())
+	}
+	if n := cache.Len(); n > 64 {
+		t.Errorf("len = %d, exceeds capacity 64", n)
+	}
+}
+
+// NewPlanCache keeps a floor of entries per shard: small caches shrink
+// the shard count rather than degenerate into single-entry stripes that
+// thrash on digest collisions.
+func TestCacheDefaultShardSizingFloorsPerShardCapacity(t *testing.T) {
+	cases := []struct{ capacity, wantShards int }{
+		{256, 16},
+		{128, 16},
+		{64, 8},
+		{16, 2},
+		{8, 1},
+		{1, 1},
+	}
+	for _, tc := range cases {
+		c, err := NewPlanCache(tc.capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Shards(); got != tc.wantShards {
+			t.Errorf("capacity %d: %d shards, want %d", tc.capacity, got, tc.wantShards)
+		}
+		for i := range c.shards {
+			if tc.capacity >= minShardCapacity && c.shards[i].capacity < minShardCapacity {
+				t.Errorf("capacity %d: shard %d holds only %d entries", tc.capacity, i, c.shards[i].capacity)
+			}
+		}
+	}
+}
+
 func TestCacheRejectsBadCapacity(t *testing.T) {
 	if _, err := NewPlanCache(0); err == nil {
 		t.Error("capacity 0 accepted")
+	}
+	if _, err := newPlanCacheShards(4, 0); err == nil {
+		t.Error("shard count 0 accepted")
 	}
 }

@@ -73,14 +73,25 @@ type EndpointMetrics struct {
 
 // Report is the JSON body served by GET /v1/metrics.
 type Report struct {
-	UptimeSeconds float64                    `json:"uptime_seconds"`
-	Requests      uint64                     `json:"requests"`
-	CacheHits     uint64                     `json:"cache_hits"`
-	CacheMisses   uint64                     `json:"cache_misses"`
-	CacheSize     int                        `json:"cache_size"`
-	Platforms     int                        `json:"platforms"`
-	ActivePlans   int                        `json:"active_plans"`
-	Workers       int                        `json:"workers"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Requests      uint64  `json:"requests"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	CacheSize     int     `json:"cache_size"`
+	CacheShards   int     `json:"cache_shards"`
+	Platforms     int     `json:"platforms"`
+	ActivePlans   int     `json:"active_plans"`
+	Workers       int     `json:"workers"`
+	// QueueDepth is the instantaneous count of planning jobs waiting for
+	// a worker; QueueCapacity is the -queue bound. Rejected counts
+	// fail-fast 429 admissions, Coalesced counts requests that shared
+	// another request's planning run, and PlansExecuted counts actual
+	// planner executions on the pool.
+	QueueDepth    int                        `json:"queue_depth"`
+	QueueCapacity int                        `json:"queue_capacity"`
+	Rejected      uint64                     `json:"rejected"`
+	Coalesced     uint64                     `json:"coalesced"`
+	PlansExecuted uint64                     `json:"plans_executed"`
 	Endpoints     map[string]EndpointMetrics `json:"endpoints"`
 }
 

@@ -13,19 +13,32 @@ import (
 // ErrPoolClosed is returned by Submit after Close.
 var ErrPoolClosed = errors.New("service: worker pool closed")
 
+// ErrQueueFull is returned by Submit when every worker is busy and the
+// waiting queue is at capacity. The HTTP layer maps it to 429 with a
+// Retry-After header: under overload the daemon sheds load immediately
+// instead of parking handler goroutines on a queue that cannot drain
+// faster than the planners run.
+var ErrQueueFull = errors.New("service: planning queue full")
+
 // Pool is a bounded planning worker pool: a fixed set of goroutines
 // executes planning jobs so that an arbitrary number of concurrent HTTP
 // clients cannot fork an arbitrary number of planner runs. Jobs carry the
 // submitter's context; a job cancelled while still queued is abandoned
 // before a worker picks it up, and a running planner observes the same
 // context through its PlanContext poll points.
+//
+// Admission is fail-fast: Submit never blocks on a full queue — it
+// returns ErrQueueFull so callers can shed load (HTTP 429) instead of
+// stacking up goroutines behind the planners.
 type Pool struct {
-	jobs    chan *poolJob
-	quit    chan struct{}
-	wg      sync.WaitGroup
-	closed  atomic.Bool
-	active  atomic.Int64 // jobs currently executing on a worker
-	workers int
+	jobs     chan *poolJob
+	quit     chan struct{}
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+	active   atomic.Int64  // jobs currently executing on a worker
+	executed atomic.Uint64 // jobs whose fn actually ran
+	rejected atomic.Uint64 // submissions refused with ErrQueueFull
+	workers  int
 }
 
 type poolJob struct {
@@ -40,8 +53,11 @@ type poolResult struct {
 }
 
 // NewPool starts a pool of the given number of workers with a queue of
-// queueDepth waiting jobs (0 means unbuffered: Submit blocks until a
-// worker is free).
+// queueDepth waiting jobs. 0 means no queue: Submit is admitted only
+// when a worker is parked in its receive at that instant, so a worker
+// between jobs counts as busy and an idle pool can spuriously shed —
+// give latency-sensitive callers at least a small queue (the daemon
+// floors its own at 64).
 func NewPool(workers, queueDepth int) (*Pool, error) {
 	if workers <= 0 {
 		return nil, fmt.Errorf("service: pool needs at least one worker, got %d", workers)
@@ -68,7 +84,15 @@ func (p *Pool) worker() {
 		case <-p.quit:
 			return
 		case job := <-p.jobs:
-			p.run(job)
+			// Shutdown must be deterministic: a job dequeued after Close
+			// has fired is rejected, never run — otherwise this select
+			// racing against quit would randomly run or drop queued jobs.
+			select {
+			case <-p.quit:
+				job.done <- poolResult{err: ErrPoolClosed}
+			default:
+				p.run(job)
+			}
 		}
 	}
 }
@@ -80,6 +104,7 @@ func (p *Pool) run(job *poolJob) {
 		return
 	}
 	p.active.Add(1)
+	p.executed.Add(1)
 	plan, err := job.fn(job.ctx)
 	p.active.Add(-1)
 	job.done <- poolResult{plan: plan, err: err}
@@ -87,6 +112,8 @@ func (p *Pool) run(job *poolJob) {
 
 // Submit enqueues fn and blocks until a worker has run it (or the context
 // fires first, whether queued or running — planners poll the same context).
+// When all workers are busy and the queue is full it fails immediately
+// with ErrQueueFull rather than blocking the caller.
 func (p *Pool) Submit(ctx context.Context, fn func(context.Context) (*core.Plan, error)) (*core.Plan, error) {
 	if p.closed.Load() {
 		return nil, ErrPoolClosed
@@ -98,6 +125,9 @@ func (p *Pool) Submit(ctx context.Context, fn func(context.Context) (*core.Plan,
 		return nil, ctx.Err()
 	case <-p.quit:
 		return nil, ErrPoolClosed
+	default:
+		p.rejected.Add(1)
+		return nil, ErrQueueFull
 	}
 	select {
 	case res := <-job.done:
@@ -127,13 +157,35 @@ func (p *Pool) Active() int { return int(p.active.Load()) }
 // Workers returns the pool size.
 func (p *Pool) Workers() int { return p.workers }
 
-// Close stops the workers. Jobs already handed to a worker finish;
-// jobs still queued are dropped (their submitters receive ErrPoolClosed
-// via the quit channel in Submit's select, or hang off their own ctx).
+// QueueDepth returns the number of jobs waiting for a worker right now.
+func (p *Pool) QueueDepth() int { return len(p.jobs) }
+
+// QueueCapacity returns the configured queue bound.
+func (p *Pool) QueueCapacity() int { return cap(p.jobs) }
+
+// Executed returns the cumulative count of jobs whose function ran.
+func (p *Pool) Executed() uint64 { return p.executed.Load() }
+
+// Rejected returns the cumulative count of fail-fast admissions refused
+// with ErrQueueFull.
+func (p *Pool) Rejected() uint64 { return p.rejected.Load() }
+
+// Close stops the workers. Jobs already handed to a worker finish; jobs
+// still queued at shutdown uniformly receive ErrPoolClosed — workers
+// re-check quit after every dequeue, and Close drains whatever the
+// workers never picked up once they have exited.
 func (p *Pool) Close() {
 	if !p.closed.CompareAndSwap(false, true) {
 		return
 	}
 	close(p.quit)
 	p.wg.Wait()
+	for {
+		select {
+		case job := <-p.jobs:
+			job.done <- poolResult{err: ErrPoolClosed}
+		default:
+			return
+		}
+	}
 }

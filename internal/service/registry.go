@@ -30,22 +30,57 @@ import (
 // Registry is a concurrency-safe store of named platform descriptions.
 // Plan requests may reference a registered platform by name instead of
 // inlining the full node list, so clients describe their pool once and
-// plan against it many times.
+// plan against it many times. With PersistTo enabled, every Put journals
+// the platform to disk (atomic temp-file rename) and every Delete removes
+// it, so a daemon restart pointed at the same directory keeps its
+// registered platforms.
 type Registry struct {
 	mu        sync.RWMutex
 	platforms map[string]*platform.Platform
+	// persistMu serialises journal I/O and pins its ordering against the
+	// map updates, without ever holding the read-path lock across disk
+	// writes: a slow disk must not stall /v1/plan lookups in Get.
+	persistMu  sync.Mutex
+	persistDir string // guarded by persistMu
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty, non-persisting registry.
 func NewRegistry() *Registry {
 	return &Registry{platforms: make(map[string]*platform.Platform)}
+}
+
+// PersistTo enables journaling: subsequent Puts write <name>.json into dir
+// via a same-directory temp file renamed into place (atomic on POSIX), and
+// Deletes remove the file. The directory is created if missing. Platforms
+// already registered are not re-journalled; pair with LoadDir at startup.
+func (r *Registry) PersistTo(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("service: persist dir: %w", err)
+	}
+	r.persistMu.Lock()
+	defer r.persistMu.Unlock()
+	r.persistDir = dir
+	return nil
+}
+
+// validName rejects names that cannot double as file basenames: the
+// registry journals entries as <name>.json, so a name must not escape the
+// persist directory or collide with the journal's temp files.
+func validName(name string) error {
+	if name == "" {
+		return fmt.Errorf("service: empty platform name")
+	}
+	if name == "." || name == ".." || strings.ContainsAny(name, `/\`) || strings.HasPrefix(name, ".") {
+		return fmt.Errorf("service: invalid platform name %q", name)
+	}
+	return nil
 }
 
 // Put validates p and stores it under name, replacing any previous entry.
 // The registry keeps its own clone so later caller mutations cannot leak in.
 func (r *Registry) Put(name string, p *platform.Platform) error {
-	if name == "" {
-		return fmt.Errorf("service: empty platform name")
+	if err := validName(name); err != nil {
+		return err
 	}
 	if p == nil {
 		return fmt.Errorf("service: nil platform %q", name)
@@ -53,9 +88,45 @@ func (r *Registry) Put(name string, p *platform.Platform) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
+	clone := p.Clone()
+	r.persistMu.Lock()
+	defer r.persistMu.Unlock()
+	if r.persistDir != "" {
+		if err := persistPlatform(r.persistDir, name, p); err != nil {
+			return err
+		}
+	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.platforms[name] = p.Clone()
+	r.platforms[name] = clone
+	r.mu.Unlock()
+	return nil
+}
+
+// persistPlatform journals p as dir/name.json: marshal, write to a
+// same-directory temp file, fsync-free atomic rename. A crash mid-write
+// leaves only a temp file the next LoadDir ignores, never a torn journal.
+func persistPlatform(dir, name string, p *platform.Platform) error {
+	data, err := p.MarshalIndent()
+	if err != nil {
+		return fmt.Errorf("service: persist %q: %w", name, err)
+	}
+	tmp, err := os.CreateTemp(dir, name+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("service: persist %q: %w", name, err)
+	}
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Close()
+	} else {
+		tmp.Close()
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: persist %q: %w", name, err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name+".json")); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: persist %q: %w", name, err)
+	}
 	return nil
 }
 
@@ -70,12 +141,18 @@ func (r *Registry) Get(name string) (*platform.Platform, bool) {
 	return p.Clone(), true
 }
 
-// Delete removes the named platform, reporting whether it existed.
+// Delete removes the named platform (and its journal file, when
+// persisting), reporting whether it existed.
 func (r *Registry) Delete(name string) bool {
+	r.persistMu.Lock()
+	defer r.persistMu.Unlock()
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	_, ok := r.platforms[name]
 	delete(r.platforms, name)
+	r.mu.Unlock()
+	if ok && r.persistDir != "" && validName(name) == nil {
+		_ = os.Remove(filepath.Join(r.persistDir, name+".json"))
+	}
 	return ok
 }
 

@@ -94,6 +94,7 @@ type Server struct {
 	registry *Registry
 	cache    *PlanCache
 	pool     *Pool
+	flights  *flightGroup
 	metrics  *Metrics
 	mux      *http.ServeMux
 
@@ -118,6 +119,7 @@ func New(cfg Config) (*Server, error) {
 		registry: NewRegistry(),
 		cache:    cache,
 		pool:     pool,
+		flights:  newFlightGroup(),
 		metrics:  NewMetrics(),
 		mux:      http.NewServeMux(),
 	}
@@ -166,12 +168,22 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// statusClientClosedRequest is the nginx-convention status for "the
+// client dropped the connection before we could answer". It never reaches
+// the client (the connection is gone); it exists so metrics and logs can
+// tell client impatience apart from genuine server faults.
+const statusClientClosedRequest = 499
+
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		h(rec, r)
-		s.metrics.Observe(endpoint, time.Since(start), rec.status >= 400)
+		// A client cancellation is not a server error: it is recorded as a
+		// request (and visible as a 499 in logs) but must not pollute the
+		// error-rate the daemon is judged by.
+		failed := rec.status >= 400 && rec.status != statusClientClosedRequest
+		s.metrics.Observe(endpoint, time.Since(start), failed)
 	})
 }
 
@@ -190,6 +202,20 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// retryAfterSeconds is the backoff hint attached to 429 responses. The
+// queue drains at planner speed, so one second is enough for a retried
+// request to find either a free slot or a freshly cached result.
+const retryAfterSeconds = 1
+
+// writePlanError renders a planning failure, attaching the Retry-After
+// backoff hint when the pool shed the request.
+func writePlanError(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds))
+	}
+	writeError(w, status, "%v", err)
 }
 
 // PlanRequest is the JSON body of POST /v1/plan (and each element of a
@@ -220,6 +246,7 @@ type PlanResponse struct {
 	Planner    string  `json:"planner"`
 	Key        string  `json:"key"`
 	Cached     bool    `json:"cached"`
+	Coalesced  bool    `json:"coalesced,omitempty"`
 	Rho        float64 `json:"rho"`
 	Sched      float64 `json:"sched"`
 	Service    float64 `json:"service"`
@@ -285,10 +312,65 @@ func (s *Server) resolve(pr *PlanRequest) (core.Planner, core.Request, error) {
 	return planner, req, nil
 }
 
-// plan answers one plan request, consulting the cache first. The resolved
-// core.Request is returned alongside the response so callers that need
-// the model inputs (the deploy handler) do not resolve — and re-hit the
-// registry — a second time.
+// planStatus maps a planning failure to an HTTP status. A planner
+// failure is a property of the request (pool too big for the exhaustive
+// search, no feasible deployment, …), not a server fault — except when
+// the deadline killed it (504), the client walked away (499, log-only),
+// the pool shed it (429), or the daemon is shutting down (503).
+func planStatus(r *http.Request, err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The server-side deadline surfaces as DeadlineExceeded, so a bare
+		// Canceled means someone upstream stopped caring — almost always
+		// the client dropping the connection. Confirm against the request
+		// context; anything else is treated as the deadline.
+		if r.Context().Err() != nil {
+			return statusClientClosedRequest
+		}
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrPoolClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, errRenderPlan):
+		// The planner succeeded and the daemon failed to render its
+		// output: our fault, not the request's.
+		return http.StatusInternalServerError
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// planResponse renders a rendered cache entry into the wire response.
+func planResponse(entry *CachedPlan, key CacheKey, start time.Time, cached, coalesced bool, variants []portfolio.Result) *PlanResponse {
+	plan := entry.Plan
+	return &PlanResponse{
+		Planner:    plan.Planner,
+		Key:        string(key),
+		Cached:     cached,
+		Coalesced:  coalesced,
+		Rho:        plan.Eval.Rho,
+		Sched:      plan.Eval.Sched,
+		Service:    plan.Eval.Service,
+		Bottleneck: plan.Eval.Bottleneck.String(),
+		Capped:     plan.Capped,
+		NodesUsed:  plan.NodesUsed,
+		Agents:     entry.Stats.Agents,
+		Servers:    entry.Stats.Servers,
+		Depth:      entry.Stats.Depth,
+		XML:        entry.XML,
+		ElapsedMS:  float64(time.Since(start)) / float64(time.Millisecond),
+		Variants:   variants,
+	}
+}
+
+// plan answers one plan request: cache first, then one coalesced planning
+// run shared by every concurrent request with the same content address.
+// The resolved core.Request is returned alongside the response so callers
+// that need the model inputs (the deploy handler) do not resolve — and
+// re-hit the registry — a second time.
 func (s *Server) plan(r *http.Request, pr *PlanRequest) (*PlanResponse, core.Request, int, error) {
 	planner, req, err := s.resolve(pr)
 	if err != nil {
@@ -300,21 +382,38 @@ func (s *Server) plan(r *http.Request, pr *PlanRequest) (*PlanResponse, core.Req
 	}
 
 	start := time.Now()
-	cached := false
-	var plan *core.Plan
-	var variants []portfolio.Result
 	if !pr.NoCache {
-		plan, cached = s.cache.Get(key)
-	}
-	if plan == nil {
-		timeout := s.cfg.PlanTimeout
-		if pr.TimeoutMillis > 0 {
-			if t := time.Duration(pr.TimeoutMillis) * time.Millisecond; t < timeout {
-				timeout = t
-			}
+		// lookup, not Get: the miss is charged in runPlanner, so requests
+		// that coalesce onto an existing flight count no miss of their own.
+		if entry, ok := s.cache.lookup(key); ok {
+			return planResponse(entry, key, start, true, false, nil), req, http.StatusOK, nil
 		}
-		ctx, cancel := context.WithTimeout(r.Context(), timeout)
-		defer cancel()
+	}
+
+	timeout := s.cfg.PlanTimeout
+	if pr.TimeoutMillis > 0 {
+		if t := time.Duration(pr.TimeoutMillis) * time.Millisecond; t < timeout {
+			timeout = t
+		}
+	}
+
+	// runPlanner executes one planning run on the pool, renders the plan
+	// and refreshes the cache. It is handed either our own request context
+	// (no_cache: a private run) or a flight context detached from any
+	// single client (the shared, coalesced run).
+	runPlanner := func(ctx context.Context) flightResult {
+		if !pr.NoCache {
+			// A previous flight may have landed between our cache miss and
+			// this run starting; don't replan what is already cached — and
+			// record it for what it is, a hit.
+			if entry, ok := s.cache.lookup(key); ok {
+				return flightResult{entry: entry, cached: true}
+			}
+			s.cache.noteMiss(key)
+		}
+		var plan *core.Plan
+		var variants []portfolio.Result
+		var err error
 		if pf, ok := planner.(*portfolio.Planner); ok {
 			// Run the race through the worker pool but keep its
 			// per-variant stats for the response.
@@ -327,45 +426,41 @@ func (s *Server) plan(r *http.Request, pr *PlanRequest) (*PlanResponse, core.Req
 			plan, err = s.pool.Plan(ctx, planner, req)
 		}
 		if err != nil {
-			// A planner failure is a property of the request (pool too big
-			// for the exhaustive search, no feasible deployment, …), not a
-			// server fault — except when the deadline killed it or the
-			// daemon is shutting down.
-			status := http.StatusUnprocessableEntity
-			switch {
-			case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
-				status = http.StatusGatewayTimeout
-			case errors.Is(err, ErrPoolClosed):
-				status = http.StatusServiceUnavailable
-			}
-			return nil, req, status, err
+			return flightResult{err: err}
 		}
-		s.cache.Put(key, plan)
+		entry, err := Render(plan)
+		if err != nil {
+			return flightResult{err: err}
+		}
+		s.cache.Put(key, entry)
+		return flightResult{entry: entry, variants: variants}
 	}
 
-	xml, err := plan.XML()
-	if err != nil {
-		return nil, req, http.StatusInternalServerError, err
+	reqCtx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	if pr.NoCache {
+		// An explicit fresh run is never shared and never shares: the
+		// caller asked for its own planner execution.
+		fr := runPlanner(reqCtx)
+		if fr.err != nil {
+			return nil, req, planStatus(r, fr.err), fr.err
+		}
+		return planResponse(fr.entry, key, start, false, false, fr.variants), req, http.StatusOK, nil
 	}
-	hs := plan.Hierarchy.ComputeStats()
-	resp := &PlanResponse{
-		Planner:    plan.Planner,
-		Key:        string(key),
-		Cached:     cached,
-		Rho:        plan.Eval.Rho,
-		Sched:      plan.Eval.Sched,
-		Service:    plan.Eval.Service,
-		Bottleneck: plan.Eval.Bottleneck.String(),
-		Capped:     plan.Capped,
-		NodesUsed:  plan.NodesUsed,
-		Agents:     hs.Agents,
-		Servers:    hs.Servers,
-		Depth:      hs.Depth,
-		XML:        xml,
-		ElapsedMS:  float64(time.Since(start)) / float64(time.Millisecond),
-		Variants:   variants,
+
+	// The shared run is bounded by the server-wide cap, not the leader's
+	// possibly shortened timeout_ms: one impatient leader must not doom
+	// joiners with bigger budgets to a 504. Each waiter's own reqCtx
+	// (above) still enforces its personal deadline on the wait.
+	fl, leader := s.flights.join(key, s.cfg.PlanTimeout, runPlanner)
+	fr := s.flights.wait(reqCtx, fl)
+	if fr.err != nil {
+		return nil, req, planStatus(r, fr.err), fr.err
 	}
-	return resp, req, http.StatusOK, nil
+	// A leader whose flight resolved from a freshly landed cache entry is
+	// a cache hit; joiners report the coalesced share either way.
+	return planResponse(fr.entry, key, start, leader && fr.cached, !leader, fr.variants), req, http.StatusOK, nil
 }
 
 func decodeBody(r *http.Request, v any) error {
@@ -382,7 +477,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, _, status, err := s.plan(r, &pr)
 	if err != nil {
-		writeError(w, status, "%v", err)
+		writePlanError(w, status, err)
 		return
 	}
 	writeJSON(w, status, resp)
@@ -401,9 +496,13 @@ type BatchItem struct {
 }
 
 // BatchResponse answers POST /v1/plan/batch; Items is index-aligned with
-// the request slice.
+// the request slice, and the counts summarise it so clients (and
+// monitoring) need not scan every item to notice failures. A batch whose
+// items all failed answers 422 instead of a hollow 200.
 type BatchResponse struct {
-	Items []BatchItem `json:"items"`
+	Items     []BatchItem `json:"items"`
+	Succeeded int         `json:"succeeded"`
+	Failed    int         `json:"failed"`
 }
 
 // maxBatch bounds one batch call; larger fan-outs should shard client-side.
@@ -424,15 +523,28 @@ func (s *Server) handlePlanBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	items := make([]BatchItem, len(br.Requests))
+	// The pool's admission control is fail-fast, so a batch must not dump
+	// every item into Submit at once — a 256-item batch would shed
+	// everything past workers+queue on an otherwise idle daemon. The
+	// semaphore trickles items in at worker parallelism; items past it
+	// wait here (in the handler, bounded by the batch size), while
+	// genuinely concurrent external load still sees 429s per item.
+	sem := make(chan struct{}, s.pool.Workers())
+	statuses := make([]int, len(br.Requests))
 	var wg sync.WaitGroup
 	for i := range br.Requests {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			// Each item planning run is bounded by the shared worker pool,
-			// so a huge batch cannot starve interactive /v1/plan calls of
-			// more than queue positions.
-			resp, _, _, err := s.plan(r, &br.Requests[i])
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-r.Context().Done():
+				items[i] = BatchItem{Error: r.Context().Err().Error()}
+				return
+			}
+			resp, _, status, err := s.plan(r, &br.Requests[i])
+			statuses[i] = status
 			if err != nil {
 				items[i] = BatchItem{Error: err.Error()}
 				return
@@ -441,7 +553,33 @@ func (s *Server) handlePlanBatch(w http.ResponseWriter, r *http.Request) {
 		}(i)
 	}
 	wg.Wait()
-	writeJSON(w, http.StatusOK, BatchResponse{Items: items})
+	out := BatchResponse{Items: items}
+	for _, item := range items {
+		if item.Error != "" {
+			out.Failed++
+		} else {
+			out.Succeeded++
+		}
+	}
+	status := http.StatusOK
+	if out.Failed == len(items) {
+		// All failed. When every failure was load shedding the batch is
+		// retryable overload, not an unprocessable request — answer 429
+		// with the same backoff hint as the single-plan path.
+		shed := 0
+		for _, st := range statuses {
+			if st == http.StatusTooManyRequests || st == http.StatusServiceUnavailable {
+				shed++
+			}
+		}
+		if shed == len(items) {
+			status = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds))
+		} else {
+			status = http.StatusUnprocessableEntity
+		}
+	}
+	writeJSON(w, status, out)
 }
 
 func (s *Server) handlePlatformList(w http.ResponseWriter, r *http.Request) {
@@ -490,9 +628,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	rep := s.metrics.Snapshot()
 	rep.CacheHits, rep.CacheMisses = s.cache.Stats()
 	rep.CacheSize = s.cache.Len()
+	rep.CacheShards = s.cache.Shards()
 	rep.Platforms = s.registry.Len()
 	rep.ActivePlans = s.pool.Active()
 	rep.Workers = s.pool.Workers()
+	rep.QueueDepth = s.pool.QueueDepth()
+	rep.QueueCapacity = s.pool.QueueCapacity()
+	rep.PlansExecuted = s.pool.Executed()
+	rep.Rejected = s.pool.Rejected()
+	rep.Coalesced = s.flights.Coalesced()
 	writeJSON(w, http.StatusOK, rep)
 }
 
@@ -531,7 +675,7 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, req, status, err := s.plan(r, &dr.PlanRequest)
 	if err != nil {
-		writeError(w, status, "%v", err)
+		writePlanError(w, status, err)
 		return
 	}
 

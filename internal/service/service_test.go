@@ -8,7 +8,10 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -360,6 +363,9 @@ func TestBatchEndpoint(t *testing.T) {
 	if out.Items[3].Error == "" {
 		t.Error("bogus planner item did not error")
 	}
+	if out.Succeeded != 3 || out.Failed != 1 {
+		t.Errorf("succeeded/failed = %d/%d, want 3/1", out.Succeeded, out.Failed)
+	}
 	// The heuristic beats or matches the naive baselines on this pool.
 	if out.Items[0].Plan.Capped < out.Items[2].Plan.Capped {
 		t.Errorf("heuristic (%g) worse than balanced (%g)",
@@ -425,32 +431,63 @@ func TestRegistryLoadDir(t *testing.T) {
 	}
 }
 
-func TestPoolCancellation(t *testing.T) {
+// blockPoolWorker parks one worker of pool inside a job until the
+// returned release function is called, and only returns once the job is
+// actually executing.
+func blockPoolWorker(t *testing.T, pool *Pool) (release func()) {
+	t.Helper()
+	started := make(chan struct{})
+	stop := make(chan struct{})
+	go func() {
+		// With queueDepth 0 admission requires a worker already parked in
+		// its receive; retry ErrQueueFull while the workers spin up.
+		for {
+			_, err := pool.Submit(context.Background(), func(context.Context) (*core.Plan, error) {
+				close(started)
+				<-stop
+				return nil, nil
+			})
+			if !errors.Is(err, ErrQueueFull) {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocker never reached a worker")
+	}
+	var once sync.Once
+	return func() { once.Do(func() { close(stop) }) }
+}
+
+// With no queue, a saturated pool sheds the submission immediately with
+// ErrQueueFull instead of blocking the caller — the admission-control
+// contract behind the daemon's 429s.
+func TestPoolFailFastWhenSaturated(t *testing.T) {
 	pool, err := NewPool(1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer pool.Close()
+	release := blockPoolWorker(t, pool)
+	defer release()
+	before := pool.Rejected() // the blocker may have retried through rejections
 
-	// Occupy the lone worker so the next submit sits in the queue.
-	release := make(chan struct{})
-	go func() {
-		_, _ = pool.Submit(context.Background(), func(context.Context) (*core.Plan, error) {
-			<-release
-			return nil, nil
-		})
-	}()
-	time.Sleep(20 * time.Millisecond) // let the blocker reach the worker
-
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
-	defer cancel()
-	_, err = pool.Submit(ctx, func(context.Context) (*core.Plan, error) {
-		t.Error("cancelled job ran")
+	start := time.Now()
+	_, err = pool.Submit(context.Background(), func(context.Context) (*core.Plan, error) {
+		t.Error("shed job ran")
 		return nil, nil
 	})
-	close(release)
-	if !errors.Is(err, context.DeadlineExceeded) {
-		t.Errorf("err = %v, want deadline exceeded", err)
+	if !errors.Is(err, ErrQueueFull) {
+		t.Errorf("err = %v, want ErrQueueFull", err)
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Errorf("fail-fast submit blocked %v", waited)
+	}
+	if got := pool.Rejected(); got != before+1 {
+		t.Errorf("rejected = %d, want %d", got, before+1)
 	}
 }
 
@@ -463,15 +500,8 @@ func TestPoolCancellationWhileQueued(t *testing.T) {
 	}
 	defer pool.Close()
 
-	release := make(chan struct{})
-	go func() {
-		_, _ = pool.Submit(context.Background(), func(context.Context) (*core.Plan, error) {
-			<-release
-			return nil, nil
-		})
-	}()
-	defer close(release)
-	time.Sleep(20 * time.Millisecond) // blocker occupies the lone worker
+	release := blockPoolWorker(t, pool)
+	defer release()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
@@ -484,6 +514,434 @@ func TestPoolCancellationWhileQueued(t *testing.T) {
 	}
 	if waited := time.Since(start); waited > time.Second {
 		t.Errorf("queued submit blocked %v past its deadline", waited)
+	}
+}
+
+// TestPlanCoalescesThunderingHerd is the tentpole acceptance test: N
+// concurrent identical cold-cache requests execute exactly one planner
+// run. Everyone gets the same answer; all but the flight leader report
+// either coalesced (joined the in-flight run) or cached (arrived after it
+// landed).
+func TestPlanCoalescesThunderingHerd(t *testing.T) {
+	srv, ts := newTestServer(t)
+	data, err := json.Marshal(PlanRequest{Platform: testPlatform(600), DgemmN: 310})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 12
+	start := make(chan struct{})
+	prs := make([]PlanResponse, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			resp, err := http.Post(ts.URL+"/v1/plan", "application/json", bytes.NewReader(data))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			errs[i] = json.NewDecoder(resp.Body).Decode(&prs[i])
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	if got := srv.pool.Executed(); got != 1 {
+		t.Errorf("planner ran %d times for %d identical requests, want exactly 1", got, clients)
+	}
+	leaders, coalesced, cached := 0, 0, 0
+	for i := range prs {
+		if prs[i].Rho != prs[0].Rho {
+			t.Errorf("client %d rho %g != client 0 rho %g", i, prs[i].Rho, prs[0].Rho)
+		}
+		switch {
+		case prs[i].Cached:
+			cached++
+		case prs[i].Coalesced:
+			coalesced++
+		default:
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Errorf("%d leaders (uncached, uncoalesced responses), want 1", leaders)
+	}
+	if coalesced+cached != clients-1 {
+		t.Errorf("coalesced %d + cached %d != %d joiners", coalesced, cached, clients-1)
+	}
+
+	// The sharing is visible in /v1/metrics.
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rep Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.PlansExecuted != 1 {
+		t.Errorf("metrics plans_executed = %d, want 1", rep.PlansExecuted)
+	}
+	if int(rep.Coalesced) != coalesced {
+		t.Errorf("metrics coalesced = %d, responses said %d", rep.Coalesced, coalesced)
+	}
+	// Misses are charged where planning happens: the herd is one miss,
+	// not N — joiners and late cache hits count no miss of their own.
+	if rep.CacheMisses != 1 {
+		t.Errorf("metrics cache_misses = %d, want 1 for a coalesced herd", rep.CacheMisses)
+	}
+}
+
+// waitUntil polls cond for up to 5s.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestPlanBackpressure429 saturates a one-worker, one-slot daemon and
+// verifies the admission control path: the excess request is shed
+// immediately with 429 + Retry-After instead of parking its handler
+// goroutine, and the rejection is visible in /v1/metrics.
+func TestPlanBackpressure429(t *testing.T) {
+	srv, err := New(Config{CacheSize: 16, Workers: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	release := blockPoolWorker(t, srv.pool)
+	defer release()
+
+	// Fill the single queue slot with a distinct-key request; it parks
+	// behind the blocked worker until release.
+	queuedDone := make(chan int, 1)
+	go func() {
+		resp, _ := postJSON(t, ts.URL+"/v1/plan", PlanRequest{Platform: testPlatform(10), DgemmN: 310})
+		queuedDone <- resp.StatusCode
+	}()
+	waitUntil(t, "queue slot to fill", func() bool { return srv.pool.QueueDepth() == 1 })
+
+	// A further distinct-key request has nowhere to go: shed, not parked.
+	start := time.Now()
+	resp, body := postJSON(t, ts.URL+"/v1/plan", PlanRequest{Platform: testPlatform(11), DgemmN: 310})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", got)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Errorf("shed request took %v, want fail-fast", waited)
+	}
+
+	release()
+	if status := <-queuedDone; status != http.StatusOK {
+		t.Errorf("queued request finished with %d, want 200", status)
+	}
+
+	respM, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer respM.Body.Close()
+	var rep Report
+	if err := json.NewDecoder(respM.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rejected < 1 {
+		t.Errorf("metrics rejected = %d, want >= 1", rep.Rejected)
+	}
+	if rep.QueueCapacity != 1 {
+		t.Errorf("metrics queue_capacity = %d, want 1", rep.QueueCapacity)
+	}
+}
+
+// TestPoolCloseDrainsDeterministically pins the shutdown contract: jobs
+// still queued when Close fires are uniformly answered with ErrPoolClosed
+// and never run — the old worker select raced quit against the job queue
+// and randomly did either. Run with -race.
+func TestPoolCloseDrainsDeterministically(t *testing.T) {
+	for iter := 0; iter < 25; iter++ {
+		pool, err := NewPool(1, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		release := blockPoolWorker(t, pool)
+
+		var ran atomic.Int64
+		const queued = 8
+		errs := make(chan error, queued)
+		for i := 0; i < queued; i++ {
+			go func() {
+				_, err := pool.Submit(context.Background(), func(context.Context) (*core.Plan, error) {
+					ran.Add(1)
+					return nil, nil
+				})
+				errs <- err
+			}()
+		}
+		waitUntil(t, "jobs to queue", func() bool { return pool.QueueDepth() == queued })
+
+		closed := make(chan struct{})
+		go func() {
+			pool.Close()
+			close(closed)
+		}()
+		// Release the blocker only once shutdown has been signalled, so the
+		// queued jobs are dequeued strictly after quit closed.
+		waitUntil(t, "quit to close", func() bool {
+			select {
+			case <-pool.quit:
+				return true
+			default:
+				return false
+			}
+		})
+		release()
+		<-closed
+
+		for i := 0; i < queued; i++ {
+			if err := <-errs; !errors.Is(err, ErrPoolClosed) {
+				t.Fatalf("iter %d: queued job got %v, want ErrPoolClosed", iter, err)
+			}
+		}
+		if n := ran.Load(); n != 0 {
+			t.Fatalf("iter %d: %d queued job(s) ran during shutdown", iter, n)
+		}
+	}
+}
+
+// A dropped client is a 499 (log-only), not a 504 server error; the
+// server-side deadline stays a 504. The two used to be conflated.
+func TestPlanClientCancelVsDeadline(t *testing.T) {
+	srv, err := New(Config{CacheSize: 16, Workers: 1, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	release := blockPoolWorker(t, srv.pool)
+	defer release()
+
+	// Client walks away while its job is queued behind the blocker.
+	ctx, cancel := context.WithCancel(context.Background())
+	r := httptest.NewRequest(http.MethodPost, "/v1/plan", nil).WithContext(ctx)
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	_, _, status, err := srv.plan(r, &PlanRequest{Platform: testPlatform(10), DgemmN: 310})
+	if status != statusClientClosedRequest {
+		t.Errorf("client cancel: status %d, want %d", status, statusClientClosedRequest)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("client cancel: err = %v, want context.Canceled", err)
+	}
+
+	// Server-side deadline on a still-interested client: 504.
+	r2 := httptest.NewRequest(http.MethodPost, "/v1/plan", nil)
+	_, _, status, err = srv.plan(r2, &PlanRequest{Platform: testPlatform(12), DgemmN: 310, TimeoutMillis: 30})
+	if status != http.StatusGatewayTimeout {
+		t.Errorf("deadline: status %d, want 504", status)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("deadline: err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// A leader with a tiny timeout_ms must not doom joiners with bigger
+// budgets: the shared flight runs under the server-wide cap, the leader
+// alone gets its 504, and the joiner still receives the plan.
+func TestShortLeaderTimeoutDoesNotPoisonJoiner(t *testing.T) {
+	srv, err := New(Config{CacheSize: 16, Workers: 1, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	release := blockPoolWorker(t, srv.pool)
+	defer release()
+
+	plat := testPlatform(14)
+	leaderDone := make(chan int, 1)
+	go func() {
+		r := httptest.NewRequest(http.MethodPost, "/v1/plan", nil)
+		_, _, status, _ := srv.plan(r, &PlanRequest{Platform: plat, DgemmN: 310, TimeoutMillis: 50})
+		leaderDone <- status
+	}()
+	waitUntil(t, "flight to register", func() bool {
+		srv.flights.mu.Lock()
+		defer srv.flights.mu.Unlock()
+		return len(srv.flights.flights) == 1
+	})
+
+	joinerDone := make(chan *PlanResponse, 1)
+	go func() {
+		r := httptest.NewRequest(http.MethodPost, "/v1/plan", nil)
+		resp, _, _, err := srv.plan(r, &PlanRequest{Platform: plat, DgemmN: 310})
+		if err != nil {
+			t.Errorf("joiner: %v", err)
+			joinerDone <- nil
+			return
+		}
+		joinerDone <- resp
+	}()
+
+	if status := <-leaderDone; status != http.StatusGatewayTimeout {
+		t.Errorf("leader status %d, want 504", status)
+	}
+	release() // worker picks up the still-alive flight job
+	if resp := <-joinerDone; resp != nil {
+		if !resp.Coalesced {
+			t.Error("joiner not marked coalesced")
+		}
+		if resp.Rho <= 0 {
+			t.Errorf("joiner rho = %g", resp.Rho)
+		}
+	}
+}
+
+// A batch whose every item failed must not masquerade as a success.
+func TestBatchAllFailed(t *testing.T) {
+	_, ts := newTestServer(t)
+	br := BatchRequest{Requests: []PlanRequest{
+		{Platform: testPlatform(5), Planner: "bogus", DgemmN: 310},
+		{PlatformName: "never-registered", DgemmN: 310},
+	}}
+	resp, body := postJSON(t, ts.URL+"/v1/plan/batch", br)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422: %s", resp.StatusCode, body)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Failed != 2 || out.Succeeded != 0 {
+		t.Errorf("failed/succeeded = %d/%d, want 2/0", out.Failed, out.Succeeded)
+	}
+}
+
+// A batch that failed purely from load shedding is retryable overload:
+// 429 with Retry-After, not a terminal 422.
+func TestBatchAllShedIs429(t *testing.T) {
+	srv, err := New(Config{CacheSize: 16, Workers: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	release := blockPoolWorker(t, srv.pool)
+	defer release()
+
+	// Park a distinct-key request in the single queue slot so every batch
+	// item is shed rather than queued.
+	queuedDone := make(chan struct{})
+	go func() {
+		defer close(queuedDone)
+		postJSON(t, ts.URL+"/v1/plan", PlanRequest{Platform: testPlatform(30), DgemmN: 310})
+	}()
+	waitUntil(t, "queue slot to fill", func() bool { return srv.pool.QueueDepth() == 1 })
+	defer func() {
+		release()
+		<-queuedDone
+	}()
+
+	br := BatchRequest{Requests: []PlanRequest{
+		{Platform: testPlatform(8), DgemmN: 310},
+		{Platform: testPlatform(9), DgemmN: 310},
+	}}
+	resp, body := postJSON(t, ts.URL+"/v1/plan/batch", br)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", got)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Failed != 2 || out.Succeeded != 0 {
+		t.Errorf("failed/succeeded = %d/%d, want 2/0", out.Failed, out.Succeeded)
+	}
+}
+
+// TestRegistryPersistence covers the journal: Put writes through to the
+// directory, a fresh registry recovers the platforms after a "restart",
+// Delete removes the file, and path-escaping names are rejected.
+func TestRegistryPersistence(t *testing.T) {
+	dir := t.TempDir()
+	reg := NewRegistry()
+	if err := reg.PersistTo(dir); err != nil {
+		t.Fatal(err)
+	}
+	plat := testPlatform(6)
+	if err := reg.Put("lyon", plat); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "lyon.json")); err != nil {
+		t.Fatalf("journal file missing: %v", err)
+	}
+
+	// A daemon restart pointed at the same dir recovers the platform.
+	reg2 := NewRegistry()
+	names, err := reg2.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "lyon" {
+		t.Fatalf("recovered names = %v, want [lyon]", names)
+	}
+	got, ok := reg2.Get("lyon")
+	if !ok || len(got.Nodes) != len(plat.Nodes) {
+		t.Errorf("recovered platform has %d nodes, want %d", len(got.Nodes), len(plat.Nodes))
+	}
+
+	if !reg.Delete("lyon") {
+		t.Fatal("delete failed")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "lyon.json")); !os.IsNotExist(err) {
+		t.Errorf("journal file survived delete: %v", err)
+	}
+
+	for _, bad := range []string{"", ".", "..", "a/b", `a\b`, ".hidden"} {
+		if err := reg.Put(bad, plat); err == nil {
+			t.Errorf("name %q accepted", bad)
+		}
+	}
+	// Nothing escaped the directory.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("stray journal files: %v", entries)
 	}
 }
 

@@ -2,8 +2,10 @@
 # bench.sh — the planner bench regression harness.
 #
 # Runs the BenchmarkHeuristicPlan{100,1k,5k} scaling benchmarks (plus their
-# Naive twins planning through the retained full-recompute evaluator),
-# writes BENCH_plan.json, and gates:
+# Naive twins planning through the retained full-recompute evaluator) and
+# the BenchmarkServicePlanThroughput serving-layer benchmarks (hot/mixed
+# key workloads through the adeptd HTTP handler), writes BENCH_plan.json,
+# and gates:
 #
 #   1. the 5k incremental-vs-naive speedup must be >= 10x (within-run
 #      ratio: machine-independent, enforced everywhere);
@@ -26,7 +28,7 @@ NS_TOL="${BENCH_NS_TOL:-0.20}"
 ALLOCS_TOL="${BENCH_ALLOCS_TOL:-0.20}"
 
 go test -run '^$' \
-  -bench 'BenchmarkHeuristicPlan(100|1k|5k)$|BenchmarkHeuristicPlanNaive(100|1k|5k)$' \
+  -bench 'BenchmarkHeuristicPlan(100|1k|5k)$|BenchmarkHeuristicPlanNaive(100|1k|5k)$|BenchmarkServicePlanThroughput$' \
   -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . | tee bench_plan.txt
 
 go run ./cmd/benchguard -parse bench_plan.txt -out BENCH_plan.json
