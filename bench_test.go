@@ -175,6 +175,32 @@ func BenchmarkHeuristicPlanNaive100(b *testing.B) { benchPlanner(b, core.NewHeur
 func BenchmarkHeuristicPlanNaive1k(b *testing.B)  { benchPlanner(b, core.NewHeuristicNaive(), 1000) }
 func BenchmarkHeuristicPlanNaive5k(b *testing.B)  { benchPlanner(b, core.NewHeuristicNaive(), 5000) }
 
+// BenchmarkHeuristicPlanClustered5k plans a 5k-node multi-cluster grid
+// with heterogeneous links (the cluster-grid scenario family): same
+// workload as BenchmarkHeuristicPlan5k, but every placement decision now
+// runs through the per-node-bandwidth paths (prediction-throughput heap,
+// min-link heap, best-star and best-pair scans). cmd/benchguard gates it
+// to within 2x of the homogeneous 5k benchmark, so heterogeneity support
+// can never quietly double the planner's hot path.
+func BenchmarkHeuristicPlanClustered5k(b *testing.B) {
+	plat, err := (scenario.Spec{Family: scenario.ClusterGrid, N: 5000, Seed: 7}).Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := core.Request{
+		Platform: plat,
+		Costs:    model.DIETDefaults(),
+		Wapp:     workload.DGEMM{N: 1000}.MFlop(),
+	}
+	planner := core.NewHeuristic()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := planner.Plan(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkPortfolioPlan1k races the full stock portfolio on a 1k pool.
 func BenchmarkPortfolioPlan1k(b *testing.B) { benchPlanner(b, portfolio.New(), 1000) }
 

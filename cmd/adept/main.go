@@ -12,6 +12,11 @@
 // Generate a synthetic platform to experiment with:
 //
 //	adept -gen 200 -gen-min 100 -gen-max 800 -platform out.json
+//
+// Or a heterogeneous-links multi-cluster grid (cluster 0 on the fast
+// intra-cluster link, the rest behind the slow inter-cluster uplink):
+//
+//	adept -gen 15 -gen-clusters 3 -gen-intra 100 -gen-inter 2 -platform grid.json
 package main
 
 import (
@@ -47,6 +52,9 @@ func run() error {
 		genMax       = flag.Float64("gen-max", 800, "synthetic platform: maximum node power (MFlop/s)")
 		genBW        = flag.Float64("gen-bw", 100, "synthetic platform: link bandwidth (Mb/s)")
 		genSeed      = flag.Int64("gen-seed", 1, "synthetic platform: random seed")
+		genClusters  = flag.Int("gen-clusters", 0, "synthetic platform: multi-cluster grid with this many clusters (>= 2; cluster 0 keeps the fast intra link, the rest sit behind the inter-cluster uplink)")
+		genIntra     = flag.Float64("gen-intra", 0, "multi-cluster: intra-cluster link bandwidth in Mb/s (default -gen-bw)")
+		genInter     = flag.Float64("gen-inter", 0, "multi-cluster: inter-cluster uplink bandwidth in Mb/s (default intra/10)")
 	)
 	flag.Parse()
 
@@ -57,6 +65,7 @@ func run() error {
 		p, err := platform.Generate(platform.GenSpec{
 			Name: "generated", N: *genN, Bandwidth: *genBW,
 			MinPower: *genMin, MaxPower: *genMax, Seed: *genSeed,
+			Clusters: *genClusters, IntraBandwidth: *genIntra, InterBandwidth: *genInter,
 		})
 		if err != nil {
 			return err

@@ -13,6 +13,13 @@
 //	    benchmark). Within-run ratios are machine-independent, so this
 //	    gate is stable across laptops and CI runners.
 //
+//	benchguard -new BENCH_plan.json -require-max-ratio 2 \
+//	    -max-ratio-pair BenchmarkHeuristicPlanClustered5k:BenchmarkHeuristicPlan5k
+//	    The inverse gate: the first benchmark may cost at most the given
+//	    multiple of the second (also a within-run, machine-independent
+//	    ratio). Used to cap the overhead a feature (e.g. heterogeneous
+//	    link support) may add over its baseline path.
+//
 //	benchguard -base old.json -new new.json -tol 0.20 [-allocs-tol 0.20]
 //	    Fail when any benchmark present in both files regressed by more
 //	    than the tolerance in ns/op or allocs/op. Absolute numbers are
@@ -63,8 +70,11 @@ func main() {
 	allocsTol := flag.Float64("allocs-tol", -1, "allowed relative regression in allocs/op (default: same as -tol)")
 	rollOut := flag.String("roll-out", "", "write a best-ever merge of -base and -new (per-benchmark minima) to this path; prevents sub-threshold regressions from ratcheting the rolling baseline")
 	requireSpeedup := flag.Float64("require-speedup", 0, "minimum slow/fast ns/op ratio for every -speedup-pair")
+	requireMaxRatio := flag.Float64("require-max-ratio", 0, "maximum first/second ns/op ratio for every -max-ratio-pair")
 	var pairs multiFlag
 	flag.Var(&pairs, "speedup-pair", "slowBench:fastBench pair for -require-speedup (repeatable)")
+	var ratioPairs multiFlag
+	flag.Var(&ratioPairs, "max-ratio-pair", "bench:baselineBench pair for -require-max-ratio (repeatable)")
 	flag.Parse()
 
 	if *parse != "" {
@@ -107,6 +117,31 @@ func main() {
 			fmt.Printf("benchguard: %s / %s = %.1fx (required ≥ %.1fx)\n", slow, fast, ratio, *requireSpeedup)
 			if ratio < *requireSpeedup {
 				fail("speedup %.2fx below required %.2fx", ratio, *requireSpeedup)
+			}
+		}
+	}
+
+	if *requireMaxRatio > 0 {
+		if *newPath == "" {
+			fail("-require-max-ratio needs -new")
+		}
+		cur := loadFile(*newPath)
+		if len(ratioPairs) == 0 {
+			fail("-require-max-ratio needs at least one -max-ratio-pair")
+		}
+		for _, pair := range ratioPairs {
+			bench, base, ok := strings.Cut(pair, ":")
+			if !ok {
+				fail("malformed -max-ratio-pair %q (want bench:baseline)", pair)
+			}
+			bm, sm := cur.Benchmarks[bench], cur.Benchmarks[base]
+			if bm == nil || sm == nil {
+				fail("max-ratio pair %q: benchmark missing from %s", pair, *newPath)
+			}
+			ratio := bm.NsPerOp / sm.NsPerOp
+			fmt.Printf("benchguard: %s / %s = %.2fx (required ≤ %.2fx)\n", bench, base, ratio, *requireMaxRatio)
+			if ratio > *requireMaxRatio {
+				fail("ratio %.2fx above allowed %.2fx", ratio, *requireMaxRatio)
 			}
 		}
 	}

@@ -327,7 +327,9 @@ func (c *Controller) plan(ctx context.Context, cur *hierarchy.Hierarchy, crashed
 		if eff, ok := v.Drifted[n.Name]; ok {
 			p = eff
 		}
-		pool.Nodes = append(pool.Nodes, platform.Node{Name: n.Name, Power: p})
+		// Powers drift with learned beliefs; links are physical and keep
+		// the platform's per-node bandwidth.
+		pool.Nodes = append(pool.Nodes, platform.Node{Name: n.Name, Power: p, LinkBandwidth: n.LinkBandwidth})
 	}
 
 	// The honest view of the current deployment: same structure, learned

@@ -45,7 +45,7 @@ func (s *Star) Plan(req core.Request) (*core.Plan, error) {
 	}
 	nodes := req.Platform.SortByPowerDesc()
 	h := hierarchy.New(req.Platform.Name + "-star")
-	rootID, err := h.AddRoot(nodes[0].Name, nodes[0].Power)
+	rootID, err := h.AddRoot(nodes[0].Name, nodes[0].Power, nodes[0].LinkBandwidth)
 	if err != nil {
 		return nil, err
 	}
@@ -54,7 +54,7 @@ func (s *Star) Plan(req core.Request) (*core.Plan, error) {
 		limit = s.MaxServers
 	}
 	for _, n := range nodes[1 : 1+limit] {
-		if _, err := h.AddServer(rootID, n.Name, n.Power); err != nil {
+		if _, err := h.AddServer(rootID, n.Name, n.Power, n.LinkBandwidth); err != nil {
 			return nil, err
 		}
 	}
@@ -108,13 +108,13 @@ func (b *Balanced) Plan(req core.Request) (*core.Plan, error) {
 		return (&Star{}).Plan(req)
 	}
 	h := hierarchy.New(req.Platform.Name + "-balanced")
-	rootID, err := h.AddRoot(nodes[0].Name, nodes[0].Power)
+	rootID, err := h.AddRoot(nodes[0].Name, nodes[0].Power, nodes[0].LinkBandwidth)
 	if err != nil {
 		return nil, err
 	}
 	agentIDs := make([]int, deg)
 	for i := 0; i < deg; i++ {
-		id, err := h.AddAgent(rootID, nodes[1+i].Name, nodes[1+i].Power)
+		id, err := h.AddAgent(rootID, nodes[1+i].Name, nodes[1+i].Power, nodes[1+i].LinkBandwidth)
 		if err != nil {
 			return nil, err
 		}
@@ -122,7 +122,7 @@ func (b *Balanced) Plan(req core.Request) (*core.Plan, error) {
 	}
 	for i, nd := range nodes[1+deg:] {
 		parent := agentIDs[i%deg]
-		if _, err := h.AddServer(parent, nd.Name, nd.Power); err != nil {
+		if _, err := h.AddServer(parent, nd.Name, nd.Power, nd.LinkBandwidth); err != nil {
 			return nil, err
 		}
 	}
@@ -144,6 +144,15 @@ func (b *Balanced) Plan(req core.Request) (*core.Plan, error) {
 // in power, so the weakest (last) agent of each run carries the level's
 // scheduling minimum; the service term needs only the server count and
 // power sum. Only the winning candidate is built as a hierarchy.
+//
+// Precondition: the [10] optimality argument — and the O(1) prefix-sum
+// scoring above — assumes *uniform link bandwidths*: with per-node links
+// the weakest agent of a run is no longer the one with the least power.
+// On platforms with heterogeneous links the planner does not fail; it
+// falls back to scoring every candidate at the pool's minimum link
+// bandwidth (a conservative uniform projection) and the returned plan is
+// re-evaluated honestly with the true per-node links by core.Finalize.
+// Treat its result on such platforms as a baseline, never an optimum.
 type OptimalDAry struct{}
 
 // Name implements core.Planner.
@@ -162,6 +171,11 @@ func (o *OptimalDAry) PlanContext(ctx context.Context, req core.Request) (*core.
 		return nil, err
 	}
 	c, bw, wapp := req.Costs, req.Platform.Bandwidth, req.Wapp
+	if !req.Platform.HasUniformLinks() {
+		// Conservative fallback: score candidates as if every link ran at
+		// the pool's slowest bandwidth (see the type comment).
+		bw, _ = req.Platform.LinkRange()
+	}
 	nodes := req.Platform.SortByPowerDesc()
 	n := len(nodes)
 
@@ -290,7 +304,7 @@ func buildDAry(name string, nodes []platform.Node, d, levels, servers int) (*hie
 	take := func() platform.Node { n := nodes[idx]; idx++; return n }
 
 	rootNode := take()
-	rootID, err := h.AddRoot(rootNode.Name, rootNode.Power)
+	rootID, err := h.AddRoot(rootNode.Name, rootNode.Power, rootNode.LinkBandwidth)
 	if err != nil {
 		return nil, err
 	}
@@ -300,7 +314,7 @@ func buildDAry(name string, nodes []platform.Node, d, levels, servers int) (*hie
 		for _, parent := range level {
 			for k := 0; k < d; k++ {
 				nd := take()
-				id, err := h.AddAgent(parent, nd.Name, nd.Power)
+				id, err := h.AddAgent(parent, nd.Name, nd.Power, nd.LinkBandwidth)
 				if err != nil {
 					return nil, err
 				}
@@ -312,7 +326,7 @@ func buildDAry(name string, nodes []platform.Node, d, levels, servers int) (*hie
 	for s := 0; s < servers; s++ {
 		parent := level[s%len(level)]
 		nd := take()
-		if _, err := h.AddServer(parent, nd.Name, nd.Power); err != nil {
+		if _, err := h.AddServer(parent, nd.Name, nd.Power, nd.LinkBandwidth); err != nil {
 			return nil, err
 		}
 	}
@@ -352,7 +366,7 @@ func (r *Random) Plan(req core.Request) (*core.Plan, error) {
 		n = r.MaxNodes
 	}
 	h := hierarchy.New(req.Platform.Name + "-random")
-	rootID, err := h.AddRoot(nodes[0].Name, nodes[0].Power)
+	rootID, err := h.AddRoot(nodes[0].Name, nodes[0].Power, nodes[0].LinkBandwidth)
 	if err != nil {
 		return nil, err
 	}
@@ -365,12 +379,12 @@ func (r *Random) Plan(req core.Request) (*core.Plan, error) {
 		if n-idx >= 3 && rng.Float64() < 0.2 {
 			nd := nodes[idx]
 			idx++
-			id, err := h.AddAgent(parent, nd.Name, nd.Power)
+			id, err := h.AddAgent(parent, nd.Name, nd.Power, nd.LinkBandwidth)
 			if err != nil {
 				return nil, err
 			}
 			for k := 0; k < 2 && idx < n; k++ {
-				if _, err := h.AddServer(id, nodes[idx].Name, nodes[idx].Power); err != nil {
+				if _, err := h.AddServer(id, nodes[idx].Name, nodes[idx].Power, nodes[idx].LinkBandwidth); err != nil {
 					return nil, err
 				}
 				idx++
@@ -378,7 +392,7 @@ func (r *Random) Plan(req core.Request) (*core.Plan, error) {
 			agents = append(agents, id)
 			continue
 		}
-		if _, err := h.AddServer(parent, nodes[idx].Name, nodes[idx].Power); err != nil {
+		if _, err := h.AddServer(parent, nodes[idx].Name, nodes[idx].Power, nodes[idx].LinkBandwidth); err != nil {
 			return nil, err
 		}
 		idx++

@@ -198,28 +198,35 @@ func evalParentVector(req core.Request, sc *exhaustiveScratch) (rho float64, use
 	}
 
 	// One allocation-free model pass: agents contribute their scheduling
-	// throughput, servers their prediction throughput and the Eq. 10
-	// num/den accumulators (summed in index order, exactly as
-	// model.ServerCompTime would over the server power slice).
+	// throughput (at their own link), servers their prediction throughput
+	// and the Eq. 10 num/den accumulators (summed in index order, exactly
+	// as model.ServerCompTime would over the server power slice); the
+	// service transfer is charged at the slowest server link, matching
+	// model.ServiceThroughputLinks.
 	c, bw, wapp := req.Costs, req.Platform.Bandwidth, req.Wapp
 	nodes := req.Platform.Nodes
 	sched := math.Inf(1)
 	num, den := 1.0, 0.0
+	minBW := math.Inf(1)
 	nServers := 0
 	for i, p := range parent {
 		if p == parentUnused {
 			continue
 		}
 		w := nodes[i].Power
+		nbw := nodes[i].Link(bw)
 		if childCnt[i] > 0 {
-			if t := model.AgentThroughput(c, bw, w, childCnt[i]); t < sched {
+			if t := model.AgentThroughput(c, nbw, w, childCnt[i]); t < sched {
 				sched = t
 			}
 		} else {
 			nServers++
 			num += c.ServerWpre / wapp
 			den += w / wapp
-			if t := model.ServerPredictionThroughput(c, bw, w); t < sched {
+			if nbw < minBW {
+				minBW = nbw
+			}
+			if t := model.ServerPredictionThroughput(c, nbw, w); t < sched {
 				sched = t
 			}
 		}
@@ -227,7 +234,7 @@ func evalParentVector(req core.Request, sc *exhaustiveScratch) (rho float64, use
 	if nServers == 0 {
 		return 0, 0, false
 	}
-	service := 1 / (model.ServerReceiveTime(c, bw) + model.ServerSendTime(c, bw) + num/den)
+	service := 1 / (model.ServerReceiveTime(c, minBW) + model.ServerSendTime(c, minBW) + num/den)
 	return math.Min(sched, service), used, true
 }
 
@@ -248,7 +255,7 @@ func buildFromParentVector(req core.Request, parent []int) *hierarchy.Hierarchy 
 	}
 	nodes := req.Platform.Nodes
 	h := hierarchy.New(req.Platform.Name + "-exhaustive")
-	rootID, err := h.AddRoot(nodes[rootIdx].Name, nodes[rootIdx].Power)
+	rootID, err := h.AddRoot(nodes[rootIdx].Name, nodes[rootIdx].Power, nodes[rootIdx].LinkBandwidth)
 	if err != nil {
 		return nil
 	}
@@ -258,9 +265,9 @@ func buildFromParentVector(req core.Request, parent []int) *hierarchy.Hierarchy 
 			var cid int
 			var err error
 			if len(children[c]) > 0 {
-				cid, err = h.AddAgent(id, nodes[c].Name, nodes[c].Power)
+				cid, err = h.AddAgent(id, nodes[c].Name, nodes[c].Power, nodes[c].LinkBandwidth)
 			} else {
-				cid, err = h.AddServer(id, nodes[c].Name, nodes[c].Power)
+				cid, err = h.AddServer(id, nodes[c].Name, nodes[c].Power, nodes[c].LinkBandwidth)
 			}
 			if err != nil {
 				return false

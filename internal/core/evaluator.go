@@ -22,31 +22,36 @@ import (
 // production engine) and the NaiveEvaluator reference (full recompute per
 // query, the pre-refactor cost profile) retained for property/fuzz tests
 // and benchmarks.
+// Per-node link bandwidths: every placement primitive carries the backing
+// node's link bandwidth alongside its power (zero = the platform default
+// handed to the constructor), so deployments over multi-cluster platforms
+// evaluate each node's communication terms at its own link speed.
 type PlacementEvaluator interface {
 	// AddAgent registers node id as an agent with no children yet. parent
 	// is the agent's parent id, or -1 for the root; the parent's degree is
 	// incremented.
-	AddAgent(id, parent int, power float64)
+	AddAgent(id, parent int, power, linkBW float64)
 	// AddServer registers node id as a server leaf under parent, whose
 	// degree is incremented.
-	AddServer(id, parent int, power float64)
+	AddServer(id, parent int, power, linkBW float64)
 	// Promote converts server id into a childless agent (shift_nodes).
 	Promote(id int)
-	// SetPower re-backs node id with a different physical power (the swap
+	// SetBacking re-backs node id with a different physical node (the swap
 	// refiner's primitive), keeping its role and degree.
-	SetPower(id int, power float64)
+	SetBacking(id int, power, linkBW float64)
 	// Eval returns the current ρ_sched and ρ_service (Eqs. 14–15);
 	// ρ = min of the two. A deployment with no servers evaluates to (0, 0),
 	// matching model.Evaluate.
 	Eval() (sched, service float64)
 	// RhoAfterAttach returns the ρ the deployment would have with one more
-	// server of the given power attached under agent parent.
-	RhoAfterAttach(parent int, power float64) float64
+	// server of the given power and link attached under agent parent.
+	RhoAfterAttach(parent int, power, linkBW float64) float64
 	// RhoAfterReback returns the ρ the deployment would have with agent id
-	// re-backed by a node of the given power (the old backing leaves).
-	RhoAfterReback(agentID int, power float64) float64
+	// re-backed by a node of the given power and link (the old backing
+	// leaves).
+	RhoAfterReback(agentID int, power, linkBW float64) float64
 	// RhoAfterSwap returns the ρ the deployment would have after agent and
-	// server exchange backing nodes.
+	// server exchange backing nodes (powers and links travel together).
 	RhoAfterSwap(agentID, serverID int) float64
 	// RhoAfterDrop returns the ρ the deployment would have with server id
 	// removed from under parent (weak servers can lower ρ: each one pays
@@ -64,8 +69,11 @@ const (
 )
 
 // evalNode is the per-id state shared by both evaluator implementations.
+// bw is the node's *resolved* link bandwidth (the zero override already
+// replaced by the platform default at registration).
 type evalNode struct {
 	power  float64
+	bw     float64
 	degree int
 	role   int8
 	stamp  uint32 // bumped on every change; stale heap entries self-invalidate
@@ -77,6 +85,9 @@ type evalNode struct {
 //	1 / (Srx + Stx + (1 + n·Wpre/Wapp) / (Σw/Wapp))
 //
 // This is what makes the service term O(1) under incremental maintenance.
+// bandwidth is the link the service transfer is charged at: under
+// heterogeneous links, the *minimum* server link bandwidth of the set
+// (matching model.ServiceThroughputLinks).
 func serviceFromAggregates(c model.Costs, bandwidth, wapp float64, n int, sum float64) float64 {
 	if n == 0 {
 		return 0
@@ -181,21 +192,28 @@ func (h *lazyHeap) reset() { h.ents = h.ents[:0] }
 // Evaluator is the incremental PlacementEvaluator: it maintains
 //
 //   - a compensated running sum and count of server powers, making the
-//     service term (Eq. 15) O(1);
-//   - a lazy min-heap over agent scheduling throughputs and a lazy
-//     min-heap over server powers (the prediction throughput of Eq. 14 is
-//     increasing in power, so the weakest server is the prediction
-//     bottleneck), making the scheduling term O(log n) amortised;
+//     computation part of the service term (Eq. 15) O(1);
+//   - a lazy min-heap over agent scheduling throughputs, a lazy min-heap
+//     over per-server effective prediction throughputs (each server's
+//     Eq. 14 term evaluated at its own power *and* link bandwidth), and a
+//     lazy min-heap over server link bandwidths (the slowest server link
+//     carries the service phase's transfer term), keeping the scheduling
+//     and service terms O(log n) amortised under heterogeneous links;
 //
 // so each candidate evaluation a planner issues costs O(1)–O(log n)
 // instead of the Θ(n) full-model sweep the naive path performs. Stale heap
 // entries are invalidated by per-node stamps and discarded on contact.
 //
+// On uniform-link platforms the prediction heap orders exactly like the
+// old power heap (prediction throughput is monotone in power at fixed
+// bandwidth) and the bandwidth heap is constant, so results are
+// bit-identical to the pre-heterogeneous evaluator.
+//
 // An Evaluator mirrors exactly the mutations the owning planner applies to
 // its hierarchy; use LoadHierarchy to mirror an existing tree wholesale.
 type Evaluator struct {
 	costs model.Costs
-	bw    float64
+	bw    float64 // default link bandwidth (platform B)
 	wapp  float64
 
 	nodes []evalNode
@@ -205,13 +223,23 @@ type Evaluator struct {
 	sumComp  float64
 
 	agentThr lazyHeap // min over agent scheduling throughput
-	servPow  lazyHeap // min over server power
+	servPred lazyHeap // min over server prediction throughput (Eq. 14 term)
+	servBW   lazyHeap // min over server link bandwidth (service transfer)
 }
 
 // NewEvaluator returns an empty incremental evaluator for the given model
-// calibration.
+// calibration; bandwidth is the default link bandwidth for nodes without a
+// per-node override.
 func NewEvaluator(c model.Costs, bandwidth, wapp float64) *Evaluator {
-	return &Evaluator{costs: c, bw: bandwidth, wapp: wapp, servPow: lazyHeap{}, agentThr: lazyHeap{}}
+	return &Evaluator{costs: c, bw: bandwidth, wapp: wapp}
+}
+
+// link resolves a per-node bandwidth override against the default.
+func (e *Evaluator) link(bw float64) float64 {
+	if bw > 0 {
+		return bw
+	}
+	return e.bw
 }
 
 // Reset implements PlacementEvaluator.
@@ -220,7 +248,8 @@ func (e *Evaluator) Reset() {
 	e.nServers = 0
 	e.sumPow, e.sumComp = 0, 0
 	e.agentThr.reset()
-	e.servPow.reset()
+	e.servPred.reset()
+	e.servBW.reset()
 }
 
 // ensure grows the node table to cover id.
@@ -253,28 +282,31 @@ func (e *Evaluator) bumpParent(parent int) {
 	p := &e.nodes[parent]
 	p.degree++
 	p.stamp++
-	e.agentThr.push(heapEnt{val: model.AgentThroughput(e.costs, e.bw, p.power, p.degree), id: parent, stamp: p.stamp})
+	e.agentThr.push(heapEnt{val: model.AgentThroughput(e.costs, p.bw, p.power, p.degree), id: parent, stamp: p.stamp})
 }
 
 // AddAgent implements PlacementEvaluator.
-func (e *Evaluator) AddAgent(id, parent int, power float64) {
+func (e *Evaluator) AddAgent(id, parent int, power, linkBW float64) {
 	e.ensure(id)
+	bw := e.link(linkBW)
 	n := &e.nodes[id]
-	n.power, n.degree, n.role = power, 0, roleAgent
+	n.power, n.bw, n.degree, n.role = power, bw, 0, roleAgent
 	n.stamp++
-	e.agentThr.push(heapEnt{val: model.AgentThroughput(e.costs, e.bw, power, 0), id: id, stamp: n.stamp})
+	e.agentThr.push(heapEnt{val: model.AgentThroughput(e.costs, bw, power, 0), id: id, stamp: n.stamp})
 	e.bumpParent(parent)
 }
 
 // AddServer implements PlacementEvaluator.
-func (e *Evaluator) AddServer(id, parent int, power float64) {
+func (e *Evaluator) AddServer(id, parent int, power, linkBW float64) {
 	e.ensure(id)
+	bw := e.link(linkBW)
 	n := &e.nodes[id]
-	n.power, n.degree, n.role = power, 0, roleServer
+	n.power, n.bw, n.degree, n.role = power, bw, 0, roleServer
 	n.stamp++
 	e.nServers++
 	e.sumAdd(power)
-	e.servPow.push(heapEnt{val: power, id: id, stamp: n.stamp})
+	e.servPred.push(heapEnt{val: model.ServerPredictionThroughput(e.costs, bw, power), id: id, stamp: n.stamp})
+	e.servBW.push(heapEnt{val: bw, id: id, stamp: n.stamp})
 	e.bumpParent(parent)
 }
 
@@ -286,30 +318,32 @@ func (e *Evaluator) Promote(id int) {
 	e.sumAdd(-n.power)
 	n.role, n.degree = roleAgent, 0
 	n.stamp++
-	e.agentThr.push(heapEnt{val: model.AgentThroughput(e.costs, e.bw, n.power, 0), id: id, stamp: n.stamp})
+	e.agentThr.push(heapEnt{val: model.AgentThroughput(e.costs, n.bw, n.power, 0), id: id, stamp: n.stamp})
 }
 
-// SetPower implements PlacementEvaluator.
-func (e *Evaluator) SetPower(id int, power float64) {
+// SetBacking implements PlacementEvaluator.
+func (e *Evaluator) SetBacking(id int, power, linkBW float64) {
+	bw := e.link(linkBW)
 	n := &e.nodes[id]
 	if n.role == roleServer {
 		e.sumAdd(power - n.power)
 	}
-	n.power = power
+	n.power, n.bw = power, bw
 	n.stamp++
 	switch n.role {
 	case roleAgent:
-		e.agentThr.push(heapEnt{val: model.AgentThroughput(e.costs, e.bw, power, n.degree), id: id, stamp: n.stamp})
+		e.agentThr.push(heapEnt{val: model.AgentThroughput(e.costs, bw, power, n.degree), id: id, stamp: n.stamp})
 	case roleServer:
-		e.servPow.push(heapEnt{val: power, id: id, stamp: n.stamp})
+		e.servPred.push(heapEnt{val: model.ServerPredictionThroughput(e.costs, bw, power), id: id, stamp: n.stamp})
+		e.servBW.push(heapEnt{val: bw, id: id, stamp: n.stamp})
 	}
 }
 
 // schedWith returns ρ_sched with the candidate agent term and server
 // prediction floor folded in: agentOverride is (id, its hypothetical
-// throughput); pass id -1 for none. minServerPow is the hypothetical
-// weakest server power (math.Inf(1) for "no servers").
-func (e *Evaluator) schedWith(overrideID int, overrideThr, minServerPow float64) float64 {
+// throughput); pass id -1 for none. minPred is the hypothetical weakest
+// server prediction throughput (math.Inf(1) for "no servers").
+func (e *Evaluator) schedWith(overrideID int, overrideThr, minPred float64) float64 {
 	sched := overrideThr
 	var ent heapEnt
 	var ok bool
@@ -322,23 +356,38 @@ func (e *Evaluator) schedWith(overrideID int, overrideThr, minServerPow float64)
 	if ok && ent.val < sched {
 		sched = ent.val
 	}
-	if !math.IsInf(minServerPow, 1) {
-		if t := model.ServerPredictionThroughput(e.costs, e.bw, minServerPow); t < sched {
-			sched = t
-		}
+	if minPred < sched {
+		sched = minPred
 	}
 	return sched
 }
 
-// minServerPower returns the current weakest server power, optionally
-// excluding one id (pass -1 for none); +Inf when no server qualifies.
-func (e *Evaluator) minServerPower(skip int) float64 {
+// minServerPred returns the current weakest server prediction throughput,
+// optionally excluding one id (pass -1 for none); +Inf when no server
+// qualifies.
+func (e *Evaluator) minServerPred(skip int) float64 {
 	var ent heapEnt
 	var ok bool
 	if skip >= 0 {
-		ent, ok = e.servPow.peekExcluding(e.nodes, roleServer, skip)
+		ent, ok = e.servPred.peekExcluding(e.nodes, roleServer, skip)
 	} else {
-		ent, ok = e.servPow.peek(e.nodes, roleServer)
+		ent, ok = e.servPred.peek(e.nodes, roleServer)
+	}
+	if !ok {
+		return math.Inf(1)
+	}
+	return ent.val
+}
+
+// minServerBW returns the current slowest server link bandwidth, optionally
+// excluding one id; +Inf when no server qualifies.
+func (e *Evaluator) minServerBW(skip int) float64 {
+	var ent heapEnt
+	var ok bool
+	if skip >= 0 {
+		ent, ok = e.servBW.peekExcluding(e.nodes, roleServer, skip)
+	} else {
+		ent, ok = e.servBW.peek(e.nodes, roleServer)
 	}
 	if !ok {
 		return math.Inf(1)
@@ -351,37 +400,41 @@ func (e *Evaluator) Eval() (sched, service float64) {
 	if e.nServers == 0 {
 		return 0, 0
 	}
-	sched = e.schedWith(-1, 0, e.minServerPower(-1))
-	service = serviceFromAggregates(e.costs, e.bw, e.wapp, e.nServers, e.serverSum())
+	sched = e.schedWith(-1, 0, e.minServerPred(-1))
+	service = serviceFromAggregates(e.costs, e.minServerBW(-1), e.wapp, e.nServers, e.serverSum())
 	return sched, service
 }
 
 // RhoAfterAttach implements PlacementEvaluator.
-func (e *Evaluator) RhoAfterAttach(parent int, power float64) float64 {
+func (e *Evaluator) RhoAfterAttach(parent int, power, linkBW float64) float64 {
+	bw := e.link(linkBW)
 	p := e.nodes[parent]
-	thr := model.AgentThroughput(e.costs, e.bw, p.power, p.degree+1)
-	minPow := math.Min(e.minServerPower(-1), power)
-	sched := e.schedWith(parent, thr, minPow)
-	service := serviceFromAggregates(e.costs, e.bw, e.wapp, e.nServers+1, e.serverSum()+power)
+	thr := model.AgentThroughput(e.costs, p.bw, p.power, p.degree+1)
+	minPred := math.Min(e.minServerPred(-1), model.ServerPredictionThroughput(e.costs, bw, power))
+	sched := e.schedWith(parent, thr, minPred)
+	minBW := math.Min(e.minServerBW(-1), bw)
+	service := serviceFromAggregates(e.costs, minBW, e.wapp, e.nServers+1, e.serverSum()+power)
 	return math.Min(sched, service)
 }
 
 // RhoAfterReback implements PlacementEvaluator.
-func (e *Evaluator) RhoAfterReback(agentID int, power float64) float64 {
+func (e *Evaluator) RhoAfterReback(agentID int, power, linkBW float64) float64 {
+	bw := e.link(linkBW)
 	a := e.nodes[agentID]
-	thr := model.AgentThroughput(e.costs, e.bw, power, a.degree)
-	sched := e.schedWith(agentID, thr, e.minServerPower(-1))
-	service := serviceFromAggregates(e.costs, e.bw, e.wapp, e.nServers, e.serverSum())
+	thr := model.AgentThroughput(e.costs, bw, power, a.degree)
+	sched := e.schedWith(agentID, thr, e.minServerPred(-1))
+	service := serviceFromAggregates(e.costs, e.minServerBW(-1), e.wapp, e.nServers, e.serverSum())
 	return math.Min(sched, service)
 }
 
 // RhoAfterSwap implements PlacementEvaluator.
 func (e *Evaluator) RhoAfterSwap(agentID, serverID int) float64 {
 	a, s := e.nodes[agentID], e.nodes[serverID]
-	thr := model.AgentThroughput(e.costs, e.bw, s.power, a.degree)
-	minPow := math.Min(e.minServerPower(serverID), a.power)
-	sched := e.schedWith(agentID, thr, minPow)
-	service := serviceFromAggregates(e.costs, e.bw, e.wapp, e.nServers, e.serverSum()-s.power+a.power)
+	thr := model.AgentThroughput(e.costs, s.bw, s.power, a.degree)
+	minPred := math.Min(e.minServerPred(serverID), model.ServerPredictionThroughput(e.costs, a.bw, a.power))
+	sched := e.schedWith(agentID, thr, minPred)
+	minBW := math.Min(e.minServerBW(serverID), a.bw)
+	service := serviceFromAggregates(e.costs, minBW, e.wapp, e.nServers, e.serverSum()-s.power+a.power)
 	return math.Min(sched, service)
 }
 
@@ -391,9 +444,9 @@ func (e *Evaluator) RhoAfterDrop(serverID, parentID int) float64 {
 		return 0
 	}
 	p, s := e.nodes[parentID], e.nodes[serverID]
-	thr := model.AgentThroughput(e.costs, e.bw, p.power, p.degree-1)
-	sched := e.schedWith(parentID, thr, e.minServerPower(serverID))
-	service := serviceFromAggregates(e.costs, e.bw, e.wapp, e.nServers-1, e.serverSum()-s.power)
+	thr := model.AgentThroughput(e.costs, p.bw, p.power, p.degree-1)
+	sched := e.schedWith(parentID, thr, e.minServerPred(serverID))
+	service := serviceFromAggregates(e.costs, e.minServerBW(serverID), e.wapp, e.nServers-1, e.serverSum()-s.power)
 	return math.Min(sched, service)
 }
 
@@ -403,9 +456,9 @@ func (e *Evaluator) RhoAfterDrop(serverID, parentID int) float64 {
 func LoadHierarchy(ev PlacementEvaluator, h *hierarchy.Hierarchy) {
 	for _, n := range h.Nodes() {
 		if n.Role == hierarchy.RoleAgent {
-			ev.AddAgent(n.ID, n.Parent, n.Power)
+			ev.AddAgent(n.ID, n.Parent, n.Power, n.Bandwidth)
 		} else {
-			ev.AddServer(n.ID, n.Parent, n.Power)
+			ev.AddServer(n.ID, n.Parent, n.Power, n.Bandwidth)
 		}
 	}
 }

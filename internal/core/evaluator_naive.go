@@ -15,19 +15,21 @@ import (
 // It is retained on purpose, not as dead code:
 //
 //   - the property/fuzz tests hold Evaluator and NaiveEvaluator to 1e-9
-//     agreement on every generated scenario, so the incremental
-//     bookkeeping can never silently drift from the §3 model;
+//     agreement on every generated scenario — including heterogeneous
+//     per-node link bandwidths — so the incremental bookkeeping can never
+//     silently drift from the §3 model;
 //   - the BenchmarkHeuristicPlanNaive* benchmarks plan through it to
 //     quantify the incremental speedup (the CI bench gate requires ≥10x
 //     at 5k nodes).
 type NaiveEvaluator struct {
 	costs model.Costs
-	bw    float64
+	bw    float64 // default link bandwidth
 	wapp  float64
 	nodes []evalNode
 }
 
-// NewNaiveEvaluator returns an empty reference evaluator.
+// NewNaiveEvaluator returns an empty reference evaluator; bandwidth is the
+// default link bandwidth for nodes without a per-node override.
 func NewNaiveEvaluator(c model.Costs, bandwidth, wapp float64) *NaiveEvaluator {
 	return &NaiveEvaluator{costs: c, bw: bandwidth, wapp: wapp}
 }
@@ -41,19 +43,27 @@ func (e *NaiveEvaluator) ensure(id int) {
 	}
 }
 
+// link resolves a per-node bandwidth override against the default.
+func (e *NaiveEvaluator) link(bw float64) float64 {
+	if bw > 0 {
+		return bw
+	}
+	return e.bw
+}
+
 // AddAgent implements PlacementEvaluator.
-func (e *NaiveEvaluator) AddAgent(id, parent int, power float64) {
+func (e *NaiveEvaluator) AddAgent(id, parent int, power, linkBW float64) {
 	e.ensure(id)
-	e.nodes[id] = evalNode{power: power, role: roleAgent}
+	e.nodes[id] = evalNode{power: power, bw: e.link(linkBW), role: roleAgent}
 	if parent >= 0 {
 		e.nodes[parent].degree++
 	}
 }
 
 // AddServer implements PlacementEvaluator.
-func (e *NaiveEvaluator) AddServer(id, parent int, power float64) {
+func (e *NaiveEvaluator) AddServer(id, parent int, power, linkBW float64) {
 	e.ensure(id)
-	e.nodes[id] = evalNode{power: power, role: roleServer}
+	e.nodes[id] = evalNode{power: power, bw: e.link(linkBW), role: roleServer}
 	if parent >= 0 {
 		e.nodes[parent].degree++
 	}
@@ -65,23 +75,27 @@ func (e *NaiveEvaluator) Promote(id int) {
 	e.nodes[id].degree = 0
 }
 
-// SetPower implements PlacementEvaluator.
-func (e *NaiveEvaluator) SetPower(id int, power float64) {
+// SetBacking implements PlacementEvaluator.
+func (e *NaiveEvaluator) SetBacking(id int, power, linkBW float64) {
 	e.nodes[id].power = power
+	e.nodes[id].bw = e.link(linkBW)
 }
 
-// sweep recomputes ρ_sched and ρ_service from scratch. The three override
-// hooks graft one hypothetical change into the sweep without mutating
-// state: agent overrideID evaluates with degree+degreeDelta and (when
-// swapPower ≥ 0) that backing power; server swapServer evaluates with the
-// agent's old power; extraServer ≥ 0 adds one unattached server power.
+// sweep recomputes ρ_sched and ρ_service from scratch. The override hooks
+// graft one hypothetical change into the sweep without mutating state:
+// agent overrideID evaluates with degree+degreeDelta and (when agentPower
+// ≥ 0) that backing power and link; server swapServer evaluates with the
+// agent's old power and link; extraServer ≥ 0 adds one unattached server.
 type naiveOverride struct {
 	agentID     int     // -1 none
 	degreeDelta int     // applied to agentID
 	agentPower  float64 // <0: keep
-	serverID    int     // -1 none: server whose power is replaced
+	agentBW     float64 // backing link of the agent override (with agentPower)
+	serverID    int     // -1 none: server whose backing is replaced
 	serverPower float64
+	serverBW    float64
 	extraServer float64 // <0 none: power of one additional server
+	extraBW     float64 // resolved link of the additional server
 	dropServer  int     // -1 none: server excluded from the sweep
 }
 
@@ -89,31 +103,35 @@ func (e *NaiveEvaluator) sweep(ov naiveOverride) (sched, service float64) {
 	sched = math.Inf(1)
 	nServers := 0
 	sum := 0.0
+	minBW := math.Inf(1)
 	for id := range e.nodes {
 		n := e.nodes[id]
 		switch n.role {
 		case roleAgent:
-			power, degree := n.power, n.degree
+			power, bw, degree := n.power, n.bw, n.degree
 			if id == ov.agentID {
 				degree += ov.degreeDelta
 				if ov.agentPower >= 0 {
-					power = ov.agentPower
+					power, bw = ov.agentPower, ov.agentBW
 				}
 			}
-			if t := model.AgentThroughput(e.costs, e.bw, power, degree); t < sched {
+			if t := model.AgentThroughput(e.costs, bw, power, degree); t < sched {
 				sched = t
 			}
 		case roleServer:
 			if id == ov.dropServer {
 				continue
 			}
-			power := n.power
+			power, bw := n.power, n.bw
 			if id == ov.serverID {
-				power = ov.serverPower
+				power, bw = ov.serverPower, ov.serverBW
 			}
 			nServers++
 			sum += power
-			if t := model.ServerPredictionThroughput(e.costs, e.bw, power); t < sched {
+			if bw < minBW {
+				minBW = bw
+			}
+			if t := model.ServerPredictionThroughput(e.costs, bw, power); t < sched {
 				sched = t
 			}
 		}
@@ -121,14 +139,17 @@ func (e *NaiveEvaluator) sweep(ov naiveOverride) (sched, service float64) {
 	if ov.extraServer >= 0 {
 		nServers++
 		sum += ov.extraServer
-		if t := model.ServerPredictionThroughput(e.costs, e.bw, ov.extraServer); t < sched {
+		if ov.extraBW < minBW {
+			minBW = ov.extraBW
+		}
+		if t := model.ServerPredictionThroughput(e.costs, ov.extraBW, ov.extraServer); t < sched {
 			sched = t
 		}
 	}
 	if nServers == 0 {
 		return 0, 0
 	}
-	service = serviceFromAggregates(e.costs, e.bw, e.wapp, nServers, sum)
+	service = serviceFromAggregates(e.costs, minBW, e.wapp, nServers, sum)
 	return sched, service
 }
 
@@ -141,17 +162,18 @@ func (e *NaiveEvaluator) Eval() (sched, service float64) {
 }
 
 // RhoAfterAttach implements PlacementEvaluator.
-func (e *NaiveEvaluator) RhoAfterAttach(parent int, power float64) float64 {
+func (e *NaiveEvaluator) RhoAfterAttach(parent int, power, linkBW float64) float64 {
 	ov := noOverride
-	ov.agentID, ov.degreeDelta, ov.extraServer = parent, 1, power
+	ov.agentID, ov.degreeDelta = parent, 1
+	ov.extraServer, ov.extraBW = power, e.link(linkBW)
 	sched, service := e.sweep(ov)
 	return math.Min(sched, service)
 }
 
 // RhoAfterReback implements PlacementEvaluator.
-func (e *NaiveEvaluator) RhoAfterReback(agentID int, power float64) float64 {
+func (e *NaiveEvaluator) RhoAfterReback(agentID int, power, linkBW float64) float64 {
 	ov := noOverride
-	ov.agentID, ov.agentPower = agentID, power
+	ov.agentID, ov.agentPower, ov.agentBW = agentID, power, e.link(linkBW)
 	sched, service := e.sweep(ov)
 	return math.Min(sched, service)
 }
@@ -159,8 +181,8 @@ func (e *NaiveEvaluator) RhoAfterReback(agentID int, power float64) float64 {
 // RhoAfterSwap implements PlacementEvaluator.
 func (e *NaiveEvaluator) RhoAfterSwap(agentID, serverID int) float64 {
 	ov := noOverride
-	ov.agentID, ov.agentPower = agentID, e.nodes[serverID].power
-	ov.serverID, ov.serverPower = serverID, e.nodes[agentID].power
+	ov.agentID, ov.agentPower, ov.agentBW = agentID, e.nodes[serverID].power, e.nodes[serverID].bw
+	ov.serverID, ov.serverPower, ov.serverBW = serverID, e.nodes[agentID].power, e.nodes[agentID].bw
 	sched, service := e.sweep(ov)
 	return math.Min(sched, service)
 }

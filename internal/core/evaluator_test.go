@@ -10,9 +10,12 @@ import (
 
 // TestEvaluatorMatchesNaiveUnderRandomOps drives the incremental and the
 // naive evaluator through identical randomized mutation sequences
-// (attach, promote, re-back, power change) and checks every query agrees
+// (attach, promote, re-back, backing change) and checks every query agrees
 // to 1e-9 after each step — including the min-excluding what-ifs that
-// exercise the lazy-heap invalidation paths.
+// exercise the lazy-heap invalidation paths. Every node draws a random
+// link bandwidth (zero = default included), so the prediction-throughput
+// and min-bandwidth heaps are stressed under heterogeneous links, not
+// just re-derived from powers.
 func TestEvaluatorMatchesNaiveUnderRandomOps(t *testing.T) {
 	c := model.DIETDefaults()
 	const bw, wapp = 100.0, 59.582
@@ -32,9 +35,13 @@ func TestEvaluatorMatchesNaiveUnderRandomOps(t *testing.T) {
 			agent  bool
 		}
 		power := func() float64 { return 50 + rng.Float64()*2000 }
+		// Link palette: default (0), the explicit default, a slow WAN hop,
+		// a fast LAN. Drawing zeros keeps the uniform path covered too.
+		link := func() float64 { return []float64{0, bw, 2, 1000}[rng.Intn(4)] }
 		rootPow := power()
-		inc.AddAgent(0, -1, rootPow)
-		nai.AddAgent(0, -1, rootPow)
+		rootBW := link()
+		inc.AddAgent(0, -1, rootPow, rootBW)
+		nai.AddAgent(0, -1, rootPow, rootBW)
 		nodes := []nodeInfo{{id: 0, parent: -1, agent: true}}
 
 		steps := 5 + rng.Intn(60)
@@ -49,9 +56,9 @@ func TestEvaluatorMatchesNaiveUnderRandomOps(t *testing.T) {
 				}
 				parent := agents[rng.Intn(len(agents))]
 				id := len(nodes)
-				w := power()
-				inc.AddServer(id, parent, w)
-				nai.AddServer(id, parent, w)
+				w, l := power(), link()
+				inc.AddServer(id, parent, w, l)
+				nai.AddServer(id, parent, w, l)
 				nodes = append(nodes, nodeInfo{id: id, parent: parent})
 			case op < 7: // promote a random server
 				var servers []int
@@ -67,11 +74,11 @@ func TestEvaluatorMatchesNaiveUnderRandomOps(t *testing.T) {
 				inc.Promote(nodes[i].id)
 				nai.Promote(nodes[i].id)
 				nodes[i].agent = true
-			default: // re-power a random node
+			default: // re-back a random node with a new power and link
 				i := rng.Intn(len(nodes))
-				w := power()
-				inc.SetPower(nodes[i].id, w)
-				nai.SetPower(nodes[i].id, w)
+				w, l := power(), link()
+				inc.SetBacking(nodes[i].id, w, l)
+				nai.SetBacking(nodes[i].id, w, l)
 			}
 
 			is, iv := inc.Eval()
@@ -80,13 +87,13 @@ func TestEvaluatorMatchesNaiveUnderRandomOps(t *testing.T) {
 				t.Fatalf("trial %d step %d: Eval diverged: (%.12g,%.12g) vs (%.12g,%.12g)", trial, s, is, iv, ns, nv)
 			}
 			// What-ifs against every agent/server exercise peekExcluding.
-			probe := power()
+			probe, probeBW := power(), link()
 			for _, n := range nodes {
 				if n.agent {
-					if a, b := inc.RhoAfterAttach(n.id, probe), nai.RhoAfterAttach(n.id, probe); !close(a, b) {
+					if a, b := inc.RhoAfterAttach(n.id, probe, probeBW), nai.RhoAfterAttach(n.id, probe, probeBW); !close(a, b) {
 						t.Fatalf("trial %d step %d: RhoAfterAttach(%d) %.12g vs %.12g", trial, s, n.id, a, b)
 					}
-					if a, b := inc.RhoAfterReback(n.id, probe), nai.RhoAfterReback(n.id, probe); !close(a, b) {
+					if a, b := inc.RhoAfterReback(n.id, probe, probeBW), nai.RhoAfterReback(n.id, probe, probeBW); !close(a, b) {
 						t.Fatalf("trial %d step %d: RhoAfterReback(%d) %.12g vs %.12g", trial, s, n.id, a, b)
 					}
 				} else {
@@ -122,11 +129,11 @@ func TestEvaluatorEmptyAndReset(t *testing.T) {
 	if s, v := ev.Eval(); s != 0 || v != 0 {
 		t.Errorf("empty evaluator: (%g,%g), want (0,0)", s, v)
 	}
-	ev.AddAgent(0, -1, 400)
+	ev.AddAgent(0, -1, 400, 0)
 	if s, v := ev.Eval(); s != 0 || v != 0 {
 		t.Errorf("serverless evaluator: (%g,%g), want (0,0) to match model.Evaluate", s, v)
 	}
-	ev.AddServer(1, 0, 300)
+	ev.AddServer(1, 0, 300, 0)
 	s1, v1 := ev.Eval()
 	if s1 <= 0 || v1 <= 0 {
 		t.Fatalf("one-server evaluator: (%g,%g)", s1, v1)
@@ -136,8 +143,8 @@ func TestEvaluatorEmptyAndReset(t *testing.T) {
 		t.Errorf("reset evaluator: (%g,%g), want (0,0)", s, v)
 	}
 	// Reuse after reset must reproduce the same numbers.
-	ev.AddAgent(0, -1, 400)
-	ev.AddServer(1, 0, 300)
+	ev.AddAgent(0, -1, 400, 0)
+	ev.AddServer(1, 0, 300, 0)
 	if s2, v2 := ev.Eval(); s2 != s1 || v2 != v1 {
 		t.Errorf("reused evaluator diverged: (%g,%g) vs (%g,%g)", s2, v2, s1, v1)
 	}

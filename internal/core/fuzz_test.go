@@ -74,9 +74,10 @@ func planInvariants(t *testing.T, req core.Request, label string) {
 		t.Errorf("%s: evaluator (%.12g, %.12g) disagrees with model (%.12g, %.12g)", label, is, iv, hp.Eval.Sched, hp.Eval.Service)
 	}
 	root := hp.Hierarchy.Root()
-	probe := req.Platform.Nodes[len(req.Platform.Nodes)/2].Power
-	if !relClose(inc.RhoAfterAttach(root, probe), naive.RhoAfterAttach(root, probe), 1e-9) {
-		t.Errorf("%s: RhoAfterAttach disagrees: %.12g vs %.12g", label, inc.RhoAfterAttach(root, probe), naive.RhoAfterAttach(root, probe))
+	probeNode := req.Platform.Nodes[len(req.Platform.Nodes)/2]
+	probe, probeBW := probeNode.Power, probeNode.LinkBandwidth
+	if !relClose(inc.RhoAfterAttach(root, probe, probeBW), naive.RhoAfterAttach(root, probe, probeBW), 1e-9) {
+		t.Errorf("%s: RhoAfterAttach disagrees: %.12g vs %.12g", label, inc.RhoAfterAttach(root, probe, probeBW), naive.RhoAfterAttach(root, probe, probeBW))
 	}
 
 	// 5. Planning through the naive evaluator yields the same throughput.
@@ -107,10 +108,43 @@ func platformJSON(t *testing.T, p *platform.Platform) string {
 	return string(data)
 }
 
+// applyLinkPattern mutates the platform's per-node link bandwidths by one
+// of four deterministic patterns, so the fuzz battery covers heterogeneous
+// links without a second generation pass:
+//
+//	0: untouched (whatever the scenario family generated — the two
+//	   heterogeneous-link families arrive with links already set);
+//	1: every other node dropped to B/8 (a half-slow pool);
+//	2: three link classes round-robin (default, B/2, B/16);
+//	3: every node explicitly pinned to B — semantically uniform, but
+//	   through the explicit-override code path.
+func applyLinkPattern(plat *platform.Platform, linkSel uint8) {
+	b := plat.Bandwidth
+	switch linkSel % 4 {
+	case 0:
+	case 1:
+		for i := range plat.Nodes {
+			if i%2 == 1 {
+				plat.Nodes[i].LinkBandwidth = b / 8
+			}
+		}
+	case 2:
+		classes := []float64{0, b / 2, b / 16}
+		for i := range plat.Nodes {
+			plat.Nodes[i].LinkBandwidth = classes[i%3]
+		}
+	case 3:
+		for i := range plat.Nodes {
+			plat.Nodes[i].LinkBandwidth = b
+		}
+	}
+}
+
 // fuzzRequest decodes raw fuzz inputs into a planning request over a
 // scenario-family platform. ok is false for inputs outside the model's
-// domain (they are skipped, not failures).
-func fuzzRequest(familyIdx, nRaw uint8, seed, wappMilli, demandMilli int64, bwSel uint8) (core.Request, bool) {
+// domain (they are skipped, not failures). linkSel selects the per-node
+// link-bandwidth mutation (applyLinkPattern).
+func fuzzRequest(familyIdx, nRaw uint8, seed, wappMilli, demandMilli int64, bwSel, linkSel uint8) (core.Request, bool) {
 	families := scenario.Families()
 	spec := scenario.Spec{
 		Family:    families[int(familyIdx)%len(families)],
@@ -122,6 +156,7 @@ func fuzzRequest(familyIdx, nRaw uint8, seed, wappMilli, demandMilli int64, bwSe
 	if err != nil {
 		return core.Request{}, false
 	}
+	applyLinkPattern(plat, linkSel)
 	wapp := float64(wappMilli) / 1000
 	if wapp < 0 {
 		wapp = -wapp
@@ -148,17 +183,21 @@ func fuzzRequest(familyIdx, nRaw uint8, seed, wappMilli, demandMilli int64, bwSe
 // FuzzPlanInvariants fuzzes the planner over every scenario family: any
 // input that produces a valid request must satisfy the full invariant
 // battery (plan validity, ρ = min law, star dominance, incremental-vs-
-// naive evaluator agreement to 1e-9, swap-refiner monotonicity).
+// naive evaluator agreement to 1e-9, swap-refiner monotonicity). The
+// linkSel input mutates per-node link bandwidths, so the battery holds
+// under heterogeneous links too.
 func FuzzPlanInvariants(f *testing.F) {
-	// One seed per family plus demand/bandwidth/Wapp corners; the checked-in
-	// corpus under testdata/fuzz extends these.
-	f.Add(uint8(0), uint8(10), int64(1), int64(59582), int64(0), uint8(1))
-	f.Add(uint8(1), uint8(30), int64(2), int64(2000000), int64(0), uint8(0))
-	f.Add(uint8(2), uint8(61), int64(3), int64(59582), int64(150000), uint8(2))
-	f.Add(uint8(3), uint8(5), int64(4), int64(1333330), int64(0), uint8(1))
-	f.Add(uint8(4), uint8(0), int64(5), int64(59582), int64(25000), uint8(1))
-	f.Fuzz(func(t *testing.T, familyIdx, nRaw uint8, seed, wappMilli, demandMilli int64, bwSel uint8) {
-		req, ok := fuzzRequest(familyIdx, nRaw, seed, wappMilli, demandMilli, bwSel)
+	// One seed per family plus demand/bandwidth/Wapp/link corners; the
+	// checked-in corpus under testdata/fuzz extends these.
+	f.Add(uint8(0), uint8(10), int64(1), int64(59582), int64(0), uint8(1), uint8(0))
+	f.Add(uint8(1), uint8(30), int64(2), int64(2000000), int64(0), uint8(0), uint8(1))
+	f.Add(uint8(2), uint8(61), int64(3), int64(59582), int64(150000), uint8(2), uint8(2))
+	f.Add(uint8(3), uint8(5), int64(4), int64(1333330), int64(0), uint8(1), uint8(3))
+	f.Add(uint8(4), uint8(0), int64(5), int64(59582), int64(25000), uint8(1), uint8(0))
+	f.Add(uint8(5), uint8(24), int64(6), int64(59582), int64(0), uint8(1), uint8(0))
+	f.Add(uint8(6), uint8(40), int64(7), int64(1333330), int64(0), uint8(1), uint8(0))
+	f.Fuzz(func(t *testing.T, familyIdx, nRaw uint8, seed, wappMilli, demandMilli int64, bwSel, linkSel uint8) {
+		req, ok := fuzzRequest(familyIdx, nRaw, seed, wappMilli, demandMilli, bwSel, linkSel)
 		if !ok {
 			t.Skip()
 		}

@@ -11,7 +11,13 @@ import (
 )
 
 // Heuristic implements Algorithm 1 of the paper: middleware deployment
-// planning for heterogeneous nodes with homogeneous links.
+// planning for heterogeneous nodes — generalised here to heterogeneous
+// links as well. Every scheduling/servicing power is computed at the
+// node's own link bandwidth (platform.Node.LinkBandwidth, defaulting to
+// the platform-wide B), so on multi-cluster grids the sort of Steps 1–2
+// drafts agents from nodes with fast local links instead of powerful
+// nodes stranded behind slow WAN uplinks. With uniform links every
+// computation collapses to the paper's original form, bit for bit.
 //
 // The pseudo-code in the paper is informal; this implementation keeps its
 // macro structure and procedure vocabulary (see procedures.go) and documents
@@ -123,10 +129,11 @@ func (g *growth) ensure(id int) {
 }
 
 // registerAgent indexes a (root or promoted) agent for gated placement.
-// Call only after g.target is set.
+// Call only after g.target is set. The agent's own link bandwidth governs
+// its supported_children count.
 func (g *growth) registerAgent(id int) {
 	n := &g.nodes[id]
-	g.gateCap[id] = supportedChildren(g.req.Costs, g.req.Platform.Bandwidth, n.power, g.target, g.poolSize)
+	g.gateCap[id] = supportedChildren(g.req.Costs, n.bw, n.power, g.target, g.poolSize)
 	g.pushOpen(id)
 	// Binary-insert to keep pass 3 scanning agents in ascending ID order,
 	// matching the hierarchy.Agents() order of the reference algorithm.
@@ -152,7 +159,7 @@ func (g *growth) pushOpen(id int) {
 	if n.degree >= g.gateCap[id] {
 		return
 	}
-	slack := calcSchPow(g.req.Costs, g.req.Platform.Bandwidth, n.power, n.degree+1)
+	slack := calcSchPow(g.req.Costs, n.bw, n.power, n.degree+1)
 	g.open.push(heapEnt{val: slack, id: id, stamp: n.stamp})
 }
 
@@ -160,14 +167,15 @@ func (g *growth) pushOpen(id int) {
 // hierarchy, the evaluator, and every placement index.
 func (g *growth) attach(parent, poolIdx int) error {
 	node := g.pool[poolIdx]
-	id, err := g.h.AddServer(parent, node.Name, node.Power)
+	id, err := g.h.AddServer(parent, node.Name, node.Power, node.LinkBandwidth)
 	if err != nil {
 		return err
 	}
-	g.ev.AddServer(id, parent, node.Power)
+	g.ev.AddServer(id, parent, node.Power, node.LinkBandwidth)
 	g.ensure(id)
-	g.nodes[id] = evalNode{power: node.Power, role: roleServer, stamp: 1}
-	if g.promotable(node.Power) {
+	nodeBW := node.Link(g.req.Platform.Bandwidth)
+	g.nodes[id] = evalNode{power: node.Power, bw: nodeBW, role: roleServer, stamp: 1}
+	if g.promotable(node.Power, nodeBW) {
 		g.promo.push(heapEnt{val: node.Power, id: id, stamp: 1})
 	}
 	p := &g.nodes[parent]
@@ -196,15 +204,16 @@ func (g *growth) promote(id int) error {
 	return nil
 }
 
-// promotable reports whether a server of power w can support more than one
-// child at the target rate — the static eligibility test of shift_nodes
-// (Steps 16–17). calcSchPow is monotone in power, so eligibility is a
-// power threshold and the promotion heap only ever holds candidates.
-func (g *growth) promotable(w float64) bool {
+// promotable reports whether a server of power w on a link of bandwidth bw
+// can support more than one child at the target rate — the static
+// eligibility test of shift_nodes (Steps 16–17). calcSchPow is monotone in
+// power and bandwidth, so eligibility is a static per-node test and the
+// promotion heap only ever holds candidates.
+func (g *growth) promotable(w, bw float64) bool {
 	if g.target <= 0 || math.IsInf(g.target, -1) {
 		return true
 	}
-	return calcSchPow(g.req.Costs, g.req.Platform.Bandwidth, w, 2) >= g.target
+	return calcSchPow(g.req.Costs, bw, w, 2) >= g.target
 }
 
 // PlanContext implements Planner; the context is polled once per growth
@@ -224,43 +233,59 @@ func (p *Heuristic) PlanContext(ctx context.Context, req Request) (*Plan, error)
 
 	sorted := sortNodes(c, bw, req.Platform.Nodes)
 	root := sorted[0]
+	rootBW := root.Link(bw)
 	pool := sorted[1:]
 
 	h := hierarchy.New(deploymentName(req))
-	rootID, err := h.AddRoot(root.Name, root.Power)
+	rootID, err := h.AddRoot(root.Name, root.Power, root.LinkBandwidth)
 	if err != nil {
 		return nil, err
 	}
 
 	// Steps 3–5: virtual maximum scheduling power of the best node with one
-	// child versus the servicing power of the best prospective server.
-	virMaxSchPow := calcSchPow(c, bw, root.Power, 1)
-	virMaxSerPow := calcHierSerPow(c, bw, wapp, []float64{pool[0].Power})
+	// child versus the servicing power of the best prospective server. Each
+	// node's own link bandwidth enters its term.
+	virMaxSchPow := calcSchPow(c, rootBW, root.Power, 1)
+	virMaxSerPow := calcHierSerPow(c, pool[0].Link(bw), wapp, []float64{pool[0].Power})
 	minSerCV := virMaxSerPow
 	if req.Demand.Bounded() && float64(req.Demand) < minSerCV {
 		minSerCV = float64(req.Demand)
 	}
 
-	firstServerID, err := h.AddServer(rootID, pool[0].Name, pool[0].Power)
+	firstServerID, err := h.AddServer(rootID, pool[0].Name, pool[0].Power, pool[0].LinkBandwidth)
 	if err != nil {
 		return nil, err
 	}
 	next := 1 // index of the next unused node in pool
 
-	// Step 6: agent-limited shortcut — one agent, one server.
+	// Step 6: agent-limited shortcut — one agent, one server. Under
+	// heterogeneous links the sorted head is no longer the best pair root
+	// (the d = n−1 ranking punishes slow links far harder than degree 1
+	// does), so the shortcut considers every pair before committing.
 	if virMaxSchPow < minSerCV {
+		if !req.Platform.HasUniformLinks() {
+			floor := req.Demand.Cap(h.Evaluate(c, bw, wapp).Rho)
+			if pr, ps, ok := bestPair(c, req, sorted, bw, floor); ok {
+				return buildPair(p.Name(), req, sorted, pr, ps)
+			}
+		}
 		return Finalize(p.Name(), req, h)
 	}
 
 	// The target rate used for supported_children: the best servicing power
-	// the pool could possibly deliver (every non-root node serving), capped
-	// by the client demand. Agents that cannot schedule at this rate should
-	// not be given more children.
+	// the pool could possibly deliver (every non-root node serving, the
+	// transfer charged at the pool's slowest link), capped by the client
+	// demand. Agents that cannot schedule at this rate should not be given
+	// more children.
 	allPowers := make([]float64, len(pool))
+	minPoolBW := math.Inf(1)
 	for i, n := range pool {
 		allPowers[i] = n.Power
+		if nbw := n.Link(bw); nbw < minPoolBW {
+			minPoolBW = nbw
+		}
 	}
-	target := calcHierSerPow(c, bw, wapp, allPowers)
+	target := calcHierSerPow(c, minPoolBW, wapp, allPowers)
 	if req.Demand.Bounded() && float64(req.Demand) < target {
 		target = float64(req.Demand)
 	}
@@ -272,7 +297,7 @@ func (p *Heuristic) PlanContext(ctx context.Context, req Request) (*Plan, error)
 	// steers construction towards the deep low-degree trees that are
 	// optimal in this regime (cf. Table 4's degree-2 row).
 	if target > virMaxSchPow {
-		target = calcSchPow(c, bw, root.Power, 2)
+		target = calcSchPow(c, rootBW, root.Power, 2)
 	}
 
 	// Mirror the seed deployment (root + strongest server) into the growth
@@ -284,14 +309,15 @@ func (p *Heuristic) PlanContext(ctx context.Context, req Request) (*Plan, error)
 		open:  lazyHeap{max: true},
 		promo: lazyHeap{max: true},
 	}
-	g.ev.AddAgent(rootID, -1, root.Power)
+	g.ev.AddAgent(rootID, -1, root.Power, root.LinkBandwidth)
 	g.ensure(rootID)
-	g.nodes[rootID] = evalNode{power: root.Power, role: roleAgent, stamp: 1}
-	g.ev.AddServer(firstServerID, rootID, pool[0].Power)
+	g.nodes[rootID] = evalNode{power: root.Power, bw: rootBW, role: roleAgent, stamp: 1}
+	g.ev.AddServer(firstServerID, rootID, pool[0].Power, pool[0].LinkBandwidth)
 	g.ensure(firstServerID)
-	g.nodes[firstServerID] = evalNode{power: pool[0].Power, role: roleServer, stamp: 1}
+	firstBW := pool[0].Link(bw)
+	g.nodes[firstServerID] = evalNode{power: pool[0].Power, bw: firstBW, role: roleServer, stamp: 1}
 	g.nodes[rootID].degree = 1
-	if g.promotable(pool[0].Power) {
+	if g.promotable(pool[0].Power, firstBW) {
 		g.promo.push(heapEnt{val: pool[0].Power, id: firstServerID, stamp: 1})
 	}
 	g.registerAgent(rootID)
@@ -361,19 +387,98 @@ func (p *Heuristic) PlanContext(ctx context.Context, req Request) (*Plan, error)
 	// computed exactly as baseline.Star's evaluation would) and take it on
 	// strict improvement. This keeps the planner's predicted ρ at or above
 	// the star baseline on every platform, which the fuzz harness asserts.
-	starSched := calcSchPow(c, bw, root.Power, len(pool))
-	if t := model.ServerPredictionThroughput(c, bw, pool[len(pool)-1].Power); t < starSched {
-		starSched = t
+	starSched := calcSchPow(c, rootBW, root.Power, len(pool))
+	// Under heterogeneous links the sorted pool's tail is no longer
+	// guaranteed to carry the prediction minimum (the sort key mixes power
+	// and link), so scan all pool nodes; on uniform platforms the loop's
+	// minimum is exactly the old tail value.
+	for _, nd := range pool {
+		if t := model.ServerPredictionThroughput(c, nd.Link(bw), nd.Power); t < starSched {
+			starSched = t
+		}
 	}
-	starService := calcHierSerPow(c, bw, wapp, allPowers)
-	if starCapped := req.Demand.Cap(math.Min(starSched, starService)); starCapped > best.capped {
+	starService := calcHierSerPow(c, minPoolBW, wapp, allPowers)
+	starCapped := req.Demand.Cap(math.Min(starSched, starService))
+	starRootIdx := 0 // index into sorted; 0 is the default (paper) root
+
+	// Under heterogeneous links the best star does not necessarily root at
+	// the sorted head: when service-limited, the ideal star root is the
+	// node whose removal from the serving set costs least — often a weak
+	// node on a fast link, freeing every strong node to serve. Score the
+	// star over every root in O(n) total (power sum, then min/second-min
+	// of the prediction throughputs and link bandwidths for O(1)
+	// exclusion). Gated to non-uniform platforms: uniform planning keeps
+	// the paper's sorted-head star bit for bit.
+	if !req.Platform.HasUniformLinks() {
+		totalPow := root.Power
+		for _, nd := range pool {
+			totalPow += nd.Power
+		}
+		type min2 struct {
+			v1, v2 float64
+			i1     int
+		}
+		fold := func(m *min2, v float64, i int) {
+			if v < m.v1 {
+				m.v2, m.v1, m.i1 = m.v1, v, i
+			} else if v < m.v2 {
+				m.v2 = v
+			}
+		}
+		pred := min2{v1: math.Inf(1), v2: math.Inf(1), i1: -1}
+		link := min2{v1: math.Inf(1), v2: math.Inf(1), i1: -1}
+		for i, nd := range sorted {
+			nbw := nd.Link(bw)
+			fold(&pred, model.ServerPredictionThroughput(c, nbw, nd.Power), i)
+			fold(&link, nbw, i)
+		}
+		excl := func(m min2, i int) float64 {
+			if m.i1 == i {
+				return m.v2
+			}
+			return m.v1
+		}
+		for i, nd := range sorted {
+			sched := math.Min(calcSchPow(c, nd.Link(bw), nd.Power, len(sorted)-1), excl(pred, i))
+			service := serviceFromAggregates(c, excl(link, i), wapp, len(sorted)-1, totalPow-nd.Power)
+			if capped := req.Demand.Cap(math.Min(sched, service)); capped > starCapped {
+				starCapped, starRootIdx = capped, i
+			}
+		}
+	}
+
+	// Heterogeneous-links fallback: the best one-agent/one-server pair.
+	// Steps 3–7's shortcut builds (sorted[0], pool[0]), which under uniform
+	// links is the optimal pair (both rankings are power rankings). With
+	// per-node links the optimal pair decouples — the best root is a node
+	// whose *link* sustains degree 1 (agent link terms scale with degree,
+	// so a modest node on the fast LAN beats a giant behind the WAN), while
+	// the best server maximises min(prediction, single-server service),
+	// which barely depends on its link (server messages are tiny). Both
+	// rankings are root-independent, so scoring the top-two servers against
+	// every root costs O(n) and recovers exactly the deployments the
+	// exhaustive optimum picks on small multi-cluster pools. Taken only on
+	// strict improvement over both the grown tree and the star snapshot,
+	// and gated to non-uniform platforms: uniform planning stays
+	// bit-identical.
+	if !req.Platform.HasUniformLinks() {
+		if pr, ps, ok := bestPair(c, req, sorted, bw, math.Max(best.capped, starCapped)); ok {
+			return buildPair(p.Name(), req, sorted, pr, ps)
+		}
+	}
+
+	if starCapped > best.capped {
 		star := hierarchy.New(deploymentName(req))
-		starRoot, err := star.AddRoot(root.Name, root.Power)
+		rootNd := sorted[starRootIdx]
+		starRoot, err := star.AddRoot(rootNd.Name, rootNd.Power, rootNd.LinkBandwidth)
 		if err != nil {
 			return nil, err
 		}
-		for _, nd := range pool {
-			if _, err := star.AddServer(starRoot, nd.Name, nd.Power); err != nil {
+		for i, nd := range sorted {
+			if i == starRootIdx {
+				continue
+			}
+			if _, err := star.AddServer(starRoot, nd.Name, nd.Power, nd.LinkBandwidth); err != nil {
 				return nil, err
 			}
 		}
@@ -387,11 +492,11 @@ func (p *Heuristic) PlanContext(ctx context.Context, req Request) (*Plan, error)
 		return Finalize(p.Name(), req, h)
 	}
 	replay := hierarchy.New(deploymentName(req))
-	replayRoot, err := replay.AddRoot(root.Name, root.Power)
+	replayRoot, err := replay.AddRoot(root.Name, root.Power, root.LinkBandwidth)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := replay.AddServer(replayRoot, pool[0].Name, pool[0].Power); err != nil {
+	if _, err := replay.AddServer(replayRoot, pool[0].Name, pool[0].Power, pool[0].LinkBandwidth); err != nil {
 		return nil, err
 	}
 	for _, op := range g.ops[:best.ops] {
@@ -402,7 +507,7 @@ func (p *Heuristic) PlanContext(ctx context.Context, req Request) (*Plan, error)
 			continue
 		}
 		nd := pool[op.poolIdx]
-		if _, err := replay.AddServer(op.parent, nd.Name, nd.Power); err != nil {
+		if _, err := replay.AddServer(op.parent, nd.Name, nd.Power, nd.LinkBandwidth); err != nil {
 			return nil, err
 		}
 	}
@@ -450,15 +555,16 @@ func (g *growth) placeNext(remaining int) (parent int, promoted bool, err error)
 	}
 
 	// Pass 3: ungated attachment, accepted only on strict improvement. The
-	// pool is sorted by scheduling power, which is monotone in power, so
-	// the next unused pool node is exactly the strongest one remaining.
+	// pool is sorted by scheduling power (computed at each node's own
+	// link), so the next unused pool node is the strongest candidate
+	// remaining under that ranking.
 	sched, service := g.ev.Eval()
 	cur := g.req.Demand.Cap(math.Min(sched, service))
-	nextPower := g.pool[g.poolSize-remaining].Power
+	nextNode := g.pool[g.poolSize-remaining]
 	bestParent := -1
 	bestRho := cur
 	for _, id := range g.agentIDs {
-		if rho := g.req.Demand.Cap(g.ev.RhoAfterAttach(id, nextPower)); rho > bestRho {
+		if rho := g.req.Demand.Cap(g.ev.RhoAfterAttach(id, nextNode.Power, nextNode.LinkBandwidth)); rho > bestRho {
 			bestParent, bestRho = id, rho
 		}
 	}
@@ -467,4 +573,59 @@ func (g *growth) placeNext(remaining int) (parent int, promoted bool, err error)
 
 func deploymentName(req Request) string {
 	return fmt.Sprintf("%s-wapp%.3g", req.Platform.Name, req.Wapp)
+}
+
+// bestPair scans every one-agent/one-server pair over the sorted node
+// slice and returns the (root, server) indices of the best one whose
+// demand-capped ρ strictly exceeds floor. The best root is the node whose
+// own link sustains degree 1 best; the best server maximises
+// min(prediction throughput, lone-server servicing power) — a ranking
+// independent of the root choice, so the top-two servers scored against
+// every root cover all candidate pairs in O(n).
+func bestPair(c model.Costs, req Request, sorted []platform.Node, bw float64, floor float64) (rootIdx, servIdx int, ok bool) {
+	wapp := req.Wapp
+	serverScore := func(nd platform.Node) float64 {
+		nbw := nd.Link(bw)
+		return math.Min(model.ServerPredictionThroughput(c, nbw, nd.Power),
+			calcHierSerPow(c, nbw, wapp, []float64{nd.Power}))
+	}
+	s1, s2 := -1, -1 // best and runner-up server, as indices into sorted
+	for i, nd := range sorted {
+		switch sc := serverScore(nd); {
+		case s1 < 0 || sc > serverScore(sorted[s1]):
+			s1, s2 = i, s1
+		case s2 < 0 || sc > serverScore(sorted[s2]):
+			s2 = i
+		}
+	}
+	best := floor
+	rootIdx, servIdx = -1, -1
+	for i, nd := range sorted {
+		srv := s1
+		if i == s1 {
+			srv = s2
+		}
+		if srv < 0 {
+			continue
+		}
+		rho := math.Min(calcSchPow(c, nd.Link(bw), nd.Power, 1), serverScore(sorted[srv]))
+		if capped := req.Demand.Cap(rho); capped > best {
+			best, rootIdx, servIdx = capped, i, srv
+		}
+	}
+	return rootIdx, servIdx, rootIdx >= 0
+}
+
+// buildPair materialises and finalises the (root, server) pair selected by
+// bestPair.
+func buildPair(name string, req Request, sorted []platform.Node, rootIdx, servIdx int) (*Plan, error) {
+	pair := hierarchy.New(deploymentName(req))
+	pairRoot, err := pair.AddRoot(sorted[rootIdx].Name, sorted[rootIdx].Power, sorted[rootIdx].LinkBandwidth)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := pair.AddServer(pairRoot, sorted[servIdx].Name, sorted[servIdx].Power, sorted[servIdx].LinkBandwidth); err != nil {
+		return nil, err
+	}
+	return Finalize(name, req, pair)
 }

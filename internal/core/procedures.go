@@ -20,7 +20,10 @@ func calcSchPow(c model.Costs, bandwidth, w float64, d int) float64 {
 
 // calcHierSerPow computes the servicing power provided by the hierarchy
 // when the load is equally divided among its servers (Eq. 15, which weights
-// each server by its computing power).
+// each server by its computing power). Under heterogeneous links the
+// bandwidth argument is the *minimum* link bandwidth of the server set —
+// the link the per-request transfer is charged at (see
+// model.ServiceThroughputLinks).
 func calcHierSerPow(c model.Costs, bandwidth, wapp float64, serverPowers []float64) float64 {
 	return model.ServiceThroughput(c, bandwidth, wapp, serverPowers)
 }
@@ -29,7 +32,11 @@ func calcHierSerPow(c model.Costs, bandwidth, wapp float64, serverPowers []float
 // computed with n_nodes-1 prospective children (Steps 1–2 of Algorithm 1):
 // at that point the heuristic does not yet know which node will be the
 // agent, so every node is ranked as if it had to schedule for the whole
-// remaining pool. Ties break by name for determinism.
+// remaining pool. Each node is ranked at its *own* link bandwidth
+// (defaulting to the platform B), so a powerful node behind a slow WAN
+// uplink sorts below a modest node on the fast local LAN — exactly the
+// agent-drafting order a multi-cluster grid needs. Ties break by name for
+// determinism.
 func sortNodes(c model.Costs, bandwidth float64, nodes []platform.Node) []platform.Node {
 	sorted := append([]platform.Node(nil), nodes...)
 	d := len(nodes) - 1
@@ -41,7 +48,7 @@ func sortNodes(c model.Costs, bandwidth float64, nodes []platform.Node) []platfo
 	// comparator used to dominate whole-plan latency.
 	keys := make([]float64, len(sorted))
 	for i, n := range sorted {
-		keys[i] = calcSchPow(c, bandwidth, n.Power, d)
+		keys[i] = calcSchPow(c, n.Link(bandwidth), n.Power, d)
 	}
 	idx := make([]int, len(sorted))
 	for i := range idx {

@@ -21,6 +21,14 @@ import (
 //     the prediction bottleneck (Eq. 14), so on hub-dominated pools
 //     shedding a weak server raises both phases at once — the exhaustive
 //     optimum on such pools visibly leaves nodes unused.
+//   - attach: deploy an unused pool node as a new server leaf (the
+//     inverse of drop). Swaps change which nodes fill the current shape
+//     and drops shrink it, but neither can re-grow a deployment after a
+//     swap opened service headroom — on heterogeneous-link platforms the
+//     planner's small seed shapes (e.g. its one-agent/one-server pair
+//     fallback) stay optimal only until a swap frees a fast-linked
+//     agent, after which attaching freed pool nodes is the move that
+//     escapes the small-deployment basin.
 //
 // The refiner only ever improves the demand-capped throughput; when no
 // move improves it the input plan is returned unchanged.
@@ -96,17 +104,18 @@ func (r *SwapRefiner) bestMove(req Request, h *hierarchy.Hierarchy, ev *Evaluato
 	type cand struct {
 		name  string
 		power float64
-		id    int // deployed server ID, or -1 for an unused pool node
+		bw    float64 // raw link override (0 = platform default)
+		id    int     // deployed server ID, or -1 for an unused pool node
 	}
 	var cands []cand
 	for _, pn := range req.Platform.Nodes {
 		if id, ok := deployed[pn.Name]; ok {
 			if h.MustNode(id).Role == hierarchy.RoleServer {
-				cands = append(cands, cand{pn.Name, pn.Power, id})
+				cands = append(cands, cand{pn.Name, pn.Power, pn.LinkBandwidth, id})
 			}
 			continue
 		}
-		cands = append(cands, cand{pn.Name, pn.Power, -1})
+		cands = append(cands, cand{pn.Name, pn.Power, pn.LinkBandwidth, -1})
 	}
 
 	bestAgent := -1
@@ -123,7 +132,7 @@ func (r *SwapRefiner) bestMove(req Request, h *hierarchy.Hierarchy, ev *Evaluato
 			if cd.id >= 0 {
 				rho = ev.RhoAfterSwap(aid, cd.id)
 			} else {
-				rho = ev.RhoAfterReback(aid, cd.power)
+				rho = ev.RhoAfterReback(aid, cd.power, cd.bw)
 			}
 			if capped := req.Demand.Cap(rho); capped > bestRho {
 				bestAgent, bestCand, dropID, bestRho = aid, cd, -1, capped
@@ -146,8 +155,28 @@ func (r *SwapRefiner) bestMove(req Request, h *hierarchy.Hierarchy, ev *Evaluato
 			bestAgent, dropID, bestRho = -1, sid, capped
 		}
 	}
+	attachAgent, attachCand := -1, cand{}
+	for _, cd := range cands {
+		if cd.id >= 0 {
+			continue // deployed; only unused pool nodes can be attached
+		}
+		for _, aid := range h.Agents() {
+			if capped := req.Demand.Cap(ev.RhoAfterAttach(aid, cd.power, cd.bw)); capped > bestRho {
+				bestAgent, dropID, bestRho = -1, -1, capped
+				attachAgent, attachCand = aid, cd
+			}
+		}
+	}
 
 	switch {
+	case attachAgent >= 0:
+		// Grow: deploy the unused pool node as a server leaf.
+		id, err := h.AddServer(attachAgent, attachCand.name, attachCand.power, attachCand.bw)
+		if err != nil {
+			return h, cur, false // cannot happen on validated trees; stop refining
+		}
+		ev.AddServer(id, attachAgent, attachCand.power, attachCand.bw)
+		return h, bestRho, true
 	case dropID >= 0:
 		// Rebuild without the dropped leaf; IDs shift, so the evaluator
 		// mirror is reloaded from scratch (drops are rare and O(n)).
@@ -158,15 +187,15 @@ func (r *SwapRefiner) bestMove(req Request, h *hierarchy.Hierarchy, ev *Evaluato
 	case bestAgent >= 0:
 		// Apply the winning swap: re-back the agent with the candidate
 		// node; when the candidate is a deployed server the two exchange
-		// backings, otherwise the agent's old backing leaves the
-		// deployment. IDs and node data come from the live hierarchy, so
-		// SetBacking cannot fail here.
+		// backings (powers and links travel together), otherwise the
+		// agent's old backing leaves the deployment. IDs and node data
+		// come from the live hierarchy, so SetBacking cannot fail here.
 		agent := h.MustNode(bestAgent)
-		_ = h.SetBacking(bestAgent, bestCand.name, bestCand.power)
-		ev.SetPower(bestAgent, bestCand.power)
+		_ = h.SetBacking(bestAgent, bestCand.name, bestCand.power, bestCand.bw)
+		ev.SetBacking(bestAgent, bestCand.power, bestCand.bw)
 		if bestCand.id >= 0 {
-			_ = h.SetBacking(bestCand.id, agent.Name, agent.Power)
-			ev.SetPower(bestCand.id, agent.Power)
+			_ = h.SetBacking(bestCand.id, agent.Name, agent.Power, agent.Bandwidth)
+			ev.SetBacking(bestCand.id, agent.Power, agent.Bandwidth)
 		}
 		return h, bestRho, true
 	}
@@ -184,11 +213,11 @@ func rebuildWithout(h *hierarchy.Hierarchy, drop int) *hierarchy.Hierarchy {
 		n := h.MustNode(id)
 		var nid int
 		if parent < 0 {
-			nid, _ = out.AddRoot(n.Name, n.Power)
+			nid, _ = out.AddRoot(n.Name, n.Power, n.Bandwidth)
 		} else if n.Role == hierarchy.RoleAgent {
-			nid, _ = out.AddAgent(parent, n.Name, n.Power)
+			nid, _ = out.AddAgent(parent, n.Name, n.Power, n.Bandwidth)
 		} else {
-			nid, _ = out.AddServer(parent, n.Name, n.Power)
+			nid, _ = out.AddServer(parent, n.Name, n.Power, n.Bandwidth)
 		}
 		for _, c := range n.Children {
 			rec(c, nid)

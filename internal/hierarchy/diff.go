@@ -70,6 +70,11 @@ type Op struct {
 	Parent string
 	// Power is the node power (OpAdd, OpSetPower).
 	Power float64
+	// Bandwidth is the node's link bandwidth override (OpAdd, OpSetPower;
+	// zero = platform default). OpSetPower always carries the target
+	// node's bandwidth alongside its power so Apply(old, Diff(old, new))
+	// converges to Equivalent(new) even when only the link changed.
+	Bandwidth float64
 	// Role is the element role (OpAdd only).
 	Role Role
 }
@@ -78,6 +83,9 @@ type Op struct {
 func (o Op) String() string {
 	switch o.Kind {
 	case OpAdd:
+		if o.Bandwidth > 0 {
+			return fmt.Sprintf("add %s %s under %s (w=%g, bw=%g)", o.Role, o.Name, o.Parent, o.Power, o.Bandwidth)
+		}
 		return fmt.Sprintf("add %s %s under %s (w=%g)", o.Role, o.Name, o.Parent, o.Power)
 	case OpReparent:
 		return fmt.Sprintf("reparent %s under %s", o.Name, o.Parent)
@@ -152,7 +160,7 @@ func Diff(old, new *Hierarchy) (Patch, error) {
 			return
 		}
 		parent := new.MustNode(n.Parent).Name
-		patch.Ops = append(patch.Ops, Op{Kind: OpAdd, Name: n.Name, Parent: parent, Power: n.Power, Role: n.Role})
+		patch.Ops = append(patch.Ops, Op{Kind: OpAdd, Name: n.Name, Parent: parent, Power: n.Power, Bandwidth: n.Bandwidth, Role: n.Role})
 	})
 	// 3. Reparents.
 	new.Walk(func(n Node) {
@@ -166,10 +174,12 @@ func Diff(old, new *Hierarchy) (Patch, error) {
 			patch.Ops = append(patch.Ops, Op{Kind: OpReparent, Name: n.Name, Parent: newParent})
 		}
 	})
-	// 4. Power updates.
+	// 4. Power (and link) updates: the op carries both target values so
+	// replaying it restores the full backing, bandwidth-only changes
+	// included.
 	new.Walk(func(n Node) {
-		if o, ok := oldByName[n.Name]; ok && o.Power != n.Power {
-			patch.Ops = append(patch.Ops, Op{Kind: OpSetPower, Name: n.Name, Power: n.Power})
+		if o, ok := oldByName[n.Name]; ok && (o.Power != n.Power || o.Bandwidth != n.Bandwidth) {
+			patch.Ops = append(patch.Ops, Op{Kind: OpSetPower, Name: n.Name, Power: n.Power, Bandwidth: n.Bandwidth})
 		}
 	})
 	// 5. Removes, children before parents.
@@ -203,11 +213,12 @@ func postorderWalk(h *Hierarchy, id int, visit func(n Node)) {
 
 // applyNode is the mutable name-keyed form a patch is replayed against.
 type applyNode struct {
-	name     string
-	power    float64
-	role     Role
-	parent   string // "" for the root
-	children []string
+	name      string
+	power     float64
+	bandwidth float64
+	role      Role
+	parent    string // "" for the root
+	children  []string
 }
 
 // Apply replays the patch on a copy of h and returns the patched hierarchy.
@@ -222,7 +233,7 @@ func Apply(h *Hierarchy, p Patch) (*Hierarchy, error) {
 	nodes := make(map[string]*applyNode, h.Len())
 	var rootName string
 	h.Walk(func(n Node) {
-		an := &applyNode{name: n.Name, power: n.Power, role: n.Role}
+		an := &applyNode{name: n.Name, power: n.Power, bandwidth: n.Bandwidth, role: n.Role}
 		if n.Parent == -1 {
 			rootName = n.Name
 		} else {
@@ -282,7 +293,7 @@ func Apply(h *Hierarchy, p Patch) (*Hierarchy, error) {
 			if _, dup := nodes[op.Name]; dup {
 				return nil, fmt.Errorf("hierarchy: add %q: already deployed", op.Name)
 			}
-			an := &applyNode{name: op.Name, power: op.Power, role: op.Role}
+			an := &applyNode{name: op.Name, power: op.Power, bandwidth: op.Bandwidth, role: op.Role}
 			if err := attach(an, op.Parent); err != nil {
 				return nil, err
 			}
@@ -309,7 +320,11 @@ func Apply(h *Hierarchy, p Patch) (*Hierarchy, error) {
 			if op.Power <= 0 {
 				return nil, fmt.Errorf("hierarchy: set-power %q: non-positive power %g", op.Name, op.Power)
 			}
+			if op.Bandwidth < 0 {
+				return nil, fmt.Errorf("hierarchy: set-power %q: negative link bandwidth %g", op.Name, op.Bandwidth)
+			}
 			an.power = op.Power
+			an.bandwidth = op.Bandwidth
 		case OpRemove:
 			an, err := get(op.Name)
 			if err != nil {
@@ -347,7 +362,7 @@ func Apply(h *Hierarchy, p Patch) (*Hierarchy, error) {
 	if !ok {
 		return nil, errors.New("hierarchy: patch removed the root")
 	}
-	if _, err := out.AddRoot(root.name, root.power); err != nil {
+	if _, err := out.AddRoot(root.name, root.power, root.bandwidth); err != nil {
 		return nil, err
 	}
 	var build func(parentID int, an *applyNode) error
@@ -359,9 +374,9 @@ func Apply(h *Hierarchy, p Patch) (*Hierarchy, error) {
 			}
 			var id int
 			if child.role == RoleAgent {
-				id, err = out.AddAgent(parentID, child.name, child.power)
+				id, err = out.AddAgent(parentID, child.name, child.power, child.bandwidth)
 			} else {
-				id, err = out.AddServer(parentID, child.name, child.power)
+				id, err = out.AddServer(parentID, child.name, child.power, child.bandwidth)
 			}
 			if err != nil {
 				return err
@@ -396,7 +411,7 @@ func Equivalent(a, b *Hierarchy) bool {
 	var eq func(aID, bID int) bool
 	eq = func(aID, bID int) bool {
 		an, bn := a.MustNode(aID), b.MustNode(bID)
-		if an.Name != bn.Name || an.Role != bn.Role || an.Power != bn.Power {
+		if an.Name != bn.Name || an.Role != bn.Role || an.Power != bn.Power || an.Bandwidth != bn.Bandwidth {
 			return false
 		}
 		if len(an.Children) != len(bn.Children) {

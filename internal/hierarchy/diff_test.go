@@ -244,3 +244,48 @@ func TestPatchedXMLRoundTrip(t *testing.T) {
 		t.Fatal("XML round-trip not structurally identical to the patched tree")
 	}
 }
+
+// TestDiffBandwidthOnlyChange: a link-bandwidth change with identical
+// structure, powers, and roles must still produce a convergent patch —
+// Apply(old, Diff(old, new)) ends Equivalent to new.
+func TestDiffBandwidthOnlyChange(t *testing.T) {
+	build := func(serverBW float64) *Hierarchy {
+		h := New("bw")
+		root, _ := h.AddRoot("root", 400)
+		if _, err := h.AddServer(root, "s1", 300, serverBW); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.AddServer(root, "s2", 200); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	old := build(0)
+	target := build(25)
+	p, err := Diff(old, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 1 || p.Ops[0].Kind != OpSetPower || p.Ops[0].Bandwidth != 25 {
+		t.Fatalf("want one set-power op carrying bw=25, got:\n%s", p)
+	}
+	patched, err := Apply(old, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equivalent(patched, target) {
+		t.Errorf("patched tree not equivalent to target:\n%s\nvs\n%s", patched, target)
+	}
+	// And the reverse direction clears the override back to zero.
+	back, err := Diff(target, old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Apply(target, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equivalent(restored, old) {
+		t.Errorf("reverse patch did not restore the original tree")
+	}
+}

@@ -47,12 +47,25 @@ type Node struct {
 	Name string
 	// Power is the physical node's computing power (MFlop/s).
 	Power float64
+	// Bandwidth is the physical node's link bandwidth in Mb/s; zero means
+	// "the platform-wide default", mirroring platform.Node.LinkBandwidth.
+	// Deployments planned on homogeneous-link platforms carry zero
+	// everywhere, keeping their serialised forms unchanged.
+	Bandwidth float64
 	// Role says whether the element is an agent or a server.
 	Role Role
 	// Parent is the parent node ID, or -1 for the root.
 	Parent int
 	// Children lists child node IDs in insertion order (empty for servers).
 	Children []int
+}
+
+// Link resolves the node's effective link bandwidth against the default.
+func (n Node) Link(def float64) float64 {
+	if n.Bandwidth > 0 {
+		return n.Bandwidth
+	}
+	return def
 }
 
 // Hierarchy is a deployment tree.
@@ -101,28 +114,36 @@ func (h *Hierarchy) Nodes() []Node {
 	return cp
 }
 
-// AddRoot adds the root agent. It fails if a root already exists.
-func (h *Hierarchy) AddRoot(name string, power float64) (int, error) {
+// AddRoot adds the root agent. It fails if a root already exists. The
+// optional trailing argument is the node's link bandwidth override (Mb/s,
+// zero or omitted = platform default).
+func (h *Hierarchy) AddRoot(name string, power float64, linkBW ...float64) (int, error) {
 	if h.root != -1 {
 		return -1, errors.New("hierarchy: root already present")
+	}
+	bw, err := pickLink(linkBW)
+	if err != nil {
+		return -1, err
 	}
 	if err := checkNode(name, power); err != nil {
 		return -1, err
 	}
 	id := len(h.nodes)
-	h.nodes = append(h.nodes, Node{ID: id, Name: name, Power: power, Role: RoleAgent, Parent: -1})
+	h.nodes = append(h.nodes, Node{ID: id, Name: name, Power: power, Bandwidth: bw, Role: RoleAgent, Parent: -1})
 	h.root = id
 	return id, nil
 }
 
-// AddAgent adds a non-root agent under parent.
-func (h *Hierarchy) AddAgent(parent int, name string, power float64) (int, error) {
-	return h.addChild(parent, name, power, RoleAgent)
+// AddAgent adds a non-root agent under parent. The optional trailing
+// argument is the node's link bandwidth override.
+func (h *Hierarchy) AddAgent(parent int, name string, power float64, linkBW ...float64) (int, error) {
+	return h.addChild(parent, name, power, RoleAgent, linkBW)
 }
 
-// AddServer adds a server leaf under parent.
-func (h *Hierarchy) AddServer(parent int, name string, power float64) (int, error) {
-	return h.addChild(parent, name, power, RoleServer)
+// AddServer adds a server leaf under parent. The optional trailing
+// argument is the node's link bandwidth override.
+func (h *Hierarchy) AddServer(parent int, name string, power float64, linkBW ...float64) (int, error) {
+	return h.addChild(parent, name, power, RoleServer, linkBW)
 }
 
 func checkNode(name string, power float64) error {
@@ -135,7 +156,27 @@ func checkNode(name string, power float64) error {
 	return nil
 }
 
-func (h *Hierarchy) addChild(parent int, name string, power float64, role Role) (int, error) {
+// pickLink validates the optional link-bandwidth argument of the Add*
+// constructors: at most one value, non-negative (zero = inherit default).
+func pickLink(linkBW []float64) (float64, error) {
+	switch len(linkBW) {
+	case 0:
+		return 0, nil
+	case 1:
+		if linkBW[0] < 0 {
+			return 0, fmt.Errorf("hierarchy: negative link bandwidth %g", linkBW[0])
+		}
+		return linkBW[0], nil
+	default:
+		return 0, fmt.Errorf("hierarchy: at most one link bandwidth, got %d", len(linkBW))
+	}
+}
+
+func (h *Hierarchy) addChild(parent int, name string, power float64, role Role, linkBW []float64) (int, error) {
+	bw, err := pickLink(linkBW)
+	if err != nil {
+		return -1, err
+	}
 	if err := checkNode(name, power); err != nil {
 		return -1, err
 	}
@@ -146,7 +187,7 @@ func (h *Hierarchy) addChild(parent int, name string, power float64, role Role) 
 		return -1, fmt.Errorf("hierarchy: parent %q is a server; servers cannot have children", h.nodes[parent].Name)
 	}
 	id := len(h.nodes)
-	h.nodes = append(h.nodes, Node{ID: id, Name: name, Power: power, Role: role, Parent: parent})
+	h.nodes = append(h.nodes, Node{ID: id, Name: name, Power: power, Bandwidth: bw, Role: role, Parent: parent})
 	h.nodes[parent].Children = append(h.nodes[parent].Children, id)
 	return id, nil
 }
@@ -188,16 +229,42 @@ func (h *Hierarchy) DemoteToServer(id int) error {
 // SetBacking re-assigns the physical platform node backing a deployed
 // element, keeping the tree shape intact. Planner refiners use it to trade
 // node roles (e.g. hand an agent's powerful node back to serving duty).
-func (h *Hierarchy) SetBacking(id int, name string, power float64) error {
+// The optional trailing argument sets the new backing node's link
+// bandwidth; when omitted the element keeps its current one (the common
+// case of re-rating the same physical node's power belief).
+func (h *Hierarchy) SetBacking(id int, name string, power float64, linkBW ...float64) error {
 	if id < 0 || id >= len(h.nodes) {
 		return fmt.Errorf("hierarchy: node id %d out of range", id)
 	}
 	if err := checkNode(name, power); err != nil {
 		return err
 	}
+	if len(linkBW) > 0 {
+		bw, err := pickLink(linkBW)
+		if err != nil {
+			return err
+		}
+		h.nodes[id].Bandwidth = bw
+	}
 	h.nodes[id].Name = name
 	h.nodes[id].Power = power
 	return nil
+}
+
+// WithLinkBandwidths returns a copy of the hierarchy with every node's
+// link bandwidth replaced by links[name] (missing names reset to zero,
+// i.e. the platform default). Use it to re-bind a deployment planned
+// against one network description onto the physical links it actually
+// runs on — e.g. simulating a uniform-model plan on the real multi-cluster
+// network.
+func (h *Hierarchy) WithLinkBandwidths(links map[string]float64) (*Hierarchy, error) {
+	cp := h.Clone()
+	for _, n := range cp.nodes {
+		if err := cp.SetBacking(n.ID, n.Name, n.Power, links[n.Name]); err != nil {
+			return nil, err
+		}
+	}
+	return cp, nil
 }
 
 // Clone returns a deep copy of the hierarchy. Planners snapshot candidate
@@ -421,12 +488,23 @@ func (h *Hierarchy) ComputeStats() Stats {
 }
 
 // ModelAgents converts the hierarchy's agents into the analytic model's
-// agent views (power + degree), in agent-ID order.
+// agent views (power + degree + link bandwidth), in agent-ID order.
 func (h *Hierarchy) ModelAgents() []model.Agent {
 	var out []model.Agent
 	for _, id := range h.Agents() {
 		n := h.nodes[id]
-		out = append(out, model.Agent{Power: n.Power, Degree: len(n.Children)})
+		out = append(out, model.Agent{Power: n.Power, Degree: len(n.Children), Bandwidth: n.Bandwidth})
+	}
+	return out
+}
+
+// ModelServers converts the hierarchy's servers into the analytic model's
+// server views (power + link bandwidth), in server-ID order.
+func (h *Hierarchy) ModelServers() []model.Server {
+	var out []model.Server
+	for _, id := range h.Servers() {
+		n := h.nodes[id]
+		out = append(out, model.Server{Power: n.Power, Bandwidth: n.Bandwidth})
 	}
 	return out
 }
@@ -440,9 +518,10 @@ func (h *Hierarchy) ServerPowers() []float64 {
 	return out
 }
 
-// Evaluate runs the §3 performance model on this hierarchy.
+// Evaluate runs the §3 performance model on this hierarchy; bandwidth is
+// the default link bandwidth for nodes without a per-node override.
 func (h *Hierarchy) Evaluate(c model.Costs, bandwidth, wapp float64) model.Evaluation {
-	return model.Evaluate(c, bandwidth, wapp, h.ModelAgents(), h.ServerPowers())
+	return model.EvaluateLinks(c, bandwidth, wapp, h.ModelAgents(), h.ModelServers())
 }
 
 // UsedNames returns the set of physical node names consumed by the
@@ -457,19 +536,23 @@ func (h *Hierarchy) UsedNames() []string {
 }
 
 // CheckAgainstPlatform verifies that every deployed element maps to a
-// distinct node of the platform pool with a matching power.
+// distinct node of the platform pool with matching power and link
+// bandwidth.
 func (h *Hierarchy) CheckAgainstPlatform(p *platform.Platform) error {
-	pool := make(map[string]float64, len(p.Nodes))
+	pool := make(map[string]platform.Node, len(p.Nodes))
 	for _, n := range p.Nodes {
-		pool[n.Name] = n.Power
+		pool[n.Name] = n
 	}
 	for _, n := range h.nodes {
-		w, ok := pool[n.Name]
+		pn, ok := pool[n.Name]
 		if !ok {
 			return fmt.Errorf("hierarchy: node %q not in platform pool", n.Name)
 		}
-		if w != n.Power {
-			return fmt.Errorf("hierarchy: node %q power mismatch: deployment says %g, platform says %g", n.Name, n.Power, w)
+		if pn.Power != n.Power {
+			return fmt.Errorf("hierarchy: node %q power mismatch: deployment says %g, platform says %g", n.Name, n.Power, pn.Power)
+		}
+		if pn.LinkBandwidth != n.Bandwidth {
+			return fmt.Errorf("hierarchy: node %q link bandwidth mismatch: deployment says %g, platform says %g", n.Name, n.Bandwidth, pn.LinkBandwidth)
 		}
 		delete(pool, n.Name) // each physical node used at most once
 	}
@@ -485,7 +568,11 @@ func (h *Hierarchy) String() string {
 	var rec func(id, depth int)
 	rec = func(id, depth int) {
 		n := h.nodes[id]
-		fmt.Fprintf(&b, "%s%s %s (w=%g, d=%d)\n", strings.Repeat("  ", depth), n.Role, n.Name, n.Power, len(n.Children))
+		if n.Bandwidth > 0 {
+			fmt.Fprintf(&b, "%s%s %s (w=%g, bw=%g, d=%d)\n", strings.Repeat("  ", depth), n.Role, n.Name, n.Power, n.Bandwidth, len(n.Children))
+		} else {
+			fmt.Fprintf(&b, "%s%s %s (w=%g, d=%d)\n", strings.Repeat("  ", depth), n.Role, n.Name, n.Power, len(n.Children))
+		}
 		for _, c := range n.Children {
 			rec(c, depth+1)
 		}

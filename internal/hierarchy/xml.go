@@ -11,10 +11,14 @@ import (
 // xmlElement is the on-disk recursive form of a deployment element, in the
 // spirit of the GoDIET input format the paper's write_xml step produces.
 type xmlElement struct {
-	XMLName  xml.Name
-	Name     string       `xml:"name,attr"`
-	Power    float64      `xml:"power,attr"`
-	Children []xmlElement `xml:",any"`
+	XMLName xml.Name
+	Name    string  `xml:"name,attr"`
+	Power   float64 `xml:"power,attr"`
+	// Bandwidth is the optional per-node link bandwidth; omitted (zero)
+	// for nodes on the platform-default link, so homogeneous deployments
+	// serialise byte-identically to the pre-heterogeneous format.
+	Bandwidth float64      `xml:"bandwidth,attr,omitempty"`
+	Children  []xmlElement `xml:",any"`
 }
 
 // xmlDeployment is the document root.
@@ -36,9 +40,10 @@ func (h *Hierarchy) toXMLElement(id int) xmlElement {
 		tag = xmlServerTag
 	}
 	el := xmlElement{
-		XMLName: xml.Name{Local: tag},
-		Name:    n.Name,
-		Power:   n.Power,
+		XMLName:   xml.Name{Local: tag},
+		Name:      n.Name,
+		Power:     n.Power,
+		Bandwidth: n.Bandwidth,
 	}
 	for _, c := range n.Children {
 		el.Children = append(el.Children, h.toXMLElement(c))
@@ -99,7 +104,7 @@ func ParseXML(r io.Reader) (*Hierarchy, error) {
 		return nil, fmt.Errorf("hierarchy: decode XML: %w", err)
 	}
 	h := New(doc.Name)
-	rootID, err := h.AddRoot(doc.Root.Name, doc.Root.Power)
+	rootID, err := h.AddRoot(doc.Root.Name, doc.Root.Power, doc.Root.Bandwidth)
 	if err != nil {
 		return nil, err
 	}
@@ -108,7 +113,7 @@ func ParseXML(r io.Reader) (*Hierarchy, error) {
 		for _, child := range el.Children {
 			switch child.XMLName.Local {
 			case xmlAgentTag:
-				id, err := h.AddAgent(parent, child.Name, child.Power)
+				id, err := h.AddAgent(parent, child.Name, child.Power, child.Bandwidth)
 				if err != nil {
 					return err
 				}
@@ -119,7 +124,7 @@ func ParseXML(r io.Reader) (*Hierarchy, error) {
 				if len(child.Children) != 0 {
 					return fmt.Errorf("hierarchy: server %q has child elements", child.Name)
 				}
-				if _, err := h.AddServer(parent, child.Name, child.Power); err != nil {
+				if _, err := h.AddServer(parent, child.Name, child.Power, child.Bandwidth); err != nil {
 					return err
 				}
 			default:

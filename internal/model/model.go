@@ -176,21 +176,42 @@ func ServiceThroughput(c Costs, bandwidth, wapp float64, powers []float64) float
 	return 1 / t
 }
 
-// Agent describes an agent node for evaluation: its power and its number of
-// children (agents or servers).
+// Agent describes an agent node for evaluation: its power, its number of
+// children (agents or servers), and optionally its own link bandwidth
+// (zero means "the evaluation's default bandwidth" — the homogeneous-links
+// model of the paper).
 type Agent struct {
-	Power  float64
-	Degree int
+	Power     float64
+	Degree    int
+	Bandwidth float64
+}
+
+// Server describes a server node for the heterogeneous-links evaluation:
+// its power and optionally its own link bandwidth (zero = default).
+type Server struct {
+	Power     float64
+	Bandwidth float64
+}
+
+// linkOr resolves a per-node bandwidth override against the default.
+func linkOr(bw, def float64) float64 {
+	if bw > 0 {
+		return bw
+	}
+	return def
 }
 
 // SchedulingThroughput implements Eq. 14: the minimum over every agent's
 // throughput and every server's prediction throughput. The scheduling phase
 // broadcasts each request through the entire hierarchy, so the slowest node
-// caps the whole phase.
+// caps the whole phase. Per-agent Bandwidth overrides are honoured, but
+// the []float64 server form cannot carry per-server links — every server
+// term is computed at the default bandwidth. For fully heterogeneous
+// links use EvaluateLinks, whose Sched field is the per-node Eq. 14.
 func SchedulingThroughput(c Costs, bandwidth float64, agents []Agent, serverPowers []float64) float64 {
 	min := math.Inf(1)
 	for _, a := range agents {
-		if t := AgentThroughput(c, bandwidth, a.Power, a.Degree); t < min {
+		if t := AgentThroughput(c, linkOr(a.Bandwidth, bandwidth), a.Power, a.Degree); t < min {
 			min = t
 		}
 	}
@@ -253,24 +274,40 @@ type Evaluation struct {
 
 // Evaluate computes the complete throughput evaluation (Eq. 16) of a
 // deployment described by its agent set and server power set, for service
-// requests costing wapp MFlop.
+// requests costing wapp MFlop, under homogeneous links of the given
+// bandwidth.
 func Evaluate(c Costs, bandwidth, wapp float64, agents []Agent, serverPowers []float64) Evaluation {
+	servers := make([]Server, len(serverPowers))
+	for i, w := range serverPowers {
+		servers[i] = Server{Power: w}
+	}
+	return EvaluateLinks(c, bandwidth, wapp, agents, servers)
+}
+
+// EvaluateLinks is Evaluate generalised to heterogeneous links: every agent
+// and server may carry its own link bandwidth (zero = the default
+// bandwidth). The scheduling phase takes each node's own link into its
+// term of Eq. 14; the service phase (Eq. 15) keeps the paper's aggregate
+// form but pays the request/response transfer on the *slowest* server
+// link — the conservative projection that collapses exactly to Eq. 15
+// when links are uniform.
+func EvaluateLinks(c Costs, bandwidth, wapp float64, agents []Agent, servers []Server) Evaluation {
 	ev := Evaluation{LimitingAgent: -1, LimitingServer: -1}
-	if len(serverPowers) == 0 {
+	if len(servers) == 0 {
 		return ev
 	}
 
 	sched := math.Inf(1)
 	schedKind := BottleneckNone
 	for i, a := range agents {
-		if t := AgentThroughput(c, bandwidth, a.Power, a.Degree); t < sched {
+		if t := AgentThroughput(c, linkOr(a.Bandwidth, bandwidth), a.Power, a.Degree); t < sched {
 			sched = t
 			schedKind = BottleneckAgent
 			ev.LimitingAgent = i
 		}
 	}
-	for i, w := range serverPowers {
-		if t := ServerPredictionThroughput(c, bandwidth, w); t < sched {
+	for i, s := range servers {
+		if t := ServerPredictionThroughput(c, linkOr(s.Bandwidth, bandwidth), s.Power); t < sched {
 			sched = t
 			schedKind = BottleneckServerPrediction
 			ev.LimitingAgent = -1
@@ -278,7 +315,7 @@ func Evaluate(c Costs, bandwidth, wapp float64, agents []Agent, serverPowers []f
 		}
 	}
 	ev.Sched = sched
-	ev.Service = ServiceThroughput(c, bandwidth, wapp, serverPowers)
+	ev.Service = ServiceThroughputLinks(c, bandwidth, wapp, servers)
 
 	if ev.Service < ev.Sched {
 		ev.Rho = ev.Service
@@ -290,6 +327,29 @@ func Evaluate(c Costs, bandwidth, wapp float64, agents []Agent, serverPowers []f
 		ev.Bottleneck = schedKind
 	}
 	return ev
+}
+
+// ServiceThroughputLinks is ServiceThroughput generalised to per-server
+// link bandwidths: the Eq. 10 computation aggregate is unchanged (it is
+// pure computation), while the per-request transfer term is charged at the
+// minimum server link bandwidth. The accumulation order matches
+// ServerCompTime exactly, so uniform inputs produce bit-identical floats.
+func ServiceThroughputLinks(c Costs, bandwidth, wapp float64, servers []Server) float64 {
+	if len(servers) == 0 {
+		return 0
+	}
+	num := 1.0
+	den := 0.0
+	minBW := math.Inf(1)
+	for _, s := range servers {
+		num += c.ServerWpre / wapp
+		den += s.Power / wapp
+		if bw := linkOr(s.Bandwidth, bandwidth); bw < minBW {
+			minBW = bw
+		}
+	}
+	t := ServerReceiveTime(c, minBW) + ServerSendTime(c, minBW) + num/den
+	return 1 / t
 }
 
 // Throughput is a convenience wrapper returning only ρ from Evaluate.

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"sort"
@@ -28,15 +29,34 @@ type Node struct {
 	// Power is the node's computing power in MFlop/s, as measured by the
 	// Linpack mini-benchmark (internal/linpack) or assigned synthetically.
 	Power float64 `json:"power"`
+	// LinkBandwidth is the bandwidth in Mbit/s of the node's link into the
+	// platform. Zero means "the platform-wide Bandwidth B" — the paper's
+	// homogeneous-links model — so descriptions written before links became
+	// per-node round-trip unchanged. A multi-cluster grid sets it per node:
+	// fast intra-cluster links on the local site, the slow WAN uplink on
+	// nodes reached across sites.
+	LinkBandwidth float64 `json:"link_bandwidth_mbps,omitempty"`
 }
 
-// Platform is a pool of candidate nodes plus the (homogeneous) link
-// bandwidth between them. The paper's communication model assumes
-// homogeneous connectivity, which matches a single cluster site.
+// Link resolves the node's effective link bandwidth against the platform
+// default def (the platform-wide B).
+func (n Node) Link(def float64) float64 {
+	if n.LinkBandwidth > 0 {
+		return n.LinkBandwidth
+	}
+	return def
+}
+
+// Platform is a pool of candidate nodes plus the link bandwidth between
+// them. The paper's communication model assumes homogeneous connectivity
+// (a single cluster site); Bandwidth is that shared B, and it remains the
+// default for every node whose LinkBandwidth is unset. Heterogeneous
+// multi-cluster platforms override LinkBandwidth per node.
 type Platform struct {
 	// Name labels the platform in reports.
 	Name string `json:"name"`
-	// Bandwidth is the link bandwidth B in Mbit/s shared by every link.
+	// Bandwidth is the default link bandwidth B in Mbit/s: the bandwidth of
+	// every link whose node does not carry an explicit LinkBandwidth.
 	Bandwidth float64 `json:"bandwidth_mbps"`
 	// Nodes is the pool of candidate middleware nodes. Client machines are
 	// not part of the pool (the paper reserves separate nodes for clients).
@@ -60,12 +80,48 @@ func (p *Platform) Validate() error {
 		if n.Power <= 0 {
 			return fmt.Errorf("platform %q: node %q has non-positive power %g", p.Name, n.Name, n.Power)
 		}
+		if n.LinkBandwidth < 0 || math.IsNaN(n.LinkBandwidth) || math.IsInf(n.LinkBandwidth, 0) {
+			return fmt.Errorf("platform %q: node %q has invalid link bandwidth %g", p.Name, n.Name, n.LinkBandwidth)
+		}
 		if seen[n.Name] {
 			return fmt.Errorf("platform %q: duplicate node name %q", p.Name, n.Name)
 		}
 		seen[n.Name] = true
 	}
 	return nil
+}
+
+// LinkRange returns the minimum and maximum effective link bandwidth over
+// the pool (zeros resolved against the platform default). An empty pool
+// reports (Bandwidth, Bandwidth).
+func (p *Platform) LinkRange() (min, max float64) {
+	min, max = p.Bandwidth, p.Bandwidth
+	for i, n := range p.Nodes {
+		bw := n.Link(p.Bandwidth)
+		if i == 0 {
+			min, max = bw, bw
+			continue
+		}
+		if bw < min {
+			min = bw
+		}
+		if bw > max {
+			max = bw
+		}
+	}
+	return min, max
+}
+
+// HasUniformLinks reports whether every node's effective link bandwidth
+// equals the platform default — the regime the paper's model (and the
+// optimality proof behind baseline.OptimalDAry) assumes.
+func (p *Platform) HasUniformLinks() bool {
+	for _, n := range p.Nodes {
+		if n.LinkBandwidth > 0 && n.LinkBandwidth != p.Bandwidth {
+			return false
+		}
+	}
+	return true
 }
 
 // Powers returns the slice of node powers, in node order.
@@ -124,6 +180,11 @@ func (p *Platform) Clone() *Platform {
 func (p *Platform) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "platform %q: %d nodes, B=%g Mb/s", p.Name, len(p.Nodes), p.Bandwidth)
+	if lo, hi := p.LinkRange(); lo != hi || lo != p.Bandwidth {
+		// Heterogeneous links: surface the spread (an inverted generation —
+		// inter faster than intra — is accepted but shows up here).
+		fmt.Fprintf(&b, ", links [%g, %g] Mb/s", lo, hi)
+	}
 	if len(p.Nodes) > 0 {
 		ws := p.Powers()
 		min, max := ws[0], ws[0]
@@ -165,6 +226,23 @@ type GenSpec struct {
 	// precedence over Seed. Use it to thread one deterministic stream
 	// through a whole scenario (several platforms, background loads, …).
 	Rand *rand.Rand
+
+	// Clusters, when at least 2, generates a multi-cluster grid instead of
+	// a flat pool: nodes are assigned round-robin to K clusters and named
+	// "<name>-c<k>-<i>". Cluster 0 is the local site — its nodes keep the
+	// fast intra-cluster link — while every other cluster is reached over
+	// the slow inter-cluster uplink. Zero or one keeps the flat
+	// homogeneous-links generation (byte-identical to pre-cluster output).
+	Clusters int
+	// IntraBandwidth is the local-site link bandwidth in Mb/s (default:
+	// Bandwidth). Only consulted when Clusters >= 2.
+	IntraBandwidth float64
+	// InterBandwidth is the link bandwidth of nodes reached across the WAN
+	// (default: IntraBandwidth/10). An inversion (inter > intra) is
+	// accepted — some grids really do have faster backbones than site LANs —
+	// and shows up in the generated Platform's String(). Only consulted
+	// when Clusters >= 2.
+	InterBandwidth float64
 }
 
 // source returns the random stream to draw from: the explicit Rand when
@@ -180,6 +258,8 @@ func (spec GenSpec) source() *rand.Rand {
 // Generate builds a synthetic heterogeneous platform with uniformly
 // distributed node powers. It is the substitute for reserving Grid'5000
 // nodes: the planner and models only consume (power, bandwidth) pairs.
+// With Clusters >= 2 it builds a multi-cluster grid with heterogeneous
+// links (see GenSpec.Clusters).
 func Generate(spec GenSpec) (*Platform, error) {
 	if spec.N <= 0 {
 		return nil, errors.New("platform: GenSpec.N must be positive")
@@ -190,6 +270,25 @@ func Generate(spec GenSpec) (*Platform, error) {
 	if spec.Bandwidth <= 0 {
 		return nil, errors.New("platform: GenSpec.Bandwidth must be positive")
 	}
+	if spec.Clusters < 0 {
+		return nil, fmt.Errorf("platform: GenSpec.Clusters must be non-negative, got %d", spec.Clusters)
+	}
+	if spec.Clusters > spec.N {
+		return nil, fmt.Errorf("platform: cluster count %d exceeds node count %d", spec.Clusters, spec.N)
+	}
+	multi := spec.Clusters >= 2
+	intra, inter := spec.IntraBandwidth, spec.InterBandwidth
+	if multi {
+		if intra == 0 {
+			intra = spec.Bandwidth
+		}
+		if inter == 0 {
+			inter = intra / 10
+		}
+		if intra <= 0 || inter <= 0 {
+			return nil, fmt.Errorf("platform: invalid cluster bandwidths intra=%g inter=%g", intra, inter)
+		}
+	}
 	rng := spec.source()
 	p := &Platform{Name: spec.Name, Bandwidth: spec.Bandwidth}
 	for i := 0; i < spec.N; i++ {
@@ -197,7 +296,17 @@ func Generate(spec GenSpec) (*Platform, error) {
 		if spec.MaxPower > spec.MinPower {
 			w += rng.Float64() * (spec.MaxPower - spec.MinPower)
 		}
-		p.Nodes = append(p.Nodes, Node{Name: fmt.Sprintf("%s-%03d", spec.Name, i), Power: w})
+		n := Node{Name: fmt.Sprintf("%s-%03d", spec.Name, i), Power: w}
+		if multi {
+			k := i % spec.Clusters
+			n.Name = fmt.Sprintf("%s-c%d-%03d", spec.Name, k, i)
+			if k == 0 {
+				n.LinkBandwidth = intra
+			} else {
+				n.LinkBandwidth = inter
+			}
+		}
+		p.Nodes = append(p.Nodes, n)
 	}
 	return p, nil
 }

@@ -601,6 +601,14 @@ func (s *System) convert(name string, from, to hierarchy.Role) error {
 }
 
 // ApplyOp applies one reconfiguration patch operation to the live system.
+//
+// Link-bandwidth limitation: the live runtime models a single shared wire
+// (Options.Bandwidth) — the paper's homogeneous-links testbed — so
+// op.Bandwidth is bookkeeping only here: elements added by a patch send
+// and receive at the uniform wire speed, and Snapshot() reports bandwidth
+// zero for every element. Per-node link speeds are modelled by the
+// discrete-event simulator (internal/sim), whose patch target honours
+// op.Bandwidth; plan deployments for heterogeneous links there.
 func (s *System) ApplyOp(op hierarchy.Op) error {
 	switch op.Kind {
 	case hierarchy.OpAdd:

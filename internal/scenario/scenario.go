@@ -25,6 +25,14 @@
 //     synthetically — a homogeneous cluster with background load stealing
 //     fixed power fractions from a seeded node subset, plus measurement
 //     jitter.
+//   - ClusterGrid: the Clustered power shape plus heterogeneous *links* —
+//     cluster 0 keeps the fast platform bandwidth while every other
+//     cluster sits behind a slow inter-cluster uplink. The multi-site
+//     grid (Lyon + Orsay over the WAN) the heterogeneous-links planner
+//     exists for.
+//   - FatTree: a fat-tree-ish bandwidth taper — a few powerful core nodes
+//     on fat links, geometrically more nodes per tier on links that halve
+//     tier by tier.
 //
 // Corpus returns a representative cross product of families and sizes used
 // by the property tests (internal/core), the portfolio tests
@@ -49,11 +57,15 @@ const (
 	PowerLaw       Family = "power-law"
 	Clustered      Family = "clustered"
 	TracePerturbed Family = "trace-perturbed"
+	ClusterGrid    Family = "cluster-grid"
+	FatTree        Family = "fat-tree"
 )
 
-// Families lists all families in stable order.
+// Families lists all families in stable order. The heterogeneous-link
+// families come last so pre-existing (family, size) seed derivations stay
+// stable.
 func Families() []Family {
-	return []Family{Star, Bimodal, PowerLaw, Clustered, TracePerturbed}
+	return []Family{Star, Bimodal, PowerLaw, Clustered, TracePerturbed, ClusterGrid, FatTree}
 }
 
 // Spec declaratively describes one synthetic platform. Zero-valued knobs
@@ -104,6 +116,14 @@ type Spec struct {
 	// LoadFraction (TracePerturbed) is the fraction of nodes running
 	// background load (default 0.6, the §5.3 setup).
 	LoadFraction float64 `json:"load_fraction,omitempty"`
+
+	// InterBandwidth (ClusterGrid) is the uplink bandwidth of every
+	// cluster but the local one, in Mb/s (default Bandwidth/10).
+	InterBandwidth float64 `json:"inter_bandwidth_mbps,omitempty"`
+	// Tiers (FatTree) is the number of bandwidth tiers (default 3): tier t
+	// runs its links at Bandwidth/2^t and holds twice the nodes of tier
+	// t-1.
+	Tiers int `json:"tiers,omitempty"`
 }
 
 // withDefaults fills zero-valued knobs.
@@ -150,6 +170,12 @@ func (s Spec) withDefaults() Spec {
 	if s.LoadFraction == 0 {
 		s.LoadFraction = 0.6
 	}
+	if s.InterBandwidth == 0 {
+		s.InterBandwidth = s.Bandwidth / 10
+	}
+	if s.Tiers == 0 {
+		s.Tiers = 3
+	}
 	return s
 }
 
@@ -169,16 +195,67 @@ func (s Spec) Generate() (*platform.Platform, error) {
 	if err != nil {
 		return nil, err
 	}
+	links := s.links()
 	for i, w := range powers {
-		p.Nodes = append(p.Nodes, platform.Node{
+		n := platform.Node{
 			Name:  fmt.Sprintf("%s-%04d", s.Name, i),
 			Power: w,
-		})
+		}
+		if links != nil {
+			n.LinkBandwidth = links[i]
+		}
+		p.Nodes = append(p.Nodes, n)
 	}
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("scenario: generated invalid platform: %w", err)
 	}
 	return p, nil
+}
+
+// links returns the per-node link-bandwidth overrides (0 = platform
+// default), or nil for the homogeneous-link families. Link assignment is
+// purely positional — no randomness — so it never perturbs the power
+// stream of the shared rng.
+func (s Spec) links() []float64 {
+	switch s.Family {
+	case ClusterGrid:
+		// Cluster 0 is the local site (default bandwidth); every other
+		// cluster is reached over the inter-cluster uplink.
+		out := make([]float64, s.N)
+		for i := range out {
+			if i%s.Clusters != 0 {
+				out[i] = s.InterBandwidth
+			}
+		}
+		return out
+	case FatTree:
+		out := make([]float64, s.N)
+		for i := range out {
+			t := s.tierOf(i)
+			if t > 0 {
+				out[i] = s.Bandwidth / float64(int(1)<<t)
+			}
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// tierOf maps a FatTree node index to its bandwidth tier: tier t holds
+// 2^t shares of the pool (1, 2, 4, … — leaves outnumber core nodes), so
+// with T tiers node i sits at the tier covering position i·(2^T−1)/N.
+func (s Spec) tierOf(i int) int {
+	total := (1 << s.Tiers) - 1
+	pos := i * total / s.N
+	cum := 0
+	for t := 0; t < s.Tiers; t++ {
+		cum += 1 << t
+		if pos < cum {
+			return t
+		}
+	}
+	return s.Tiers - 1
 }
 
 // jitter multiplies base by a clamped relative gaussian perturbation.
@@ -221,9 +298,11 @@ func (s Spec) powers(rng *rand.Rand) ([]float64, error) {
 			}
 			out[i] = w
 		}
-	case Clustered:
+	case Clustered, ClusterGrid:
 		// Cluster means spread geometrically across [MinPower, MaxPower];
 		// nodes assigned round-robin so every cluster is populated.
+		// ClusterGrid shares the power shape and adds heterogeneous links
+		// (see Spec.links).
 		means := make([]float64, s.Clusters)
 		ratio := s.MaxPower / s.MinPower
 		for k := 0; k < s.Clusters; k++ {
@@ -235,6 +314,16 @@ func (s Spec) powers(rng *rand.Rand) ([]float64, error) {
 		}
 		for i := 0; i < s.N; i++ {
 			out[i] = jitter(rng, means[i%s.Clusters], s.Spread)
+		}
+	case FatTree:
+		// Core nodes (low tiers) are the strong ones; power halves with
+		// the link bandwidth tier, floored at MinPower.
+		for i := 0; i < s.N; i++ {
+			base := s.MaxPower / float64(int(1)<<s.tierOf(i))
+			if base < s.MinPower {
+				base = s.MinPower
+			}
+			out[i] = jitter(rng, base, s.Spread)
 		}
 	case TracePerturbed:
 		// §5.3 replayed: a homogeneous cluster, background load pinning a

@@ -152,3 +152,75 @@ func TestFamilyShapes(t *testing.T) {
 		t.Errorf("trace-perturbed missing load classes: %v", counts)
 	}
 }
+
+// TestHeterogeneousLinkFamilies covers the two link-heterogeneous
+// families: determinism, link assignment shape, and their presence in the
+// shared corpus.
+func TestHeterogeneousLinkFamilies(t *testing.T) {
+	cg, err := (scenario.Spec{Family: scenario.ClusterGrid, N: 40, Seed: 5}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.HasUniformLinks() {
+		t.Error("cluster-grid generated uniform links")
+	}
+	interBW := cg.Bandwidth / 10
+	for i, n := range cg.Nodes {
+		want := 0.0 // cluster 0: inherit the platform default
+		if i%4 != 0 {
+			want = interBW
+		}
+		if n.LinkBandwidth != want {
+			t.Errorf("cluster-grid node %d: link %g, want %g", i, n.LinkBandwidth, want)
+		}
+	}
+
+	ft, err := (scenario.Spec{Family: scenario.FatTree, N: 40, Seed: 5}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.HasUniformLinks() {
+		t.Error("fat-tree generated uniform links")
+	}
+	// Links taper monotonically with node index (core first, leaves last)
+	// and halve tier by tier.
+	seen := map[float64]bool{}
+	prev := ft.Bandwidth + 1
+	for i, n := range ft.Nodes {
+		bw := n.Link(ft.Bandwidth)
+		if bw > prev {
+			t.Errorf("fat-tree node %d: link %g rises above previous %g", i, bw, prev)
+		}
+		prev = bw
+		seen[bw] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("fat-tree with 3 tiers produced %d link classes: %v", len(seen), seen)
+	}
+
+	// Determinism: byte-identical JSON across calls.
+	for _, fam := range []scenario.Family{scenario.ClusterGrid, scenario.FatTree} {
+		a, err := (scenario.Spec{Family: fam, N: 24, Seed: 11}).Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := (scenario.Spec{Family: fam, N: 24, Seed: 11}).Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		aj, _ := a.MarshalIndent()
+		bj, _ := b.MarshalIndent()
+		if string(aj) != string(bj) {
+			t.Errorf("%s: generation not deterministic", fam)
+		}
+	}
+
+	// The corpus now spans the heterogeneous families too.
+	found := map[scenario.Family]bool{}
+	for _, spec := range scenario.Corpus(1) {
+		found[spec.Family] = true
+	}
+	if !found[scenario.ClusterGrid] || !found[scenario.FatTree] {
+		t.Errorf("corpus missing heterogeneous families: %v", found)
+	}
+}

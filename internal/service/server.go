@@ -256,8 +256,12 @@ type PlanResponse struct {
 	Agents     int     `json:"agents"`
 	Servers    int     `json:"servers"`
 	Depth      int     `json:"depth"`
-	XML        string  `json:"xml"`
-	ElapsedMS  float64 `json:"elapsed_ms"`
+	// MinLinkBandwidth and MaxLinkBandwidth report the platform's effective
+	// link-bandwidth range (equal on homogeneous-link platforms).
+	MinLinkBandwidth float64 `json:"min_link_bandwidth_mbps"`
+	MaxLinkBandwidth float64 `json:"max_link_bandwidth_mbps"`
+	XML              string  `json:"xml"`
+	ElapsedMS        float64 `json:"elapsed_ms"`
 	// Variants reports the portfolio race (portfolio requests only;
 	// answers served from the cache omit it — the race never re-ran).
 	Variants []portfolio.Result `json:"variants,omitempty"`
@@ -344,25 +348,29 @@ func planStatus(r *http.Request, err error) int {
 }
 
 // planResponse renders a rendered cache entry into the wire response.
-func planResponse(entry *CachedPlan, key CacheKey, start time.Time, cached, coalesced bool, variants []portfolio.Result) *PlanResponse {
+// plat is the resolved request platform, consulted for the link stats.
+func planResponse(entry *CachedPlan, key CacheKey, plat *platform.Platform, start time.Time, cached, coalesced bool, variants []portfolio.Result) *PlanResponse {
 	plan := entry.Plan
+	minBW, maxBW := plat.LinkRange()
 	return &PlanResponse{
-		Planner:    plan.Planner,
-		Key:        string(key),
-		Cached:     cached,
-		Coalesced:  coalesced,
-		Rho:        plan.Eval.Rho,
-		Sched:      plan.Eval.Sched,
-		Service:    plan.Eval.Service,
-		Bottleneck: plan.Eval.Bottleneck.String(),
-		Capped:     plan.Capped,
-		NodesUsed:  plan.NodesUsed,
-		Agents:     entry.Stats.Agents,
-		Servers:    entry.Stats.Servers,
-		Depth:      entry.Stats.Depth,
-		XML:        entry.XML,
-		ElapsedMS:  float64(time.Since(start)) / float64(time.Millisecond),
-		Variants:   variants,
+		Planner:          plan.Planner,
+		Key:              string(key),
+		Cached:           cached,
+		Coalesced:        coalesced,
+		Rho:              plan.Eval.Rho,
+		Sched:            plan.Eval.Sched,
+		Service:          plan.Eval.Service,
+		Bottleneck:       plan.Eval.Bottleneck.String(),
+		Capped:           plan.Capped,
+		NodesUsed:        plan.NodesUsed,
+		Agents:           entry.Stats.Agents,
+		Servers:          entry.Stats.Servers,
+		Depth:            entry.Stats.Depth,
+		MinLinkBandwidth: minBW,
+		MaxLinkBandwidth: maxBW,
+		XML:              entry.XML,
+		ElapsedMS:        float64(time.Since(start)) / float64(time.Millisecond),
+		Variants:         variants,
 	}
 }
 
@@ -386,7 +394,7 @@ func (s *Server) plan(r *http.Request, pr *PlanRequest) (*PlanResponse, core.Req
 		// lookup, not Get: the miss is charged in runPlanner, so requests
 		// that coalesce onto an existing flight count no miss of their own.
 		if entry, ok := s.cache.lookup(key); ok {
-			return planResponse(entry, key, start, true, false, nil), req, http.StatusOK, nil
+			return planResponse(entry, key, req.Platform, start, true, false, nil), req, http.StatusOK, nil
 		}
 	}
 
@@ -446,7 +454,7 @@ func (s *Server) plan(r *http.Request, pr *PlanRequest) (*PlanResponse, core.Req
 		if fr.err != nil {
 			return nil, req, planStatus(r, fr.err), fr.err
 		}
-		return planResponse(fr.entry, key, start, false, false, fr.variants), req, http.StatusOK, nil
+		return planResponse(fr.entry, key, req.Platform, start, false, false, fr.variants), req, http.StatusOK, nil
 	}
 
 	// The shared run is bounded by the server-wide cap, not the leader's
@@ -460,7 +468,7 @@ func (s *Server) plan(r *http.Request, pr *PlanRequest) (*PlanResponse, core.Req
 	}
 	// A leader whose flight resolved from a freshly landed cache entry is
 	// a cache hit; joiners report the coalesced share either way.
-	return planResponse(fr.entry, key, start, leader && fr.cached, !leader, fr.variants), req, http.StatusOK, nil
+	return planResponse(fr.entry, key, req.Platform, start, leader && fr.cached, !leader, fr.variants), req, http.StatusOK, nil
 }
 
 func decodeBody(r *http.Request, v any) error {

@@ -1047,3 +1047,68 @@ func TestPlanPortfolioOption(t *testing.T) {
 		t.Errorf("conflicting planner accepted: status %d: %s", respBad.StatusCode, bodyBad)
 	}
 }
+
+// TestPlanHeterogeneousLinks covers the extended wire schema end to end:
+// a multi-cluster platform registered through PUT /v1/platforms, planned
+// via platform_name, with the response reporting the link-bandwidth range
+// and the plan's XML carrying per-node bandwidth attributes.
+func TestPlanHeterogeneousLinks(t *testing.T) {
+	_, ts := newTestServer(t)
+	grid, err := platform.Generate(platform.GenSpec{
+		Name: "grid", N: 12, Bandwidth: 100, MinPower: 200, MaxPower: 900, Seed: 7,
+		Clusters: 3, IntraBandwidth: 100, InterBandwidth: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Register through the wire: the extended schema must survive the
+	// JSON round trip.
+	data, err := grid.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	putReq, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/platforms/grid", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	putResp, err := http.DefaultClient.Do(putReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	putResp.Body.Close()
+	if putResp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT platform status %d", putResp.StatusCode)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/plan", PlanRequest{PlatformName: "grid", DgemmN: 310})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var pr PlanResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.MinLinkBandwidth != 5 || pr.MaxLinkBandwidth != 100 {
+		t.Errorf("link range [%g, %g], want [5, 100]", pr.MinLinkBandwidth, pr.MaxLinkBandwidth)
+	}
+	if !bytes.Contains([]byte(pr.XML), []byte(`bandwidth="5"`)) {
+		t.Errorf("plan XML missing per-node bandwidth attributes:\n%s", pr.XML)
+	}
+
+	// A uniform platform reports a degenerate range and clean XML.
+	uresp, ubody := postJSON(t, ts.URL+"/v1/plan", PlanRequest{Platform: testPlatform(12), DgemmN: 310})
+	if uresp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", uresp.StatusCode, ubody)
+	}
+	var upr PlanResponse
+	if err := json.Unmarshal(ubody, &upr); err != nil {
+		t.Fatal(err)
+	}
+	if upr.MinLinkBandwidth != 100 || upr.MaxLinkBandwidth != 100 {
+		t.Errorf("uniform link range [%g, %g], want [100, 100]", upr.MinLinkBandwidth, upr.MaxLinkBandwidth)
+	}
+	if bytes.Contains([]byte(upr.XML), []byte("bandwidth=")) {
+		t.Errorf("uniform plan XML leaks bandwidth attributes:\n%s", upr.XML)
+	}
+}

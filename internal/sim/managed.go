@@ -180,9 +180,23 @@ func (m *Managed) SetBackgroundLoad(name string, factor float64) error {
 
 // --- live reconfiguration ------------------------------------------------
 
+// liveLink resolves the optional link-bandwidth argument of a live add
+// against the deployment's default bandwidth.
+func (m *Managed) liveLink(linkBW []float64) (float64, error) {
+	if len(linkBW) == 0 || linkBW[0] == 0 {
+		return m.dep.bw, nil
+	}
+	if linkBW[0] < 0 {
+		return 0, fmt.Errorf("sim: negative link bandwidth %g", linkBW[0])
+	}
+	return linkBW[0], nil
+}
+
 // AddServer deploys a new server under an existing agent while the
 // simulation runs; it participates from the next scheduling broadcast.
-func (m *Managed) AddServer(parentName, name string, power float64) error {
+// The optional trailing argument is the node's link bandwidth (zero or
+// omitted = the deployment default).
+func (m *Managed) AddServer(parentName, name string, power float64, linkBW ...float64) error {
 	parent, err := m.agent(parentName)
 	if err != nil {
 		return err
@@ -193,7 +207,11 @@ func (m *Managed) AddServer(parentName, name string, power float64) error {
 	if power <= 0 {
 		return fmt.Errorf("sim: power %g must be positive", power)
 	}
-	s := &simServer{dep: m.dep, name: name, power: power, rated: power, bg: 1, res: NewResource(m.eng)}
+	bw, err := m.liveLink(linkBW)
+	if err != nil {
+		return err
+	}
+	s := &simServer{dep: m.dep, name: name, power: power, bw: bw, rated: power, bg: 1, res: NewResource(m.eng)}
 	m.dep.servers = append(m.dep.servers, s)
 	m.byName[name] = s
 	parent.children = append(parent.children, s)
@@ -201,8 +219,9 @@ func (m *Managed) AddServer(parentName, name string, power float64) error {
 	return nil
 }
 
-// AddAgent deploys a new childless agent under an existing agent.
-func (m *Managed) AddAgent(parentName, name string, power float64) error {
+// AddAgent deploys a new childless agent under an existing agent. The
+// optional trailing argument is the node's link bandwidth.
+func (m *Managed) AddAgent(parentName, name string, power float64, linkBW ...float64) error {
 	parent, err := m.agent(parentName)
 	if err != nil {
 		return err
@@ -213,7 +232,11 @@ func (m *Managed) AddAgent(parentName, name string, power float64) error {
 	if power <= 0 {
 		return fmt.Errorf("sim: power %g must be positive", power)
 	}
-	a := &simAgent{dep: m.dep, name: name, power: power, res: NewResource(m.eng)}
+	bw, err := m.liveLink(linkBW)
+	if err != nil {
+		return err
+	}
+	a := &simAgent{dep: m.dep, name: name, power: power, bw: bw, res: NewResource(m.eng)}
 	m.dep.agents = append(m.dep.agents, a)
 	m.byName[name] = a
 	parent.children = append(parent.children, a)
@@ -306,7 +329,7 @@ func (m *Managed) Promote(name string) error {
 	if parent == nil {
 		return fmt.Errorf("sim: cannot promote the root")
 	}
-	a := &simAgent{dep: m.dep, name: name, power: srv.power, res: srv.res}
+	a := &simAgent{dep: m.dep, name: name, power: srv.power, bw: srv.bw, res: srv.res}
 	if err := m.detach(name, srv); err != nil {
 		return err
 	}
@@ -331,7 +354,7 @@ func (m *Managed) Demote(name string) error {
 	if parent == nil {
 		return fmt.Errorf("sim: cannot demote the root")
 	}
-	s := &simServer{dep: m.dep, name: name, power: a.power, rated: a.power, bg: 1, res: a.res}
+	s := &simServer{dep: m.dep, name: name, power: a.power, bw: a.bw, rated: a.power, bg: 1, res: a.res}
 	if err := m.detach(name, a); err != nil {
 		return err
 	}
@@ -348,9 +371,9 @@ func (m *Managed) ApplyOp(op hierarchy.Op) error {
 	switch op.Kind {
 	case hierarchy.OpAdd:
 		if op.Role == hierarchy.RoleAgent {
-			return m.AddAgent(op.Parent, op.Name, op.Power)
+			return m.AddAgent(op.Parent, op.Name, op.Power, op.Bandwidth)
 		}
-		return m.AddServer(op.Parent, op.Name, op.Power)
+		return m.AddServer(op.Parent, op.Name, op.Power, op.Bandwidth)
 	case hierarchy.OpRemove:
 		return m.Remove(op.Name)
 	case hierarchy.OpReparent:

@@ -102,6 +102,7 @@ type simAgent struct {
 	dep      *Deployment
 	name     string
 	power    float64
+	bw       float64 // the node's own link bandwidth
 	res      *Resource
 	children []entity
 }
@@ -111,6 +112,7 @@ type simServer struct {
 	dep   *Deployment
 	name  string
 	power float64 // physical speed the node actually delivers
+	bw    float64 // the node's own link bandwidth
 	res   *Resource
 
 	// rated is the power the server's predictions believe in. It starts at
@@ -157,7 +159,11 @@ type schedResult struct {
 // the top few servers under heavy concurrent load, because batches of
 // requests aggregated back-to-back would share the same truncated list.
 
-// Instantiate builds a simulated deployment from a hierarchy.
+// Instantiate builds a simulated deployment from a hierarchy. bandwidth
+// is the default link bandwidth; nodes carrying a per-node override
+// (hierarchy.Node.Bandwidth, planned from a multi-cluster platform) send,
+// receive, and transfer at their own link speed — every occupation that
+// divides a message size by a bandwidth uses the occupying node's link.
 func Instantiate(eng *Engine, h *hierarchy.Hierarchy, costs model.Costs, bandwidth, wapp float64) (*Deployment, error) {
 	if err := h.Validate(hierarchy.Structural); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
@@ -176,11 +182,11 @@ func Instantiate(eng *Engine, h *hierarchy.Hierarchy, costs model.Costs, bandwid
 	build = func(id int) entity {
 		n := h.MustNode(id)
 		if n.Role == hierarchy.RoleServer {
-			s := &simServer{dep: d, name: n.Name, power: n.Power, rated: n.Power, bg: 1, res: NewResource(eng)}
+			s := &simServer{dep: d, name: n.Name, power: n.Power, bw: n.Link(bandwidth), rated: n.Power, bg: 1, res: NewResource(eng)}
 			d.servers = append(d.servers, s)
 			return s
 		}
-		a := &simAgent{dep: d, name: n.Name, power: n.Power, res: NewResource(eng)}
+		a := &simAgent{dep: d, name: n.Name, power: n.Power, bw: n.Link(bandwidth), res: NewResource(eng)}
 		d.agents = append(d.agents, a)
 		for _, c := range n.Children {
 			a.children = append(a.children, build(c))
@@ -212,7 +218,7 @@ func Instantiate(eng *Engine, h *hierarchy.Hierarchy, costs model.Costs, bandwid
 // it (Wreq), forward serially to every child, collect the replies, select
 // the best server (Wrep), and send the reply up.
 func (a *simAgent) deliverSched(replyTo func(schedResult)) {
-	c, bw := a.dep.costs, a.dep.bw
+	c, bw := a.dep.costs, a.bw
 	// Eq. 1 request part + Eq. 5 Wreq part.
 	a.res.Do(c.AgentSreq/bw+c.AgentWreq/a.power, func() {
 		a.broadcast(replyTo)
@@ -221,7 +227,7 @@ func (a *simAgent) deliverSched(replyTo func(schedResult)) {
 
 // broadcast forwards the request to every child and aggregates replies.
 func (a *simAgent) broadcast(replyTo func(schedResult)) {
-	c, bw := a.dep.costs, a.dep.bw
+	c, bw := a.dep.costs, a.bw
 	d := len(a.children)
 	agg := &aggregator{want: d}
 	for _, child := range a.children {
@@ -240,7 +246,7 @@ func (a *simAgent) broadcast(replyTo func(schedResult)) {
 // replies are in, the agent runs the selection computation Wrep(d) (Eq. 5)
 // and sends the merged reply to its parent (Eq. 2, Srep part).
 func (a *simAgent) receiveReply(agg *aggregator, r schedResult, replyTo func(schedResult)) {
-	c, bw := a.dep.costs, a.dep.bw
+	c, bw := a.dep.costs, a.bw
 	a.res.Do(c.AgentSrep/bw, func() {
 		agg.add(r)
 		if !agg.complete() {
@@ -282,7 +288,7 @@ func (g *aggregator) complete() bool { return g.got == g.want }
 // deliverSched implements entity for servers: receive the request, compute
 // the performance prediction (Wpre), and send the reply back.
 func (s *simServer) deliverSched(replyTo func(schedResult)) {
-	c, bw := s.dep.costs, s.dep.bw
+	c, bw := s.dep.costs, s.bw
 	// Scheduling-phase work takes the priority lane: predictions are tiny
 	// interactive operations that a real server answers while batch service
 	// jobs wait; see Resource for why the simulator must model this.
@@ -310,7 +316,7 @@ func (s *simServer) estimate() float64 {
 // contiguous occupation. wapp is this request's service cost (mixtures
 // vary it per request).
 func (d *Deployment) submitService(s *simServer, wapp float64, onDone func()) {
-	c, bw := d.costs, d.bw
+	c, bw := d.costs, s.bw
 	s.pending++
 	compute := wapp * s.bg / s.power
 	s.res.Do(c.ServerSreq/bw+compute+c.ServerSrep/bw, func() {

@@ -2,13 +2,16 @@
 # bench.sh — the planner bench regression harness.
 #
 # Runs the BenchmarkHeuristicPlan{100,1k,5k} scaling benchmarks (plus their
-# Naive twins planning through the retained full-recompute evaluator) and
+# Naive twins planning through the retained full-recompute evaluator), the
+# BenchmarkHeuristicPlanClustered5k heterogeneous-links twin, and
 # the BenchmarkServicePlanThroughput serving-layer benchmarks (hot/mixed
 # key workloads through the adeptd HTTP handler), writes BENCH_plan.json,
 # and gates:
 #
-#   1. the 5k incremental-vs-naive speedup must be >= 10x (within-run
-#      ratio: machine-independent, enforced everywhere);
+#   1. the 5k incremental-vs-naive speedup must be >= 10x, and the
+#      heterogeneous (cluster-grid) 5k plan must stay within 2x ns/op of
+#      the homogeneous 5k plan (within-run ratios: machine-independent,
+#      enforced everywhere);
 #   2. when a baseline file exists (BENCH_BASELINE, default
 #      BENCH_plan_baseline.json), ns/op may not regress more than
 #      BENCH_NS_TOL (default 20%) and allocs/op more than
@@ -28,7 +31,7 @@ NS_TOL="${BENCH_NS_TOL:-0.20}"
 ALLOCS_TOL="${BENCH_ALLOCS_TOL:-0.20}"
 
 go test -run '^$' \
-  -bench 'BenchmarkHeuristicPlan(100|1k|5k)$|BenchmarkHeuristicPlanNaive(100|1k|5k)$|BenchmarkServicePlanThroughput$' \
+  -bench 'BenchmarkHeuristicPlan(100|1k|5k)$|BenchmarkHeuristicPlanNaive(100|1k|5k)$|BenchmarkHeuristicPlanClustered5k$|BenchmarkServicePlanThroughput$' \
   -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . | tee bench_plan.txt
 
 go run ./cmd/benchguard -parse bench_plan.txt -out BENCH_plan.json
@@ -36,6 +39,10 @@ go run ./cmd/benchguard -parse bench_plan.txt -out BENCH_plan.json
 go run ./cmd/benchguard -new BENCH_plan.json \
   -require-speedup 10 \
   -speedup-pair BenchmarkHeuristicPlanNaive5k:BenchmarkHeuristicPlan5k
+
+go run ./cmd/benchguard -new BENCH_plan.json \
+  -require-max-ratio 2 \
+  -max-ratio-pair BenchmarkHeuristicPlanClustered5k:BenchmarkHeuristicPlan5k
 
 if [ -f "$BASELINE" ]; then
   go run ./cmd/benchguard -base "$BASELINE" -new BENCH_plan.json -tol "$NS_TOL" -allocs-tol "$ALLOCS_TOL"
