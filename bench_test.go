@@ -394,6 +394,57 @@ func BenchmarkServicePlanThroughput(b *testing.B) {
 	b.Run("mixed", func(b *testing.B) { run(b, 10) })
 }
 
+// BenchmarkServicePlanTrace prices the observability spine on the
+// daemon's hottest path, the cached plan hit: "off" is the default
+// untraced request (the nil-recorder fast path — every instrumentation
+// point is one pointer test), "on" carries "trace":true and pays for
+// recorder allocation, phase spans, and trace rendering into the
+// response. scripts/bench.sh records the off case into BENCH_plan.json
+// so cmd/benchguard catches any instrumentation creep on untraced
+// requests; the off/on gap in one run shows what tracing costs when
+// it is actually asked for.
+func BenchmarkServicePlanTrace(b *testing.B) {
+	run := func(b *testing.B, trace bool) {
+		srv, err := service.New(service.Config{CacheSize: 64, Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		handler := srv.Handler()
+
+		plat, err := platform.Generate(platform.GenSpec{
+			Name: "bench-trace", N: 120, Bandwidth: 100, MinPower: 100, MaxPower: 800, Seed: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		body, err := json.Marshal(service.PlanRequest{Platform: plat, DgemmN: 310, Trace: trace})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Pre-warm so every measured iteration is a cache hit.
+		req := httptest.NewRequest(http.MethodPost, "/v1/plan", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("warmup status %d: %s", rec.Code, rec.Body.String())
+		}
+
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest(http.MethodPost, "/v1/plan", bytes.NewReader(body))
+			rec := httptest.NewRecorder()
+			handler.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkModelEvaluate measures one throughput-model evaluation of a
 // 200-node deployment — the inner loop of every planner.
 func BenchmarkModelEvaluate(b *testing.B) {

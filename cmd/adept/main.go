@@ -26,6 +26,7 @@ import (
 
 	"adept/internal/core"
 	"adept/internal/model"
+	"adept/internal/obs"
 	"adept/internal/platform"
 	"adept/internal/service"
 	"adept/internal/workload"
@@ -55,8 +56,19 @@ func run() error {
 		genClusters  = flag.Int("gen-clusters", 0, "synthetic platform: multi-cluster grid with this many clusters (>= 2; cluster 0 keeps the fast intra link, the rest sit behind the inter-cluster uplink)")
 		genIntra     = flag.Float64("gen-intra", 0, "multi-cluster: intra-cluster link bandwidth in Mb/s (default -gen-bw)")
 		genInter     = flag.Float64("gen-inter", 0, "multi-cluster: inter-cluster uplink bandwidth in Mb/s (default intra/10)")
+		logFormat    = flag.String("log-format", "text", "diagnostic log format: text, json (plan output stays on stdout)")
+		logLevel     = flag.String("log-level", "info", "diagnostic log level: debug, info, warn, error")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger, err := obs.NewLogger(*logFormat, os.Stderr, level)
+	if err != nil {
+		return err
+	}
 
 	if *genN > 0 {
 		if *platformPath == "" {
@@ -73,7 +85,7 @@ func run() error {
 		if err := p.SaveJSON(*platformPath); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s: %s\n", *platformPath, p)
+		logger.Info("platform written", "path", *platformPath, "platform", p.String())
 		return nil
 	}
 
@@ -122,7 +134,7 @@ func run() error {
 		} else if err := plan.Hierarchy.SaveXML(*outXML); err != nil {
 			return err
 		} else {
-			fmt.Printf("\ndeployment XML written to %s\n", *outXML)
+			logger.Info("deployment XML written", "path", *outXML)
 		}
 	}
 	if *outDOT != "" {
@@ -134,7 +146,7 @@ func run() error {
 		if err := plan.Hierarchy.WriteDOT(f); err != nil {
 			return err
 		}
-		fmt.Printf("DOT rendering written to %s\n", *outDOT)
+		logger.Info("DOT rendering written", "path", *outDOT)
 	}
 	return nil
 }

@@ -13,16 +13,26 @@
 //	PUT    /v1/platforms/{name}  register/replace a platform description
 //	DELETE /v1/platforms/{name}  remove a platform
 //	GET    /v1/metrics           counters, cache stats, p50/p99 latency
+//	GET    /metrics              Prometheus text exposition of the same
 //	POST   /v1/deploy            launch a plan on the live middleware
 //	POST   /v1/autonomic/start   deploy + start the MAPE-K control loop
 //	POST   /v1/autonomic/stop    stop the loop and tear the system down
 //	GET    /v1/autonomic/status  adaptation history, patches, throughput
+//	GET    /v1/autonomic/events  the MAPE-K decision journal (?since=SEQ)
 //	POST   /v1/autonomic/inject  background-load drift on a live server
+//
+// Observability: GET /metrics serves Prometheus text exposition,
+// GET /v1/autonomic/events the MAPE-K decision journal, and every
+// response carries an X-Request-ID that also appears in the structured
+// logs (-log-format json|text, -log-level debug|info|warn|error).
+// -debug-addr starts a second listener serving net/http/pprof, kept off
+// the public mux so profiling endpoints are never exposed by accident.
 //
 // Usage:
 //
 //	adeptd [-addr :8080] [-platform-dir dir] [-cache 256]
 //	       [-workers N] [-queue 64] [-plan-timeout 30s]
+//	       [-log-format text] [-log-level info] [-debug-addr addr]
 //
 // -platform-dir both preloads *.json platforms at startup and receives
 // the write-through journal of later PUT /v1/platforms calls (atomic
@@ -43,13 +53,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
+	_ "net/http/pprof" // registers profiling handlers on http.DefaultServeMux for -debug-addr
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"adept/internal/obs"
 	"adept/internal/service"
 )
 
@@ -68,14 +79,27 @@ func run() error {
 		workers     = flag.Int("workers", 0, "concurrent planner runs (0 = GOMAXPROCS)")
 		queue       = flag.Int("queue", 64, "queued planning jobs beyond the workers")
 		planTimeout = flag.Duration("plan-timeout", 30*time.Second, "server-side cap on one planning run")
+		logFormat   = flag.String("log-format", "text", "log output format: text, json")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger, err := obs.NewLogger(*logFormat, os.Stderr, level)
+	if err != nil {
+		return err
+	}
 
 	srv, err := service.New(service.Config{
 		CacheSize:   *cacheSize,
 		Workers:     *workers,
 		QueueDepth:  *queue,
 		PlanTimeout: *planTimeout,
+		Logger:      logger,
 	})
 	if err != nil {
 		return err
@@ -96,7 +120,19 @@ func run() error {
 		if err := srv.Registry().PersistTo(*platformDir); err != nil {
 			return err
 		}
-		log.Printf("loaded %d platform(s) from %s (journaling writes back): %v", len(names), *platformDir, names)
+		logger.Info("platforms loaded", "count", len(names), "dir", *platformDir, "names", fmt.Sprint(names))
+	}
+
+	if *debugAddr != "" {
+		// pprof registered itself on http.DefaultServeMux via the blank
+		// import; serve that mux on a separate listener so profiling never
+		// leaks onto the public API address.
+		go func() {
+			logger.Info("debug listener (pprof) starting", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				logger.Error("debug listener failed", "error", err)
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{
@@ -107,7 +143,7 @@ func run() error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("adeptd listening on %s (planners: %v)", *addr, service.PlannerNames())
+	logger.Info("adeptd listening", "addr", *addr, "planners", fmt.Sprint(service.PlannerNames()))
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -117,7 +153,7 @@ func run() error {
 	case sig := <-sigc:
 		// Drain in-flight requests (a long exhaustive plan or a /v1/deploy
 		// load window) before exiting; give up after a grace period.
-		log.Printf("received %v, draining", sig)
+		logger.Info("signal received, draining", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {

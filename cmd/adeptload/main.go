@@ -20,12 +20,20 @@
 // shed, not as errors, since backpressure is the daemon behaving as
 // configured (see -queue on adeptd).
 //
+// The generator scrapes the daemon's GET /metrics exposition before and
+// after the window; the -json summary then carries a "server" object of
+// daemon-side counter deltas (requests, plans executed, cache hits and
+// misses, coalesced, rejected) so client- and server-side views of the
+// same run land in one artifact. Scrape failures degrade gracefully: the
+// run still reports, just without the server section.
+//
 // The generator registers its hot platforms under adeptload-hot-<i> via
 // PUT /v1/platforms, so the daemon must be reachable before the run.
 // Exit status is non-zero when no request succeeded.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -35,10 +43,13 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"adept/internal/obs"
 	"adept/internal/platform"
 	"adept/internal/stats"
 )
@@ -89,19 +100,30 @@ func (r *recorder) merge(o *recorder) {
 
 func run() error {
 	var (
-		url      = flag.String("url", "http://localhost:8080", "adeptd base URL")
-		duration = flag.Duration("duration", 10*time.Second, "load window")
-		rps      = flag.Float64("rps", 0, "target request rate (0 = unpaced closed loop)")
-		conns    = flag.Int("conns", 8, "concurrent closed-loop connections")
-		hot      = flag.Float64("hot", 0.9, "fraction of requests on hot keys (cache/coalesce path)")
-		hotKeys  = flag.Int("hot-keys", 4, "number of distinct hot keys")
-		nodes    = flag.Int("nodes", 60, "platform size (nodes) per key")
-		planner  = flag.String("planner", "", "planner to request (default heuristic)")
-		seed     = flag.Int64("seed", 1, "platform generation seed")
-		timeout  = flag.Duration("timeout", 10*time.Second, "per-request client timeout")
-		jsonOut  = flag.Bool("json", false, "emit a JSON summary instead of text")
+		url       = flag.String("url", "http://localhost:8080", "adeptd base URL")
+		duration  = flag.Duration("duration", 10*time.Second, "load window")
+		rps       = flag.Float64("rps", 0, "target request rate (0 = unpaced closed loop)")
+		conns     = flag.Int("conns", 8, "concurrent closed-loop connections")
+		hot       = flag.Float64("hot", 0.9, "fraction of requests on hot keys (cache/coalesce path)")
+		hotKeys   = flag.Int("hot-keys", 4, "number of distinct hot keys")
+		nodes     = flag.Int("nodes", 60, "platform size (nodes) per key")
+		planner   = flag.String("planner", "", "planner to request (default heuristic)")
+		seed      = flag.Int64("seed", 1, "platform generation seed")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-request client timeout")
+		jsonOut   = flag.Bool("json", false, "emit a JSON summary instead of text")
+		logFormat = flag.String("log-format", "text", "diagnostic log format: text, json (the summary stays on stdout)")
+		logLevel  = flag.String("log-level", "warn", "diagnostic log level: debug, info, warn, error")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger, err := obs.NewLogger(*logFormat, os.Stderr, level)
+	if err != nil {
+		return err
+	}
 	if *conns <= 0 || *hotKeys <= 0 || *nodes < 2 {
 		return fmt.Errorf("need positive -conns/-hot-keys and -nodes >= 2")
 	}
@@ -139,6 +161,11 @@ func run() error {
 		if resp.StatusCode != http.StatusOK {
 			return fmt.Errorf("register platform: status %d", resp.StatusCode)
 		}
+	}
+
+	before, err := scrapeMetrics(client, *url)
+	if err != nil {
+		logger.Warn("pre-run metrics scrape failed; summary will omit server deltas", "error", err)
 	}
 
 	// Pacing: a token channel filled at the target rate. Unpaced runs get
@@ -248,31 +275,115 @@ func run() error {
 	for _, rec := range recs {
 		total.merge(rec)
 	}
-	report(total, elapsed, *jsonOut)
+
+	var server *serverDeltas
+	if before != nil {
+		after, err := scrapeMetrics(client, *url)
+		if err != nil {
+			logger.Warn("post-run metrics scrape failed; summary will omit server deltas", "error", err)
+		} else {
+			server = metricDeltas(before, after)
+		}
+	}
+	report(total, server, elapsed, *jsonOut)
 	if total.ok == 0 {
 		return fmt.Errorf("no request succeeded (%d shed, %d errors)", total.shed, total.errors)
 	}
 	return nil
 }
 
-// summary is the -json output schema.
-type summary struct {
-	DurationSeconds float64 `json:"duration_seconds"`
-	Requests        int     `json:"requests"`
-	OK              int     `json:"ok"`
-	Shed            int     `json:"shed"`
-	Errors          int     `json:"errors"`
-	Cached          int     `json:"cached"`
-	Coalesced       int     `json:"coalesced"`
-	Fresh           int     `json:"fresh"`
-	AchievedRPS     float64 `json:"achieved_rps"`
-	P50Millis       float64 `json:"p50_ms"`
-	P90Millis       float64 `json:"p90_ms"`
-	P99Millis       float64 `json:"p99_ms"`
-	MaxMillis       float64 `json:"max_ms"`
+// serverDeltas are daemon-side counter increments over the load window,
+// computed from two GET /metrics scrapes. They cross-check the client's
+// view: e.g. client-side cached+coalesced should track the daemon's
+// cache-hit and coalesced increments.
+type serverDeltas struct {
+	Requests      int64 `json:"requests"`
+	PlansExecuted int64 `json:"plans_executed"`
+	CacheHits     int64 `json:"cache_hits"`
+	CacheMisses   int64 `json:"cache_misses"`
+	Coalesced     int64 `json:"coalesced"`
+	Rejected      int64 `json:"rejected"`
 }
 
-func report(r *recorder, elapsed time.Duration, asJSON bool) {
+// scrapeMetrics fetches url/metrics and sums every series into its
+// family total, labels stripped — adeptd_requests_total{endpoint="plan"}
+// and {endpoint="metrics"} fold into one adeptd_requests_total number.
+// Histogram series (_bucket) are skipped: their cumulative le buckets
+// would overcount the family.
+func scrapeMetrics(client *http.Client, base string) (map[string]float64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	sums := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		if strings.HasSuffix(name, "_bucket") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			continue
+		}
+		sums[name] += v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return sums, nil
+}
+
+// metricDeltas subtracts two scrapes for the counters the load report
+// cares about.
+func metricDeltas(before, after map[string]float64) *serverDeltas {
+	d := func(name string) int64 { return int64(after[name] - before[name]) }
+	return &serverDeltas{
+		Requests:      d("adeptd_requests_total"),
+		PlansExecuted: d("adeptd_plans_executed_total"),
+		CacheHits:     d("adeptd_cache_hits_total"),
+		CacheMisses:   d("adeptd_cache_misses_total"),
+		Coalesced:     d("adeptd_coalesced_total"),
+		Rejected:      d("adeptd_rejected_total"),
+	}
+}
+
+// summary is the -json output schema.
+type summary struct {
+	DurationSeconds float64       `json:"duration_seconds"`
+	Requests        int           `json:"requests"`
+	OK              int           `json:"ok"`
+	Shed            int           `json:"shed"`
+	Errors          int           `json:"errors"`
+	Cached          int           `json:"cached"`
+	Coalesced       int           `json:"coalesced"`
+	Fresh           int           `json:"fresh"`
+	AchievedRPS     float64       `json:"achieved_rps"`
+	P50Millis       float64       `json:"p50_ms"`
+	P90Millis       float64       `json:"p90_ms"`
+	P99Millis       float64       `json:"p99_ms"`
+	MaxMillis       float64       `json:"max_ms"`
+	Server          *serverDeltas `json:"server,omitempty"`
+}
+
+func report(r *recorder, server *serverDeltas, elapsed time.Duration, asJSON bool) {
 	s := summary{
 		DurationSeconds: elapsed.Seconds(),
 		Requests:        r.ok + r.shed + r.errors,
@@ -283,6 +394,7 @@ func report(r *recorder, elapsed time.Duration, asJSON bool) {
 		Coalesced:       r.coalesced,
 		Fresh:           r.fresh,
 		AchievedRPS:     float64(r.ok) / elapsed.Seconds(),
+		Server:          server,
 	}
 	if len(r.latencies) > 0 {
 		s.P50Millis = stats.Percentile(r.latencies, 50) * 1e3
@@ -306,6 +418,10 @@ func report(r *recorder, elapsed time.Duration, asJSON bool) {
 	fmt.Printf("adeptload: %d requests in %.2fs (%.1f ok req/s)\n", s.Requests, s.DurationSeconds, s.AchievedRPS)
 	fmt.Printf("  ok %d (cached %d, coalesced %d, fresh %d)  shed(429) %d  errors %d\n",
 		s.OK, s.Cached, s.Coalesced, s.Fresh, s.Shed, s.Errors)
+	if server != nil {
+		fmt.Printf("  server: requests %d, plans executed %d, cache %d/%d hit/miss, coalesced %d, rejected %d\n",
+			server.Requests, server.PlansExecuted, server.CacheHits, server.CacheMisses, server.Coalesced, server.Rejected)
+	}
 	if len(r.latencies) == 0 {
 		return
 	}

@@ -179,3 +179,23 @@ func (a *Analyzer) ResetSag() {
 
 // Baseline exposes the current throughput baseline for status reports.
 func (a *Analyzer) Baseline() float64 { return a.baseline }
+
+// Streaks snapshots the hysteresis state — per-server drift and
+// zero-completion streak lengths (only non-zero entries) plus the sag
+// streak — for the decision journal: an event that says "drift detected"
+// is only debuggable alongside how long each signal had been building.
+func (a *Analyzer) Streaks() (drift, zero map[string]int, sag int) {
+	drift = make(map[string]int)
+	for name, n := range a.driftStreak {
+		if n > 0 {
+			drift[name] = n
+		}
+	}
+	zero = make(map[string]int)
+	for name, n := range a.zeroStreak {
+		if n > 0 {
+			zero[name] = n
+		}
+	}
+	return drift, zero, a.sagStreak
+}

@@ -17,12 +17,17 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"adept/internal/core"
 	"adept/internal/hierarchy"
 	"adept/internal/model"
+	"adept/internal/obs"
 	"adept/internal/platform"
 	"adept/internal/portfolio"
 	"adept/internal/workload"
@@ -71,6 +76,13 @@ type Config struct {
 	Cooldown int
 	// MaxCycles bounds Run (0 = until the context is cancelled).
 	MaxCycles int
+
+	// Journal, when non-nil, receives structured decision events
+	// (detections with hysteresis state, replan outcomes, patch
+	// applications, redeploys, cycle errors) for GET /v1/autonomic/events.
+	Journal *obs.Journal
+	// Logger receives the loop's structured logs; nil means discard.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +113,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Cooldown <= 0 {
 		c.Cooldown = 2
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
 	}
 	return c
 }
@@ -200,6 +215,45 @@ func New(cfg Config, target Target, deployed *hierarchy.Hierarchy) (*Controller,
 	}, nil
 }
 
+// event journals one decision and mirrors it to the structured log.
+// Safe with a nil journal (events drop) and unconfigured logger.
+func (c *Controller) event(kind, msg string, fields map[string]string) {
+	if c.cfg.Journal != nil {
+		c.cfg.Journal.Append(kind, msg, fields)
+	}
+	if !c.cfg.Logger.Enabled(context.Background(), slog.LevelInfo) {
+		return
+	}
+	attrs := make([]slog.Attr, 0, len(fields)+2)
+	attrs = append(attrs, slog.String("kind", kind))
+	keys := make([]string, 0, len(fields))
+	for k := range fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		attrs = append(attrs, slog.String(k, fields[k]))
+	}
+	c.cfg.Logger.LogAttrs(context.Background(), slog.LevelInfo, msg, attrs...)
+}
+
+// streakSummary renders a streak map compactly ("node3:2,node7:1").
+func streakSummary(m map[string]int) string {
+	if len(m) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+":"+strconv.Itoa(m[k]))
+	}
+	return strings.Join(parts, ",")
+}
+
 // Hierarchy returns the controller's view of the deployed tree.
 func (c *Controller) Hierarchy() *hierarchy.Hierarchy {
 	c.mu.Lock()
@@ -249,7 +303,13 @@ func (c *Controller) Run(ctx context.Context) error {
 			consecutive++
 			c.mu.Lock()
 			c.lastErr = err.Error()
+			cycle := c.cycles
 			c.mu.Unlock()
+			c.event("cycle_error", "MAPE cycle failed", map[string]string{
+				"cycle":       strconv.Itoa(cycle),
+				"error":       err.Error(),
+				"consecutive": strconv.Itoa(consecutive),
+			})
 			if consecutive >= 3 {
 				return fmt.Errorf("autonomic: %d consecutive cycle failures, last: %w", consecutive, err)
 			}
@@ -263,7 +323,7 @@ func (c *Controller) Run(ctx context.Context) error {
 // Step runs one full MAPE cycle: observe a window, update the knowledge
 // base, analyse for drift, and — when warranted — replan and patch.
 func (c *Controller) Step(ctx context.Context) error {
-	obs, err := c.target.Observe(ctx)
+	window, err := c.target.Observe(ctx)
 	if err != nil {
 		return fmt.Errorf("autonomic: monitor: %w", err)
 	}
@@ -271,18 +331,19 @@ func (c *Controller) Step(ctx context.Context) error {
 	c.mu.Lock()
 	c.cycles = c.cycles + 1
 	cycle := c.cycles
-	c.lastObs = obs
-	c.mon.Update(obs)
+	c.lastObs = window
+	c.mon.Update(window)
 	if c.cooldown > 0 {
 		c.cooldown--
 		c.mu.Unlock()
 		return nil
 	}
-	verdict := c.ana.Analyze(c.cur, obs, c.mon)
+	verdict := c.ana.Analyze(c.cur, window, c.mon)
 	if !verdict.Act() {
 		c.mu.Unlock()
 		return nil
 	}
+	driftStreaks, zeroStreaks, sagStreak := c.ana.Streaks()
 	cur := c.cur.Clone()
 	// Once evicted, a crashed node stays out of every future replan: the
 	// verdict only carries this cycle's findings, the ban is permanent
@@ -296,10 +357,26 @@ func (c *Controller) Step(ctx context.Context) error {
 	}
 	c.mu.Unlock()
 
+	c.event("detect", strings.Join(verdict.Reasons, "; "), map[string]string{
+		"cycle":          strconv.Itoa(cycle),
+		"drifted":        strconv.Itoa(len(verdict.Drifted)),
+		"crashed":        strconv.Itoa(len(verdict.Crashed)),
+		"sagging":        strconv.FormatBool(verdict.Sagging),
+		"drift_streaks":  streakSummary(driftStreaks),
+		"zero_streaks":   streakSummary(zeroStreaks),
+		"sag_streak":     strconv.Itoa(sagStreak),
+		"throughput_rps": strconv.FormatFloat(window.Throughput, 'f', 3, 64),
+	})
+
 	targetTree, before, after, err := c.plan(ctx, cur, crashed, verdict)
 	if err != nil {
 		return err
 	}
+	c.event("replan", "replan evaluated", map[string]string{
+		"cycle":      strconv.Itoa(cycle),
+		"rho_before": strconv.FormatFloat(before, 'f', 3, 64),
+		"rho_after":  strconv.FormatFloat(after, 'f', 3, 64),
+	})
 	return c.execute(ctx, cycle, cur, targetTree, verdict, before, after)
 }
 
@@ -391,6 +468,9 @@ func (c *Controller) execute(ctx context.Context, cycle int, cur, target *hierar
 		c.mu.Lock()
 		c.ana.ResetSag()
 		c.mu.Unlock()
+		c.event("no_change", "verdict produced no actionable patch", map[string]string{
+			"cycle": strconv.Itoa(cycle),
+		})
 		return nil
 	}
 
@@ -427,6 +507,18 @@ func (c *Controller) execute(ctx context.Context, cycle int, cur, target *hierar
 	}
 	c.mu.Unlock()
 
+	fields := map[string]string{
+		"cycle":       strconv.Itoa(cycle),
+		"ops_applied": strconv.Itoa(applied),
+		"ops_total":   strconv.Itoa(patch.Len()),
+		"rho_before":  strconv.FormatFloat(rhoBefore, 'f', 3, 64),
+		"rho_after":   strconv.FormatFloat(rhoAfter, 'f', 3, 64),
+	}
+	if applyErr != nil {
+		fields["error"] = applyErr.Error()
+	}
+	c.event("patch", "patch applied: "+strings.Join(v.Reasons, "; "), fields)
+
 	if applyErr != nil {
 		return fmt.Errorf("autonomic: patch partially applied (%d/%d ops): %w", applied, patch.Len(), applyErr)
 	}
@@ -452,5 +544,10 @@ func (c *Controller) fullRedeploy(ctx context.Context, cycle int, target *hierar
 	c.cooldown = c.cfg.Cooldown
 	c.ana.Reset()
 	c.mu.Unlock()
+	c.event("redeploy", "full redeploy: "+strings.Join(v.Reasons, "; "), map[string]string{
+		"cycle":      strconv.Itoa(cycle),
+		"rho_before": strconv.FormatFloat(rhoBefore, 'f', 3, 64),
+		"rho_after":  strconv.FormatFloat(rhoAfter, 'f', 3, 64),
+	})
 	return nil
 }

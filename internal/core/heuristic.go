@@ -7,6 +7,7 @@ import (
 
 	"adept/internal/hierarchy"
 	"adept/internal/model"
+	"adept/internal/obs"
 	"adept/internal/platform"
 )
 
@@ -119,6 +120,16 @@ type growth struct {
 	promo lazyHeap // max-heap: promotable servers by power
 
 	ops []growthOp
+
+	// stats counts the work done, flushed into the plan trace (when one
+	// is attached) after growth ends. Plain ints: growth runs on one
+	// goroutine, and counting must cost nothing when tracing is off.
+	stats struct {
+		iterations     int64 // growth-loop passes
+		candidateScans int64 // agents examined by ungated pass-3 scans
+		evaluatorOps   int64 // evaluator queries (Eval, RhoAfterAttach)
+		promotions     int64 // servers converted to agents (shift_nodes)
+	}
 }
 
 func (g *growth) ensure(id int) {
@@ -194,6 +205,7 @@ func (g *growth) promote(id int) error {
 	if err := g.h.PromoteToAgent(id); err != nil {
 		return err
 	}
+	g.stats.promotions++
 	g.ev.Promote(id)
 	n := &g.nodes[id]
 	n.role, n.degree = roleAgent, 0
@@ -230,8 +242,12 @@ func (p *Heuristic) PlanContext(ctx context.Context, req Request) (*Plan, error)
 	c := req.Costs
 	bw := req.Platform.Bandwidth
 	wapp := req.Wapp
+	tr := obs.TraceFrom(ctx)
+	tr.Count("pool_nodes", int64(len(req.Platform.Nodes)))
 
+	endSort := tr.Phase("sort_nodes")
 	sorted := sortNodes(c, bw, req.Platform.Nodes)
+	endSort()
 	root := sorted[0]
 	rootBW := root.Link(bw)
 	pool := sorted[1:]
@@ -266,9 +282,11 @@ func (p *Heuristic) PlanContext(ctx context.Context, req Request) (*Plan, error)
 		if !req.Platform.HasUniformLinks() {
 			floor := req.Demand.Cap(h.Evaluate(c, bw, wapp).Rho)
 			if pr, ps, ok := bestPair(c, req, sorted, bw, floor); ok {
+				tr.Set("snapshot_win", "pair")
 				return buildPair(p.Name(), req, sorted, pr, ps)
 			}
 		}
+		tr.Set("snapshot_win", "seed")
 		return Finalize(p.Name(), req, h)
 	}
 
@@ -330,15 +348,19 @@ func (p *Heuristic) PlanContext(ctx context.Context, req Request) (*Plan, error)
 		nodes  int
 	}
 	evalCapped := func() float64 {
+		g.stats.evaluatorOps++
 		sched, service := g.ev.Eval()
 		return req.Demand.Cap(math.Min(sched, service))
 	}
 	best := bestMark{ops: 0, capped: evalCapped(), nodes: h.Len()}
 
+	endGrow := tr.Phase("grow")
 	for next < len(pool) {
 		if err := CheckContext(ctx, p.Name()); err != nil {
 			return nil, err
 		}
+		g.stats.iterations++
+		g.stats.evaluatorOps++
 		sched, service := g.ev.Eval()
 		// Demand met by both phases: stop, preferring fewer resources.
 		if req.Demand.Bounded() && service >= float64(req.Demand) && sched >= float64(req.Demand) {
@@ -378,7 +400,13 @@ func (p *Heuristic) PlanContext(ctx context.Context, req Request) (*Plan, error)
 			}
 		}
 	}
+	endGrow()
+	tr.Count("iterations", g.stats.iterations)
+	tr.Count("candidate_scans", g.stats.candidateScans)
+	tr.Count("evaluator_ops", g.stats.evaluatorOps)
+	tr.Count("promotions", g.stats.promotions)
 
+	endSnapshots := tr.Phase("snapshots")
 	// Gated growth and promotion shape deep trees and never revisit the
 	// flat star; on hub-dominated platforms (one very strong node, weak
 	// leaves) that star is the better deployment — promotion caps ρ_sched
@@ -463,11 +491,15 @@ func (p *Heuristic) PlanContext(ctx context.Context, req Request) (*Plan, error)
 	// bit-identical.
 	if !req.Platform.HasUniformLinks() {
 		if pr, ps, ok := bestPair(c, req, sorted, bw, math.Max(best.capped, starCapped)); ok {
+			endSnapshots()
+			tr.Set("snapshot_win", "pair")
 			return buildPair(p.Name(), req, sorted, pr, ps)
 		}
 	}
+	endSnapshots()
 
 	if starCapped > best.capped {
+		tr.Set("snapshot_win", "star")
 		star := hierarchy.New(deploymentName(req))
 		rootNd := sorted[starRootIdx]
 		starRoot, err := star.AddRoot(rootNd.Name, rootNd.Power, rootNd.LinkBandwidth)
@@ -488,9 +520,11 @@ func (p *Heuristic) PlanContext(ctx context.Context, req Request) (*Plan, error)
 	// Steps 28–34 generalised: revert to the best deployment seen by
 	// replaying its op-log prefix (IDs are assigned sequentially, so the
 	// replay reproduces the original hierarchy exactly).
+	tr.Set("snapshot_win", "grown")
 	if best.ops == len(g.ops) {
 		return Finalize(p.Name(), req, h)
 	}
+	endReplay := tr.Phase("replay")
 	replay := hierarchy.New(deploymentName(req))
 	replayRoot, err := replay.AddRoot(root.Name, root.Power, root.LinkBandwidth)
 	if err != nil {
@@ -511,6 +545,7 @@ func (p *Heuristic) PlanContext(ctx context.Context, req Request) (*Plan, error)
 			return nil, err
 		}
 	}
+	endReplay()
 	return Finalize(p.Name(), req, replay)
 }
 
@@ -558,11 +593,14 @@ func (g *growth) placeNext(remaining int) (parent int, promoted bool, err error)
 	// pool is sorted by scheduling power (computed at each node's own
 	// link), so the next unused pool node is the strongest candidate
 	// remaining under that ranking.
+	g.stats.evaluatorOps++
 	sched, service := g.ev.Eval()
 	cur := g.req.Demand.Cap(math.Min(sched, service))
 	nextNode := g.pool[g.poolSize-remaining]
 	bestParent := -1
 	bestRho := cur
+	g.stats.candidateScans += int64(len(g.agentIDs))
+	g.stats.evaluatorOps += int64(len(g.agentIDs))
 	for _, id := range g.agentIDs {
 		if rho := g.req.Demand.Cap(g.ev.RhoAfterAttach(id, nextNode.Power, nextNode.LinkBandwidth)); rho > bestRho {
 			bestParent, bestRho = id, rho

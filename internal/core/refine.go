@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"adept/internal/hierarchy"
+	"adept/internal/obs"
 )
 
 // SwapRefiner is a post-planning local-search extension (beyond the paper's
@@ -56,7 +57,10 @@ func (r *SwapRefiner) Plan(req Request) (*Plan, error) {
 // PlanContext implements Planner: the context is forwarded to the inner
 // planner and polled once per refinement round.
 func (r *SwapRefiner) PlanContext(ctx context.Context, req Request) (*Plan, error) {
+	tr := obs.TraceFrom(ctx)
+	endInner := tr.Phase("inner_plan")
 	plan, err := r.Inner.PlanContext(ctx, req)
+	endInner()
 	if err != nil {
 		return nil, err
 	}
@@ -70,7 +74,10 @@ func (r *SwapRefiner) PlanContext(ctx context.Context, req Request) (*Plan, erro
 	bestCapped := plan.Capped
 
 	improved := false
-	for round := 0; round < rounds; round++ {
+	moves := int64(0)
+	endRefine := tr.Phase("refine")
+	round := 0
+	for ; round < rounds; round++ {
 		if err := CheckContext(ctx, r.Name()); err != nil {
 			return nil, err
 		}
@@ -81,7 +88,11 @@ func (r *SwapRefiner) PlanContext(ctx context.Context, req Request) (*Plan, erro
 		h = newH
 		bestCapped = newCapped
 		improved = true
+		moves++
 	}
+	endRefine()
+	tr.Count("refine_rounds", int64(round))
+	tr.Count("refine_moves", moves)
 	if !improved || bestCapped <= plan.Capped {
 		return plan, nil
 	}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one autonomic decision recorded in the journal: a detection
+// (drift, sag, crash), a replan outcome, a patch application, or a
+// cycle error, with free-form string fields for the details.
+type Event struct {
+	Seq    uint64            `json:"seq"`
+	At     time.Time         `json:"at"`
+	Kind   string            `json:"kind"`
+	Msg    string            `json:"msg"`
+	Fields map[string]string `json:"fields,omitempty"`
+}
+
+// Journal is a bounded ring of Events. Appends evict the oldest entry
+// once capacity is reached; sequence numbers are monotone for the life
+// of the journal so clients can poll with Since without missing or
+// re-reading events (absent overflow).
+type Journal struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int // ring write index
+	n     int // entries currently held
+	seq   uint64
+	total uint64
+}
+
+// NewJournal returns a journal holding at most capacity events
+// (minimum 1).
+func NewJournal(capacity int) *Journal {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Journal{buf: make([]Event, capacity)}
+}
+
+// Append records an event and returns its sequence number. The fields
+// map is stored as given; callers must not mutate it afterwards.
+func (j *Journal) Append(kind, msg string, fields map[string]string) uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	j.total++
+	j.buf[j.next] = Event{Seq: j.seq, At: time.Now().UTC(), Kind: kind, Msg: msg, Fields: fields}
+	j.next = (j.next + 1) % len(j.buf)
+	if j.n < len(j.buf) {
+		j.n++
+	}
+	return j.seq
+}
+
+// Snapshot returns the retained events, oldest first.
+func (j *Journal) Snapshot() []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Event, 0, j.n)
+	start := j.next - j.n
+	if start < 0 {
+		start += len(j.buf)
+	}
+	for i := 0; i < j.n; i++ {
+		out = append(out, j.buf[(start+i)%len(j.buf)])
+	}
+	return out
+}
+
+// Since returns retained events with Seq > seq, oldest first. Polling
+// clients pass the last Seq they saw; a gap between that and the first
+// returned event means the ring overflowed in between.
+func (j *Journal) Since(seq uint64) []Event {
+	all := j.Snapshot()
+	for i, e := range all {
+		if e.Seq > seq {
+			return all[i:]
+		}
+	}
+	return nil
+}
+
+// Len returns the number of retained events.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// Total returns the number of events ever appended (retained or
+// evicted).
+func (j *Journal) Total() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.total
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"strconv"
+	"sync/atomic"
+)
+
+// NewLogger builds a slog.Logger writing to w in the given format
+// ("json" or "text") at the given level. All three binaries share this
+// so `-log-format` means the same thing everywhere.
+func NewLogger(format string, w io.Writer, level slog.Level) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want json or text)", format)
+	}
+}
+
+// ParseLevel maps a -log-level flag value to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+	}
+}
+
+// NopLogger returns a logger that discards everything — the default for
+// embedded use (tests, benchmarks) where no Logger is configured.
+func NopLogger() *slog.Logger { return slog.New(slog.DiscardHandler) }
+
+// requestIDPrefix is a per-process random prefix so IDs from different
+// daemon instances (or restarts) never collide in aggregated logs.
+var requestIDPrefix = func() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "req"
+	}
+	return hex.EncodeToString(b[:])
+}()
+
+var requestIDCounter atomic.Uint64
+
+// NewRequestID returns a process-unique request ID: an 8-hex-char
+// process prefix plus a monotone counter.
+func NewRequestID() string {
+	return requestIDPrefix + "-" + strconv.FormatUint(requestIDCounter.Add(1), 10)
+}
+
+type requestIDCtxKey struct{}
+
+// ContextWithRequestID attaches a request ID to ctx.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDCtxKey{}, id)
+}
+
+// RequestIDFrom returns the request ID attached to ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDCtxKey{}).(string)
+	return id
+}

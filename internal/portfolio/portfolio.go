@@ -30,6 +30,7 @@ import (
 
 	"adept/internal/baseline"
 	"adept/internal/core"
+	"adept/internal/obs"
 )
 
 // Variant is one planner in the race.
@@ -139,10 +140,16 @@ func (p *Planner) PlanWithStats(ctx context.Context, req core.Request) (*core.Pl
 
 	raceCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	tr := obs.TraceFrom(ctx)
+	// Variants get a detached trace context: their inner phases (sort_nodes,
+	// grow, ...) would interleave nondeterministically across goroutines in
+	// the caller's recorder. The race reports per-variant spans instead.
+	variantCtx := obs.DetachTrace(raceCtx)
 
 	results := make([]Result, len(variants))
 	plans := make([]*core.Plan, len(variants))
 	sem := make(chan struct{}, par)
+	endRace := tr.Phase("race")
 	var wg sync.WaitGroup
 	for i, v := range variants {
 		name := v.Name
@@ -165,7 +172,7 @@ func (p *Planner) PlanWithStats(ctx context.Context, req core.Request) (*core.Pl
 				return
 			}
 			start := time.Now()
-			plan, err := v.Planner.PlanContext(raceCtx, req)
+			plan, err := v.Planner.PlanContext(variantCtx, req)
 			results[i].ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
 			if err != nil {
 				results[i].Err = err.Error()
@@ -185,6 +192,7 @@ func (p *Planner) PlanWithStats(ctx context.Context, req core.Request) (*core.Pl
 		}(i, v)
 	}
 	wg.Wait()
+	endRace()
 
 	best := -1
 	for i, plan := range plans {
@@ -210,6 +218,15 @@ func (p *Planner) PlanWithStats(ctx context.Context, req core.Request) (*core.Pl
 		return nil, results, errors.New("portfolio: every variant failed: " + strings.Join(errs, "; "))
 	}
 	results[best].Winner = true
+	for _, r := range results {
+		tr.Variant(obs.VariantSpan{
+			Name:      r.Variant,
+			ElapsedMS: r.ElapsedMS,
+			Skipped:   r.Skipped != "",
+			Err:       r.Err,
+		})
+	}
+	tr.SetWinner(results[best].Variant)
 	win := *plans[best]
 	win.Planner = "portfolio:" + results[best].Variant
 	return &win, results, nil

@@ -195,6 +195,8 @@ func (s *Server) handleAutonomicStart(w http.ResponseWriter, r *http.Request) {
 		CrashWindows:   ar.CrashWindows,
 		Cooldown:       ar.Cooldown,
 		MinGain:        ar.MinGain,
+		Journal:        s.journal,
+		Logger:         s.logger,
 	}
 
 	var target autonomic.Target

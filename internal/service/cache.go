@@ -274,6 +274,19 @@ func (c *PlanCache) Len() int {
 // Shards returns the shard count.
 func (c *PlanCache) Shards() int { return len(c.shards) }
 
+// ShardSizes returns the entry count per shard, indexed by shard. The
+// metrics exposition uses it to make uneven shard fill visible.
+func (c *PlanCache) ShardSizes() []int {
+	sizes := make([]int, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		sizes[i] = s.order.Len()
+		s.mu.Unlock()
+	}
+	return sizes
+}
+
 // Stats returns the cumulative hit and miss counts summed over shards.
 func (c *PlanCache) Stats() (hits, misses uint64) {
 	for i := range c.shards {

@@ -55,6 +55,14 @@ func newFlightGroup() *flightGroup {
 // request's planning run.
 func (g *flightGroup) Coalesced() uint64 { return g.coalesced.Load() }
 
+// Active returns the number of flights currently in the table (planning
+// runs in progress that newcomers would join).
+func (g *flightGroup) Active() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.flights)
+}
+
 // retire removes fl from the table if it still owns its slot — it may
 // already have been replaced by a successor flight for the same key.
 // Callers hold g.mu.

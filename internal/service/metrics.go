@@ -1,69 +1,61 @@
 package service
 
 import (
-	"sync"
 	"time"
 
-	"adept/internal/stats"
+	"adept/internal/obs"
 )
 
-// latencyWindow bounds the per-endpoint latency sample reservoir. A ring
-// of recent samples keeps percentile reporting O(window) and makes the
-// metrics reflect current behaviour rather than the daemon's whole life.
-const latencyWindow = 2048
-
 // Metrics aggregates the daemon's request counters and latency
-// percentiles. All methods are safe for concurrent use.
+// distributions on top of internal/obs primitives: one counter pair and
+// one log-bucketed histogram per endpoint, all registered in a
+// Prometheus registry that GET /metrics exposes directly. The JSON
+// report served by GET /v1/metrics is derived from the same histograms,
+// so the two endpoints can never disagree. All methods are safe for
+// concurrent use; the Observe hot path is three atomic operations.
 type Metrics struct {
-	mu       sync.Mutex
-	requests map[string]uint64 // per-endpoint request counts
-	errors   map[string]uint64 // per-endpoint non-2xx counts
-	latency  map[string]*ring  // per-endpoint latency samples (seconds)
+	reg      *obs.Registry
+	requests *obs.CounterVec
+	errors   *obs.CounterVec
+	latency  *obs.HistogramVec
 	started  time.Time
 }
 
-type ring struct {
-	samples []float64
-	next    int
-}
-
-func (r *ring) add(v float64) {
-	if len(r.samples) < latencyWindow {
-		r.samples = append(r.samples, v)
-		return
-	}
-	r.samples[r.next] = v
-	r.next = (r.next + 1) % latencyWindow
-}
-
-// NewMetrics returns zeroed metrics with the uptime clock started.
+// NewMetrics returns zeroed metrics with the uptime clock started and a
+// fresh Prometheus registry holding the request families.
 func NewMetrics() *Metrics {
-	return &Metrics{
-		requests: make(map[string]uint64),
-		errors:   make(map[string]uint64),
-		latency:  make(map[string]*ring),
+	reg := obs.NewRegistry()
+	m := &Metrics{
+		reg:      reg,
+		requests: reg.CounterVec("adeptd_requests_total", "HTTP requests served, by endpoint.", "endpoint"),
+		errors:   reg.CounterVec("adeptd_request_errors_total", "HTTP requests answered with a server-attributable error status (>= 400, excluding 499 client disconnects), by endpoint.", "endpoint"),
+		latency:  reg.HistogramVec("adeptd_request_duration_seconds", "HTTP request service latency, by endpoint.", obs.LatencyBuckets(), "endpoint"),
 		started:  time.Now(),
 	}
+	reg.GaugeFunc("adeptd_uptime_seconds", "Seconds since the daemon started.", func() float64 {
+		return time.Since(m.started).Seconds()
+	})
+	return m
 }
 
+// Prom exposes the Prometheus registry so the server can add gauges for
+// components that keep their own counters (cache, pool, flights) and
+// serve the text exposition.
+func (m *Metrics) Prom() *obs.Registry { return m.reg }
+
 // Observe records one request against endpoint with its service latency
-// and whether it failed (non-2xx status).
+// and whether it failed (status >= 400, excluding client disconnects).
 func (m *Metrics) Observe(endpoint string, d time.Duration, failed bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.requests[endpoint]++
+	m.requests.With(endpoint).Inc()
 	if failed {
-		m.errors[endpoint]++
+		m.errors.With(endpoint).Inc()
 	}
-	r, ok := m.latency[endpoint]
-	if !ok {
-		r = &ring{}
-		m.latency[endpoint] = r
-	}
-	r.add(d.Seconds())
+	m.latency.With(endpoint).Observe(d.Seconds())
 }
 
 // EndpointMetrics is the per-endpoint slice of a metrics report.
+// Percentiles are estimated from the cumulative latency histogram by
+// linear interpolation within the containing bucket.
 type EndpointMetrics struct {
 	Requests  uint64  `json:"requests"`
 	Errors    uint64  `json:"errors"`
@@ -75,16 +67,23 @@ type EndpointMetrics struct {
 type Report struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Requests      uint64  `json:"requests"`
-	CacheHits     uint64  `json:"cache_hits"`
-	CacheMisses   uint64  `json:"cache_misses"`
-	CacheSize     int     `json:"cache_size"`
-	CacheShards   int     `json:"cache_shards"`
-	Platforms     int     `json:"platforms"`
-	ActivePlans   int     `json:"active_plans"`
-	Workers       int     `json:"workers"`
+	// Errors totals server-attributable request failures (status >= 400)
+	// across endpoints. Client disconnects (499) are never counted.
+	// Requests shed by the admission queue answer 429 and so are part of
+	// this total as plan-endpoint errors, in addition to being counted
+	// separately under Rejected.
+	Errors      uint64 `json:"errors"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	CacheSize   int    `json:"cache_size"`
+	CacheShards int    `json:"cache_shards"`
+	Platforms   int    `json:"platforms"`
+	ActivePlans int    `json:"active_plans"`
+	Workers     int    `json:"workers"`
 	// QueueDepth is the instantaneous count of planning jobs waiting for
 	// a worker; QueueCapacity is the -queue bound. Rejected counts
-	// fail-fast 429 admissions, Coalesced counts requests that shared
+	// fail-fast 429 admissions (these also surface as plan-endpoint
+	// errors — see Errors), Coalesced counts requests that shared
 	// another request's planning run, and PlansExecuted counts actual
 	// planner executions on the pool.
 	QueueDepth    int                        `json:"queue_depth"`
@@ -98,20 +97,24 @@ type Report struct {
 // Snapshot renders the counters into a Report; cache/registry/pool gauges
 // are filled in by the caller.
 func (m *Metrics) Snapshot() Report {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	rep := Report{
 		UptimeSeconds: time.Since(m.started).Seconds(),
-		Endpoints:     make(map[string]EndpointMetrics, len(m.requests)),
+		Endpoints:     make(map[string]EndpointMetrics),
 	}
-	for ep, count := range m.requests {
-		em := EndpointMetrics{Requests: count, Errors: m.errors[ep]}
-		if r := m.latency[ep]; r != nil && len(r.samples) > 0 {
-			em.P50Millis = stats.Percentile(r.samples, 50) * 1e3
-			em.P99Millis = stats.Percentile(r.samples, 99) * 1e3
+	errs := make(map[string]uint64)
+	m.errors.Do(func(values []string, c *obs.Counter) {
+		errs[values[0]] = c.Value()
+	})
+	m.requests.Do(func(values []string, c *obs.Counter) {
+		ep := values[0]
+		em := EndpointMetrics{Requests: c.Value(), Errors: errs[ep]}
+		if h := m.latency.With(ep); h.Count() > 0 {
+			em.P50Millis = h.Quantile(0.50) * 1e3
+			em.P99Millis = h.Quantile(0.99) * 1e3
 		}
-		rep.Requests += count
+		rep.Requests += em.Requests
+		rep.Errors += em.Errors
 		rep.Endpoints[ep] = em
-	}
+	})
 	return rep
 }

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"adept/internal/core"
+	"adept/internal/obs"
 )
 
 // ErrPoolClosed is returned by Submit after Close.
@@ -42,9 +44,10 @@ type Pool struct {
 }
 
 type poolJob struct {
-	ctx  context.Context
-	fn   func(context.Context) (*core.Plan, error)
-	done chan poolResult
+	ctx      context.Context
+	fn       func(context.Context) (*core.Plan, error)
+	done     chan poolResult
+	enqueued time.Time
 }
 
 type poolResult struct {
@@ -103,6 +106,9 @@ func (p *Pool) run(job *poolJob) {
 		job.done <- poolResult{err: err}
 		return
 	}
+	// How long the job sat behind busy workers — a no-op unless the
+	// submitter's context carries a trace recorder.
+	obs.TraceFrom(job.ctx).Span("queue_wait", time.Since(job.enqueued))
 	p.active.Add(1)
 	p.executed.Add(1)
 	plan, err := job.fn(job.ctx)
@@ -118,7 +124,7 @@ func (p *Pool) Submit(ctx context.Context, fn func(context.Context) (*core.Plan,
 	if p.closed.Load() {
 		return nil, ErrPoolClosed
 	}
-	job := &poolJob{ctx: ctx, fn: fn, done: make(chan poolResult, 1)}
+	job := &poolJob{ctx: ctx, fn: fn, done: make(chan poolResult, 1), enqueued: time.Now()}
 	select {
 	case p.jobs <- job:
 	case <-ctx.Done():

@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	gort "runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -17,6 +19,7 @@ import (
 	"adept/internal/deploy"
 	"adept/internal/hierarchy"
 	"adept/internal/model"
+	"adept/internal/obs"
 	"adept/internal/platform"
 	"adept/internal/portfolio"
 	"adept/internal/runtime"
@@ -66,6 +69,12 @@ type Config struct {
 	// MaxDeployDuration caps the load window of POST /v1/deploy
 	// (default 10s).
 	MaxDeployDuration time.Duration
+	// Logger receives the daemon's structured logs. nil means discard —
+	// embedded uses (tests, benchmarks) pay nothing for logging.
+	Logger *slog.Logger
+	// JournalCapacity bounds the autonomic event journal ring
+	// (default 256).
+	JournalCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +93,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxDeployDuration <= 0 {
 		c.MaxDeployDuration = 10 * time.Second
 	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
+	}
+	if c.JournalCapacity <= 0 {
+		c.JournalCapacity = 256
+	}
 	return c
 }
 
@@ -96,6 +111,8 @@ type Server struct {
 	pool     *Pool
 	flights  *flightGroup
 	metrics  *Metrics
+	logger   *slog.Logger
+	journal  *obs.Journal
 	mux      *http.ServeMux
 
 	autoMu       sync.Mutex
@@ -121,11 +138,71 @@ func New(cfg Config) (*Server, error) {
 		pool:     pool,
 		flights:  newFlightGroup(),
 		metrics:  NewMetrics(),
+		logger:   cfg.Logger,
+		journal:  obs.NewJournal(cfg.JournalCapacity),
 		mux:      http.NewServeMux(),
 	}
+	s.registerGauges()
 	s.routes()
 	return s, nil
 }
+
+// registerGauges bridges the components that keep their own counters
+// (cache, pool, flights, registry, journal) into the Prometheus
+// registry. Values are read lazily at scrape time; nothing here touches
+// the request hot path.
+func (s *Server) registerGauges() {
+	prom := s.metrics.Prom()
+	prom.CounterFunc("adeptd_cache_hits_total", "Plan cache hits.", func() uint64 {
+		h, _ := s.cache.Stats()
+		return h
+	})
+	prom.CounterFunc("adeptd_cache_misses_total", "Plan cache misses.", func() uint64 {
+		_, m := s.cache.Stats()
+		return m
+	})
+	prom.GaugeFunc("adeptd_cache_entries", "Plans currently cached.", func() float64 {
+		return float64(s.cache.Len())
+	})
+	prom.GaugeFunc("adeptd_cache_shards", "Plan cache shard count.", func() float64 {
+		return float64(s.cache.Shards())
+	})
+	shardEntries := prom.GaugeVec("adeptd_cache_shard_entries", "Plans cached per shard.", "shard")
+	prom.OnScrape(func() {
+		for i, n := range s.cache.ShardSizes() {
+			shardEntries.With(strconv.Itoa(i)).Set(float64(n))
+		}
+	})
+	prom.GaugeFunc("adeptd_workers", "Planning worker count.", func() float64 {
+		return float64(s.pool.Workers())
+	})
+	prom.GaugeFunc("adeptd_active_plans", "Planning jobs executing right now.", func() float64 {
+		return float64(s.pool.Active())
+	})
+	prom.GaugeFunc("adeptd_queue_depth", "Planning jobs waiting for a worker.", func() float64 {
+		return float64(s.pool.QueueDepth())
+	})
+	prom.GaugeFunc("adeptd_queue_capacity", "Configured planning queue bound.", func() float64 {
+		return float64(s.pool.QueueCapacity())
+	})
+	prom.CounterFunc("adeptd_plans_executed_total", "Planning jobs actually run on the pool.", s.pool.Executed)
+	prom.CounterFunc("adeptd_rejected_total", "Plan submissions shed with 429 by fail-fast admission.", s.pool.Rejected)
+	prom.CounterFunc("adeptd_coalesced_total", "Requests that shared another request's planning run.", s.flights.Coalesced)
+	prom.GaugeFunc("adeptd_flights_active", "In-progress coalesced planning flights.", func() float64 {
+		return float64(s.flights.Active())
+	})
+	prom.GaugeFunc("adeptd_platforms", "Platforms registered.", func() float64 {
+		return float64(s.registry.Len())
+	})
+	prom.CounterFunc("adeptd_autonomic_events_total", "Autonomic decision events journalled.", s.journal.Total)
+	prom.RegisterRuntime()
+}
+
+// Logger exposes the daemon's structured logger.
+func (s *Server) Logger() *slog.Logger { return s.logger }
+
+// Journal exposes the autonomic event journal.
+func (s *Server) Journal() *obs.Journal { return s.journal }
 
 // Registry exposes the platform registry (e.g. for startup preloading).
 func (s *Server) Registry() *Registry { return s.registry }
@@ -150,10 +227,12 @@ func (s *Server) routes() {
 	s.mux.Handle("PUT /v1/platforms/{name}", s.instrument("platforms_put", s.handlePlatformPut))
 	s.mux.Handle("DELETE /v1/platforms/{name}", s.instrument("platforms_delete", s.handlePlatformDelete))
 	s.mux.Handle("GET /v1/metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.Handle("GET /metrics", s.instrument("metrics_prom", s.handlePromMetrics))
 	s.mux.Handle("POST /v1/deploy", s.instrument("deploy", s.handleDeploy))
 	s.mux.Handle("POST /v1/autonomic/start", s.instrument("autonomic_start", s.handleAutonomicStart))
 	s.mux.Handle("POST /v1/autonomic/stop", s.instrument("autonomic_stop", s.handleAutonomicStop))
 	s.mux.Handle("GET /v1/autonomic/status", s.instrument("autonomic_status", s.handleAutonomicStatus))
+	s.mux.Handle("GET /v1/autonomic/events", s.instrument("autonomic_events", s.handleAutonomicEvents))
 	s.mux.Handle("POST /v1/autonomic/inject", s.instrument("autonomic_inject", s.handleAutonomicInject))
 }
 
@@ -176,14 +255,36 @@ const statusClientClosedRequest = 499
 
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Correlation: honour a caller-supplied X-Request-ID (so a proxy or
+		// test harness can stitch its own traces through) or mint one, echo
+		// it in the response, and carry it in the context so every layer —
+		// coalescer, pool, planner, deploy — logs under the same ID.
+		reqID := r.Header.Get("X-Request-ID")
+		if reqID == "" {
+			reqID = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", reqID)
+		r = r.WithContext(obs.ContextWithRequestID(r.Context(), reqID))
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		h(rec, r)
+		elapsed := time.Since(start)
 		// A client cancellation is not a server error: it is recorded as a
 		// request (and visible as a 499 in logs) but must not pollute the
 		// error-rate the daemon is judged by.
 		failed := rec.status >= 400 && rec.status != statusClientClosedRequest
-		s.metrics.Observe(endpoint, time.Since(start), failed)
+		s.metrics.Observe(endpoint, elapsed, failed)
+		level := slog.LevelDebug
+		if failed {
+			level = slog.LevelWarn
+		}
+		if s.logger.Enabled(r.Context(), level) {
+			s.logger.LogAttrs(r.Context(), level, "request",
+				slog.String("endpoint", endpoint),
+				slog.String("request_id", reqID),
+				slog.Int("status", rec.status),
+				slog.Float64("elapsed_ms", float64(elapsed)/float64(time.Millisecond)))
+		}
 	})
 }
 
@@ -239,6 +340,12 @@ type PlanRequest struct {
 	// NoCache forces a fresh planning run (the result still refreshes the
 	// cache).
 	NoCache bool `json:"no_cache,omitempty"`
+	// Trace requests a PlanTrace in the response: per-phase wall times,
+	// planner work counters, and (for portfolio runs) per-variant
+	// timings. Tracing is off by default and adds no allocations to the
+	// cached-hit path; the trace never enters the cache key, so traced
+	// and untraced requests share cache entries.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // PlanResponse is the JSON body answering a plan request.
@@ -265,6 +372,11 @@ type PlanResponse struct {
 	// Variants reports the portfolio race (portfolio requests only;
 	// answers served from the cache omit it — the race never re-ran).
 	Variants []portfolio.Result `json:"variants,omitempty"`
+	// Trace is the structured timing breakdown, present only when the
+	// request set "trace":true. A request coalesced onto a flight that
+	// another request leads carries only its own service-side phases —
+	// the planner phases belong to the leader's trace.
+	Trace *obs.PlanTrace `json:"trace,omitempty"`
 }
 
 // resolve turns the wire request into a planner plus core.Request.
@@ -380,7 +492,16 @@ func planResponse(entry *CachedPlan, key CacheKey, plat *platform.Platform, star
 // that need the model inputs (the deploy handler) do not resolve — and
 // re-hit the registry — a second time.
 func (s *Server) plan(r *http.Request, pr *PlanRequest) (*PlanResponse, core.Request, int, error) {
+	// tr stays nil unless the request asked for a trace; every recorder
+	// method is a no-op on nil, so the default path pays one pointer test
+	// per instrumentation point and allocates nothing.
+	var tr *obs.TraceRecorder
+	if pr.Trace {
+		tr = obs.NewTraceRecorder()
+	}
+	endResolve := tr.Phase("resolve")
 	planner, req, err := s.resolve(pr)
+	endResolve()
 	if err != nil {
 		return nil, req, http.StatusBadRequest, err
 	}
@@ -393,8 +514,13 @@ func (s *Server) plan(r *http.Request, pr *PlanRequest) (*PlanResponse, core.Req
 	if !pr.NoCache {
 		// lookup, not Get: the miss is charged in runPlanner, so requests
 		// that coalesce onto an existing flight count no miss of their own.
-		if entry, ok := s.cache.lookup(key); ok {
-			return planResponse(entry, key, req.Platform, start, true, false, nil), req, http.StatusOK, nil
+		endLookup := tr.Phase("cache_lookup")
+		entry, ok := s.cache.lookup(key)
+		endLookup()
+		if ok {
+			resp := planResponse(entry, key, req.Platform, start, true, false, nil)
+			s.finishTrace(r.Context(), tr, resp)
+			return resp, req, http.StatusOK, nil
 		}
 	}
 
@@ -410,6 +536,12 @@ func (s *Server) plan(r *http.Request, pr *PlanRequest) (*PlanResponse, core.Req
 	// (no_cache: a private run) or a flight context detached from any
 	// single client (the shared, coalesced run).
 	runPlanner := func(ctx context.Context) flightResult {
+		// The closure captures tr directly: on the coalesced path ctx is a
+		// flight context detached from any request, so the trace must ride
+		// the capture, not the context chain. Joiners that requested a
+		// trace of their own still get only their service-side phases —
+		// the planner phases belong to the flight leader's recorder.
+		ctx = obs.ContextWithTrace(ctx, tr)
 		if !pr.NoCache {
 			// A previous flight may have landed between our cache miss and
 			// this run starting; don't replan what is already cached — and
@@ -422,6 +554,7 @@ func (s *Server) plan(r *http.Request, pr *PlanRequest) (*PlanResponse, core.Req
 		var plan *core.Plan
 		var variants []portfolio.Result
 		var err error
+		endPlan := tr.Phase("plan")
 		if pf, ok := planner.(*portfolio.Planner); ok {
 			// Run the race through the worker pool but keep its
 			// per-variant stats for the response.
@@ -433,10 +566,13 @@ func (s *Server) plan(r *http.Request, pr *PlanRequest) (*PlanResponse, core.Req
 		} else {
 			plan, err = s.pool.Plan(ctx, planner, req)
 		}
+		endPlan()
 		if err != nil {
 			return flightResult{err: err}
 		}
+		endRender := tr.Phase("render")
 		entry, err := Render(plan)
+		endRender()
 		if err != nil {
 			return flightResult{err: err}
 		}
@@ -454,7 +590,9 @@ func (s *Server) plan(r *http.Request, pr *PlanRequest) (*PlanResponse, core.Req
 		if fr.err != nil {
 			return nil, req, planStatus(r, fr.err), fr.err
 		}
-		return planResponse(fr.entry, key, req.Platform, start, false, false, fr.variants), req, http.StatusOK, nil
+		resp := planResponse(fr.entry, key, req.Platform, start, false, false, fr.variants)
+		s.finishTrace(r.Context(), tr, resp)
+		return resp, req, http.StatusOK, nil
 	}
 
 	// The shared run is bounded by the server-wide cap, not the leader's
@@ -462,13 +600,37 @@ func (s *Server) plan(r *http.Request, pr *PlanRequest) (*PlanResponse, core.Req
 	// joiners with bigger budgets to a 504. Each waiter's own reqCtx
 	// (above) still enforces its personal deadline on the wait.
 	fl, leader := s.flights.join(key, s.cfg.PlanTimeout, runPlanner)
+	endWait := tr.Phase("flight_wait")
 	fr := s.flights.wait(reqCtx, fl)
+	endWait()
 	if fr.err != nil {
 		return nil, req, planStatus(r, fr.err), fr.err
 	}
 	// A leader whose flight resolved from a freshly landed cache entry is
 	// a cache hit; joiners report the coalesced share either way.
-	return planResponse(fr.entry, key, req.Platform, start, leader && fr.cached, !leader, fr.variants), req, http.StatusOK, nil
+	resp := planResponse(fr.entry, key, req.Platform, start, leader && fr.cached, !leader, fr.variants)
+	s.finishTrace(r.Context(), tr, resp)
+	return resp, req, http.StatusOK, nil
+}
+
+// finishTrace snapshots the recorder into the response and attaches the
+// trace to a debug log record. No-op when tracing is off (tr nil).
+// Reading tr here is safe on the coalesced path: the flight's done
+// channel closed before wait returned, ordering the planner goroutine's
+// trace writes before this read.
+func (s *Server) finishTrace(ctx context.Context, tr *obs.TraceRecorder, resp *PlanResponse) {
+	if tr == nil {
+		return
+	}
+	t := tr.Trace()
+	t.RequestID = obs.RequestIDFrom(ctx)
+	resp.Trace = t
+	if s.logger.Enabled(ctx, slog.LevelDebug) {
+		s.logger.LogAttrs(ctx, slog.LevelDebug, "plan trace",
+			slog.String("request_id", t.RequestID),
+			slog.String("planner", resp.Planner),
+			slog.Any("trace", t))
+	}
 }
 
 func decodeBody(r *http.Request, v any) error {
@@ -648,6 +810,43 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rep)
 }
 
+// handlePromMetrics serves GET /metrics: the Prometheus text exposition
+// of every registered family (request counters and latency histograms,
+// cache/pool/flight gauges, Go runtime stats).
+func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Prom().Handler().ServeHTTP(w, r)
+}
+
+// AutonomicEventsResponse is the JSON body of GET /v1/autonomic/events.
+type AutonomicEventsResponse struct {
+	// Events are the retained journal entries, oldest first. Total counts
+	// every event ever journalled; a Total larger than the highest Seq
+	// retained means the bounded ring evicted older entries.
+	Events []obs.Event `json:"events"`
+	Total  uint64      `json:"total"`
+}
+
+// handleAutonomicEvents serves the MAPE-K decision journal. Pass
+// ?since=SEQ to receive only events newer than a previously seen
+// sequence number (long-poll style incremental consumption).
+func (s *Server) handleAutonomicEvents(w http.ResponseWriter, r *http.Request) {
+	var events []obs.Event
+	if q := r.URL.Query().Get("since"); q != "" {
+		seq, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad since=%q: %v", q, err)
+			return
+		}
+		events = s.journal.Since(seq)
+	} else {
+		events = s.journal.Snapshot()
+	}
+	if events == nil {
+		events = []obs.Event{}
+	}
+	writeJSON(w, http.StatusOK, AutonomicEventsResponse{Events: events, Total: s.journal.Total()})
+}
+
 // DeployRequest is the JSON body of POST /v1/deploy: plan (or reuse a
 // cached plan for) a platform, then actually launch the hierarchy on the
 // in-process middleware runtime and drive closed-loop clients against it.
@@ -733,6 +932,15 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer dep.Stop()
+	if s.logger.Enabled(r.Context(), slog.LevelInfo) {
+		s.logger.LogAttrs(r.Context(), slog.LevelInfo, "deployment launched",
+			slog.String("request_id", obs.RequestIDFrom(r.Context())),
+			slog.String("transport", string(transport)),
+			slog.Int("agents", resp.Agents),
+			slog.Int("servers", resp.Servers),
+			slog.Int("clients", clients),
+			slog.Float64("duration_ms", float64(duration)/float64(time.Millisecond)))
+	}
 
 	stats, err := dep.System.RunClients(r.Context(), clients, duration)
 	if err != nil {
