@@ -8,11 +8,13 @@ import (
 	"net/http/httptest"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"adept/internal/baseline"
 	"adept/internal/core"
 	"adept/internal/experiments"
 	"adept/internal/model"
+	"adept/internal/obs"
 	"adept/internal/platform"
 	"adept/internal/portfolio"
 	"adept/internal/scenario"
@@ -457,5 +459,54 @@ func BenchmarkModelEvaluate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = h.Evaluate(req.Costs, 100, req.Wapp)
+	}
+}
+
+// BenchmarkObsStoreSample prices one time-series sampling tick — the
+// per-second background cost every adeptd instance pays for the SLO
+// engine — over a source mix mirroring the daemon's: cumulative
+// counters, instantaneous gauges, and two histogram quantiles computed
+// from a populated latency ladder. scripts/bench.sh records it into
+// BENCH_plan.json so benchguard flags sampling-overhead creep.
+func BenchmarkObsStoreSample(b *testing.B) {
+	reg := obs.NewRegistry()
+	requests := reg.Counter("requests_total", "")
+	errs := reg.Counter("errors_total", "")
+	queue := reg.Gauge("queue_depth", "")
+	active := reg.Gauge("active_plans", "")
+	entries := reg.Gauge("cache_entries", "")
+	lat := reg.Histogram("plan_latency_s", "", obs.LatencyBuckets())
+
+	requests.Add(250_000)
+	errs.Add(1_200)
+	queue.Set(12)
+	active.Set(8)
+	entries.Set(4096)
+	// Spread observations across the ladder so Quantile walks real
+	// bucket counts instead of short-circuiting on an empty histogram.
+	for i := 0; i < 10_000; i++ {
+		lat.Observe(100e-6 * float64(1+i%4000))
+	}
+
+	store := obs.NewStore(600)
+	store.WatchCounter("requests_total", requests)
+	store.WatchCounter("errors_total", errs)
+	store.WatchGauge("queue_depth", queue)
+	store.WatchGauge("active_plans", active)
+	store.WatchGauge("cache_entries", entries)
+	store.WatchQuantile("plan_latency_p50_ms", lat, 0.50)
+	store.WatchQuantile("plan_latency_p99_ms", lat, 0.99)
+	store.Watch("slo_availability_good", func() float64 {
+		return float64(requests.Value() - errs.Value())
+	})
+	store.Watch("slo_availability_total", func() float64 {
+		return float64(requests.Value())
+	})
+
+	base := time.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store.Sample(base.Add(time.Duration(i) * time.Second))
 	}
 }

@@ -19,7 +19,12 @@
 //	POST   /v1/autonomic/stop    stop the loop and tear the system down
 //	GET    /v1/autonomic/status  adaptation history, patches, throughput
 //	GET    /v1/autonomic/events  the MAPE-K decision journal (?since=SEQ)
+//	GET    /v1/autonomic/incidents  correlated incident records with MTTR
 //	POST   /v1/autonomic/inject  background-load drift on a live server
+//	GET    /v1/slo               SLO compliance, error budgets, burn rates
+//	GET    /v1/alerts            burn-rate alert rule states + transitions
+//	GET    /healthz              liveness probe
+//	GET    /readyz               readiness probe (registry loaded, pool open)
 //
 // Observability: GET /metrics serves Prometheus text exposition,
 // GET /v1/autonomic/events the MAPE-K decision journal, and every
@@ -62,6 +67,7 @@ import (
 
 	"adept/internal/obs"
 	"adept/internal/service"
+	"adept/internal/slo"
 )
 
 func main() {
@@ -82,6 +88,8 @@ func run() error {
 		logFormat   = flag.String("log-format", "text", "log output format: text, json")
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+		sloConfig   = flag.String("slo-config", "", "JSON file of SLO objectives and burn-rate alert rules (empty = built-in defaults)")
+		sampleEvery = flag.Duration("sample-interval", time.Second, "time-series sampling and SLO evaluation tick")
 	)
 	flag.Parse()
 
@@ -94,17 +102,36 @@ func run() error {
 		return err
 	}
 
+	var sloCfg *slo.Config
+	if *sloConfig != "" {
+		data, err := os.ReadFile(*sloConfig)
+		if err != nil {
+			return err
+		}
+		cfg, err := slo.ParseConfig(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", *sloConfig, err)
+		}
+		sloCfg = &cfg
+	}
+
 	srv, err := service.New(service.Config{
-		CacheSize:   *cacheSize,
-		Workers:     *workers,
-		QueueDepth:  *queue,
-		PlanTimeout: *planTimeout,
-		Logger:      logger,
+		CacheSize:      *cacheSize,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		PlanTimeout:    *planTimeout,
+		Logger:         logger,
+		SLO:            sloCfg,
+		SampleInterval: *sampleEvery,
 	})
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
+
+	// Hold /readyz at 503 until the registry preload below has finished;
+	// liveness (/healthz) answers 200 the moment the listener is up.
+	srv.SetReady(false)
 
 	if *platformDir != "" {
 		// The platform dir is both the startup preload and the journal:
@@ -122,6 +149,7 @@ func run() error {
 		}
 		logger.Info("platforms loaded", "count", len(names), "dir", *platformDir, "names", fmt.Sprint(names))
 	}
+	srv.SetReady(true)
 
 	if *debugAddr != "" {
 		// pprof registered itself on http.DefaultServeMux via the blank

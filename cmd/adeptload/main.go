@@ -113,6 +113,8 @@ func run() error {
 		jsonOut   = flag.Bool("json", false, "emit a JSON summary instead of text")
 		logFormat = flag.String("log-format", "text", "diagnostic log format: text, json (the summary stays on stdout)")
 		logLevel  = flag.String("log-level", "warn", "diagnostic log level: debug, info, warn, error")
+		maxShed   = flag.Float64("max-shed", -1, "fail (exit nonzero) when the shed fraction exceeds this (e.g. 0.05; negative = no gate)")
+		maxP99    = flag.Float64("max-p99-ms", -1, "fail (exit nonzero) when successful-request p99 exceeds this many ms (negative = no gate)")
 	)
 	flag.Parse()
 
@@ -285,9 +287,19 @@ func run() error {
 			server = metricDeltas(before, after)
 		}
 	}
-	report(total, server, elapsed, *jsonOut)
+	s := report(total, server, elapsed, *jsonOut)
 	if total.ok == 0 {
 		return fmt.Errorf("no request succeeded (%d shed, %d errors)", total.shed, total.errors)
+	}
+	// Quality gates for CI: the run itself succeeded, but the measured
+	// service level may still be unacceptable.
+	if *maxShed >= 0 && s.Requests > 0 {
+		if frac := float64(s.Shed) / float64(s.Requests); frac > *maxShed {
+			return fmt.Errorf("shed fraction %.4f exceeds -max-shed %.4f (%d of %d requests)", frac, *maxShed, s.Shed, s.Requests)
+		}
+	}
+	if *maxP99 >= 0 && s.P99Millis > *maxP99 {
+		return fmt.Errorf("p99 %.2fms exceeds -max-p99-ms %.2fms", s.P99Millis, *maxP99)
 	}
 	return nil
 }
@@ -383,7 +395,7 @@ type summary struct {
 	Server          *serverDeltas `json:"server,omitempty"`
 }
 
-func report(r *recorder, server *serverDeltas, elapsed time.Duration, asJSON bool) {
+func report(r *recorder, server *serverDeltas, elapsed time.Duration, asJSON bool) summary {
 	s := summary{
 		DurationSeconds: elapsed.Seconds(),
 		Requests:        r.ok + r.shed + r.errors,
@@ -412,7 +424,7 @@ func report(r *recorder, server *serverDeltas, elapsed time.Duration, asJSON boo
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(s)
-		return
+		return s
 	}
 
 	fmt.Printf("adeptload: %d requests in %.2fs (%.1f ok req/s)\n", s.Requests, s.DurationSeconds, s.AchievedRPS)
@@ -423,11 +435,12 @@ func report(r *recorder, server *serverDeltas, elapsed time.Duration, asJSON boo
 			server.Requests, server.PlansExecuted, server.CacheHits, server.CacheMisses, server.Coalesced, server.Rejected)
 	}
 	if len(r.latencies) == 0 {
-		return
+		return s
 	}
 	fmt.Printf("  latency p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms\n",
 		s.P50Millis, s.P90Millis, s.P99Millis, s.MaxMillis)
 	printHistogram(r.latencies)
+	return s
 }
 
 // printHistogram renders successful-request latencies into doubling

@@ -189,6 +189,12 @@ type Controller struct {
 	redeploy int
 	lastObs  Observation
 	lastErr  string
+
+	// virtualNow is the target's own clock: the sum of observed window
+	// durations (simulated seconds under a sim target).
+	virtualNow float64
+	incidents  []Incident
+	openIdx    int // index of the open incident in incidents, -1 if none
 }
 
 // New builds a controller managing target, whose currently deployed tree
@@ -212,6 +218,7 @@ func New(cfg Config, target Target, deployed *hierarchy.Hierarchy) (*Controller,
 		mon:     NewMonitor(cfg.Alpha, cfg.Wapp),
 		ana:     NewAnalyzer(cfg.DriftTolerance, cfg.SagTolerance, cfg.Hysteresis, cfg.CrashWindows),
 		crashed: make(map[string]bool),
+		openIdx: -1,
 	}, nil
 }
 
@@ -332,6 +339,7 @@ func (c *Controller) Step(ctx context.Context) error {
 	c.cycles = c.cycles + 1
 	cycle := c.cycles
 	c.lastObs = window
+	c.virtualNow += window.Window
 	c.mon.Update(window)
 	if c.cooldown > 0 {
 		c.cooldown--
@@ -340,9 +348,16 @@ func (c *Controller) Step(ctx context.Context) error {
 	}
 	verdict := c.ana.Analyze(c.cur, window, c.mon)
 	if !verdict.Act() {
+		// A clean post-cooldown window closes the open incident, if any:
+		// the system has measurably recovered from whatever was detected.
+		closed, ok := c.incidentRecoverLocked(cycle)
 		c.mu.Unlock()
+		if ok {
+			c.emitRecovered(closed)
+		}
 		return nil
 	}
+	incidentID := c.incidentDetect(cycle, verdict.Reasons)
 	driftStreaks, zeroStreaks, sagStreak := c.ana.Streaks()
 	cur := c.cur.Clone()
 	// Once evicted, a crashed node stays out of every future replan: the
@@ -359,6 +374,7 @@ func (c *Controller) Step(ctx context.Context) error {
 
 	c.event("detect", strings.Join(verdict.Reasons, "; "), map[string]string{
 		"cycle":          strconv.Itoa(cycle),
+		"incident":       strconv.Itoa(incidentID),
 		"drifted":        strconv.Itoa(len(verdict.Drifted)),
 		"crashed":        strconv.Itoa(len(verdict.Crashed)),
 		"sagging":        strconv.FormatBool(verdict.Sagging),
@@ -372,6 +388,12 @@ func (c *Controller) Step(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	c.incidentMark(func(in *Incident) {
+		if in.ReplanAt.IsZero() {
+			in.ReplanAt = time.Now().UTC()
+			in.ReplanVirtual = c.virtualNow
+		}
+	})
 	c.event("replan", "replan evaluated", map[string]string{
 		"cycle":      strconv.Itoa(cycle),
 		"rho_before": strconv.FormatFloat(before, 'f', 3, 64),
@@ -443,12 +465,43 @@ func (c *Controller) plan(ctx context.Context, cur *hierarchy.Hierarchy, crashed
 	// adaptation reduces to teaching the live system its effective powers.
 	if len(v.Crashed) > 0 || plan.Eval.Rho > rhoBefore*(1+c.cfg.MinGain) {
 		rootSwap := plan.Hierarchy.MustNode(plan.Hierarchy.Root()).Name != cur.MustNode(cur.Root()).Name
-		if rootSwap && len(v.Crashed) == 0 && !c.target.CanRedeploy() {
-			return honest, rhoBefore, honestEval.Rho, nil
+		if rootSwap && !c.target.CanRedeploy() {
+			if len(v.Crashed) == 0 {
+				return honest, rhoBefore, honestEval.Rho, nil
+			}
+			// The eviction is mandatory but the target cannot rebuild from
+			// scratch, so the replanned root swap is unreachable: drop the
+			// crashed leaves from the honest current tree in place instead.
+			// Less throughput than the replanned shape, but expressible as
+			// a patch the live system can absorb.
+			evicted, err := evictLeaves(honest, v.Crashed)
+			if err != nil {
+				return nil, 0, 0, fmt.Errorf("autonomic: evict without redeploy: %w", err)
+			}
+			ev := evicted.Evaluate(c.cfg.Costs, c.cfg.Platform.Bandwidth, c.cfg.Wapp)
+			return evicted, rhoBefore, ev.Rho, nil
 		}
 		return plan.Hierarchy, rhoBefore, rhoAfter, nil
 	}
 	return honest, rhoBefore, honestEval.Rho, nil
+}
+
+// evictLeaves removes the named server leaves from h (as a patched
+// copy). Names no longer present are skipped (a previous patch may
+// already have dropped them).
+func evictLeaves(h *hierarchy.Hierarchy, names []string) (*hierarchy.Hierarchy, error) {
+	present := make(map[string]bool, h.Len())
+	h.Walk(func(n hierarchy.Node) { present[n.Name] = true })
+	var ops []hierarchy.Op
+	for _, name := range names {
+		if present[name] {
+			ops = append(ops, hierarchy.Op{Kind: hierarchy.OpRemove, Name: name})
+		}
+	}
+	if len(ops) == 0 {
+		return h.Clone(), nil
+	}
+	return hierarchy.Apply(h, hierarchy.Patch{Ops: ops})
 }
 
 // execute is the E of MAPE: diff, patch the live system, fall back to a
@@ -467,6 +520,9 @@ func (c *Controller) execute(ctx context.Context, cycle int, cur, target *hierar
 		// the drift/crash streaks building.
 		c.mu.Lock()
 		c.ana.ResetSag()
+		if c.openIdx >= 0 {
+			c.incidents[c.openIdx].NoChange = true
+		}
 		c.mu.Unlock()
 		c.event("no_change", "verdict produced no actionable patch", map[string]string{
 			"cycle": strconv.Itoa(cycle),
@@ -504,6 +560,14 @@ func (c *Controller) execute(ctx context.Context, cycle int, cur, target *hierar
 	c.ana.Reset()
 	for _, name := range v.Crashed {
 		c.mon.Forget(name)
+	}
+	if c.openIdx >= 0 {
+		in := &c.incidents[c.openIdx]
+		if in.PatchAt.IsZero() {
+			in.PatchAt = event.At.UTC()
+			in.PatchVirtual = c.virtualNow
+		}
+		in.PatchOps += applied
 	}
 	c.mu.Unlock()
 
@@ -543,6 +607,14 @@ func (c *Controller) fullRedeploy(ctx context.Context, cycle int, target *hierar
 	c.redeploy++
 	c.cooldown = c.cfg.Cooldown
 	c.ana.Reset()
+	if c.openIdx >= 0 {
+		in := &c.incidents[c.openIdx]
+		if in.PatchAt.IsZero() {
+			in.PatchAt = time.Now().UTC()
+			in.PatchVirtual = c.virtualNow
+		}
+		in.FullRedeploy = true
+	}
 	c.mu.Unlock()
 	c.event("redeploy", "full redeploy: "+strings.Join(v.Reasons, "; "), map[string]string{
 		"cycle":      strconv.Itoa(cycle),

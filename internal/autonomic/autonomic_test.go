@@ -138,6 +138,41 @@ func TestDriftRecoveryEndToEnd(t *testing.T) {
 	for _, ev := range status.Adaptations {
 		t.Logf("cycle %d: %v -> %v", ev.Cycle, ev.Reasons, ev.Ops)
 	}
+
+	// The drift maps to incident records with a full measured lifecycle:
+	// detect -> replan -> patch -> recovered, MTTR on both clocks.
+	incidents := ctrl.Incidents()
+	if len(incidents) == 0 {
+		t.Fatalf("adaptations happened but no incident was recorded")
+	}
+	resolved := 0
+	for _, in := range incidents {
+		t.Logf("incident %d: %v detect@c%d recovered@c%d mttr=%.2fs/%.1fvs",
+			in.ID, in.Reasons, in.DetectCycle, in.RecoverCycle, in.MTTRSeconds, in.MTTRVirtualSeconds)
+		if !in.Resolved {
+			continue
+		}
+		resolved++
+		if in.DetectedAt.IsZero() || in.ReplanAt.IsZero() || in.PatchAt.IsZero() || in.RecoveredAt.IsZero() {
+			t.Errorf("incident %d missing lifecycle timestamps: %+v", in.ID, in)
+		}
+		if in.ReplanAt.Before(in.DetectedAt) || in.PatchAt.Before(in.ReplanAt) || in.RecoveredAt.Before(in.PatchAt) {
+			t.Errorf("incident %d timestamps out of order: %+v", in.ID, in)
+		}
+		if in.MTTRVirtualSeconds <= 0 || in.MTTRSeconds < 0 {
+			t.Errorf("incident %d has non-positive MTTR: %+v", in.ID, in)
+		}
+		if in.PatchOps == 0 && !in.FullRedeploy && !in.NoChange {
+			t.Errorf("incident %d resolved without any recorded action: %+v", in.ID, in)
+		}
+	}
+	if resolved == 0 {
+		t.Errorf("no incident resolved; incidents: %+v", incidents)
+	}
+	sum := autonomic.SummarizeMTTR(incidents)
+	if sum.Resolved != resolved || sum.MaxVirt <= 0 {
+		t.Errorf("MTTR summary inconsistent: %+v", sum)
+	}
 }
 
 // TestStableSystemNeverAdapts: without drift the loop must sit still.

@@ -32,6 +32,7 @@ func (t *SimTarget) Observe(ctx context.Context) (Observation, error) {
 		Window:         ws.Window,
 		Throughput:     ws.Throughput,
 		Completed:      ws.Completed,
+		Failed:         ws.Failed,
 		Served:         ws.Served,
 		ServiceSeconds: ws.ServiceSeconds,
 	}, nil

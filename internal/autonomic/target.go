@@ -17,6 +17,10 @@ type Observation struct {
 	Throughput float64
 	// Completed counts requests completed inside the window.
 	Completed int64
+	// Failed counts requests that observably failed inside the window
+	// (e.g. timed out against a crashed node); targets without failure
+	// accounting report zero.
+	Failed int64
 	// Served is the per-server completion count inside the window, for
 	// every currently deployed server (zero entries included — a frozen
 	// counter is the crash signal).

@@ -86,6 +86,25 @@ func (h *Histogram) BucketCounts() []uint64 {
 	return out
 }
 
+// CountAtOrBelow returns the cumulative number of observations <= the
+// smallest bucket bound that is >= v (Prometheus le semantics), plus
+// that effective bound. SLO latency objectives use it to count "fast
+// enough" requests: thresholds snap to the bucket ladder, so callers
+// should read the returned bound as the threshold actually enforced.
+func (h *Histogram) CountAtOrBelow(v float64) (count uint64, bound float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i == len(h.bounds) {
+		// Threshold above the largest finite bound: every observation
+		// qualifies, including the +Inf overflow bucket.
+		return h.Count(), h.bounds[len(h.bounds)-1]
+	}
+	var cum uint64
+	for j := 0; j <= i; j++ {
+		cum += h.counts[j].Value()
+	}
+	return cum, h.bounds[i]
+}
+
 // Quantile estimates the q-quantile (0 < q <= 1) from the bucket counts
 // with linear interpolation inside the containing bucket — the standard
 // histogram_quantile estimate. The first bucket interpolates from zero;

@@ -72,13 +72,30 @@ func (j *Journal) Snapshot() []Event {
 // clients pass the last Seq they saw; a gap between that and the first
 // returned event means the ring overflowed in between.
 func (j *Journal) Since(seq uint64) []Event {
+	events, _ := j.SinceTruncated(seq)
+	return events
+}
+
+// SinceTruncated returns retained events with Seq > seq, oldest first,
+// plus whether the ring evicted events the caller has not seen: a
+// client that polls with a stale cursor gets the oldest retained
+// events and truncated=true instead of an error or a silent gap.
+// Sequence numbers are dense (Append allocates them 1, 2, 3, …), so
+// eviction is exactly "the oldest retained Seq skipped past seq+1".
+func (j *Journal) SinceTruncated(seq uint64) (events []Event, truncated bool) {
 	all := j.Snapshot()
+	if len(all) == 0 {
+		return nil, false
+	}
+	truncated = all[0].Seq > seq+1
 	for i, e := range all {
 		if e.Seq > seq {
-			return all[i:]
+			return all[i:], truncated
 		}
 	}
-	return nil
+	// Everything retained was already seen; nothing was missed either
+	// (the caller's cursor is at or past the newest event).
+	return nil, false
 }
 
 // Len returns the number of retained events.

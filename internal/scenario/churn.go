@@ -1,0 +1,281 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"adept/internal/sim"
+)
+
+// This file generates churn schedules: deterministic sequences of
+// sim.LoadPhase events that replay the membership and demand dynamics a
+// deployed middleware meets in production — node crash storms,
+// join/leave flapping, correlated cluster failures, flash crowds, and
+// diurnal demand traces. Platform families above answer "what does the
+// pool look like"; churn families answer "what happens to it while it
+// runs". The soak harness (cmd/adeptsoak) composes one or more churn
+// schedules against a managed simulation and measures how the MAPE-K
+// loop and the SLO engine ride them out.
+
+// ChurnFamily names a churn-schedule family.
+type ChurnFamily string
+
+// The supported churn families.
+const (
+	// CrashStorm crashes a random server subset in one or more waves;
+	// without restores the dead stay dead (the autonomic loop must evict
+	// them).
+	CrashStorm ChurnFamily = "crash-storm"
+	// JoinLeave flaps single servers: each leaves (crashes) and rejoins
+	// (restores) after a short hold — membership churn without permanent
+	// loss.
+	JoinLeave ChurnFamily = "join-leave"
+	// ClusterFailure kills a correlated contiguous block of servers at
+	// once — a rack or site outage — and restores it later.
+	ClusterFailure ChurnFamily = "cluster-failure"
+	// FlashCrowd ramps a client surge up and back down around the middle
+	// of the schedule.
+	FlashCrowd ChurnFamily = "flash-crowd"
+	// Diurnal replays a smooth demand wave (stepped sinusoid) via client
+	// arrivals and departures.
+	Diurnal ChurnFamily = "diurnal"
+)
+
+// ChurnFamilies lists all churn families in stable order.
+func ChurnFamilies() []ChurnFamily {
+	return []ChurnFamily{CrashStorm, JoinLeave, ClusterFailure, FlashCrowd, Diurnal}
+}
+
+// ChurnSpec declaratively describes one churn schedule. Zero-valued
+// knobs take family defaults, so {Family, Servers/BaseClients, Start,
+// Duration, Seed} is a complete spec.
+type ChurnSpec struct {
+	Family ChurnFamily `json:"family"`
+	// Servers are the crashable server names of the running deployment
+	// (fault families pick victims here; demand families ignore it).
+	Servers []string `json:"servers,omitempty"`
+	// Start and Duration bound the schedule in virtual seconds: all
+	// events land in [Start, Start+Duration).
+	Start    float64 `json:"start_s"`
+	Duration float64 `json:"duration_s"`
+	// Seed drives all randomness of this spec.
+	Seed int64 `json:"seed"`
+	// Intensity scales how hard the family hits: the fraction of servers
+	// a fault wave takes (default 0.3, clamped to at least one server)
+	// or the demand surge as a multiple of BaseClients (default 1).
+	Intensity float64 `json:"intensity,omitempty"`
+	// Waves is the number of fault waves / flap events / demand cycles
+	// (family defaults: 1 storm, 4 flaps, 1 outage, 1 crowd, 2 cycles).
+	Waves int `json:"waves,omitempty"`
+	// BaseClients is the steady closed-loop client population the demand
+	// deltas scale from (default 4).
+	BaseClients int `json:"base_clients,omitempty"`
+	// RecoverAfter restores crashed servers that many seconds after each
+	// fault event. Zero keeps the family default: CrashStorm leaves them
+	// down, JoinLeave holds one tenth of the flap interval,
+	// ClusterFailure restores after a third of the schedule.
+	RecoverAfter float64 `json:"recover_after_s,omitempty"`
+}
+
+func (s ChurnSpec) withDefaults() ChurnSpec {
+	if s.Intensity <= 0 {
+		switch s.Family {
+		case FlashCrowd, Diurnal:
+			s.Intensity = 1
+		default:
+			s.Intensity = 0.3
+		}
+	}
+	if s.Waves <= 0 {
+		switch s.Family {
+		case JoinLeave:
+			s.Waves = 4
+		case Diurnal:
+			s.Waves = 2
+		default:
+			s.Waves = 1
+		}
+	}
+	if s.BaseClients <= 0 {
+		s.BaseClients = 4
+	}
+	return s
+}
+
+func (s ChurnSpec) validate() error {
+	switch s.Family {
+	case CrashStorm, JoinLeave, ClusterFailure:
+		if len(s.Servers) == 0 {
+			return fmt.Errorf("scenario: churn family %q needs server names", s.Family)
+		}
+	case FlashCrowd, Diurnal:
+	default:
+		return fmt.Errorf("scenario: unknown churn family %q", s.Family)
+	}
+	if s.Start < 0 {
+		return fmt.Errorf("scenario: churn start %g must be non-negative", s.Start)
+	}
+	if s.Duration <= 0 {
+		return fmt.Errorf("scenario: churn duration %g must be positive", s.Duration)
+	}
+	if s.RecoverAfter < 0 {
+		return fmt.Errorf("scenario: negative recover-after %g", s.RecoverAfter)
+	}
+	return nil
+}
+
+// victims picks n distinct servers, deterministically from the spec's
+// seeded source.
+func victims(rng *rand.Rand, servers []string, n int) []string {
+	idx := rng.Perm(len(servers))[:n]
+	sort.Ints(idx)
+	out := make([]string, n)
+	for i, j := range idx {
+		out[i] = servers[j]
+	}
+	return out
+}
+
+// waveSize is how many servers one fault wave takes: the intensity
+// fraction, at least 1, and never the whole pool (a dead platform has
+// nothing left to measure).
+func (s ChurnSpec) waveSize() int {
+	n := int(math.Ceil(s.Intensity * float64(len(s.Servers))))
+	if n < 1 {
+		n = 1
+	}
+	if n >= len(s.Servers) {
+		n = len(s.Servers) - 1
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Phases expands the spec into a deterministic sim.LoadPhase schedule,
+// sorted by time. The same spec always yields the same schedule.
+func (s ChurnSpec) Phases() ([]sim.LoadPhase, error) {
+	s = s.withDefaults()
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	var phases []sim.LoadPhase
+	switch s.Family {
+	case CrashStorm:
+		// Waves evenly spaced; each takes a fresh random subset of the
+		// still-alive pool. Restores only if RecoverAfter asks for them.
+		alive := append([]string(nil), s.Servers...)
+		interval := s.Duration / float64(s.Waves)
+		for w := 0; w < s.Waves; w++ {
+			if len(alive) <= 1 {
+				break
+			}
+			n := s.waveSize()
+			if n >= len(alive) {
+				n = len(alive) - 1
+			}
+			hit := victims(rng, alive, n)
+			at := s.Start + float64(w)*interval
+			phases = append(phases, sim.LoadPhase{At: at, Crash: hit})
+			if s.RecoverAfter > 0 {
+				phases = append(phases, sim.LoadPhase{At: at + s.RecoverAfter, Restore: hit})
+			} else {
+				alive = subtract(alive, hit)
+			}
+		}
+	case JoinLeave:
+		// Waves flap events spread over the schedule, each taking one
+		// random server down briefly — leave then rejoin.
+		interval := s.Duration / float64(s.Waves)
+		hold := s.RecoverAfter
+		if hold <= 0 {
+			hold = interval / 10
+		}
+		for w := 0; w < s.Waves; w++ {
+			name := s.Servers[rng.Intn(len(s.Servers))]
+			at := s.Start + (float64(w)+rng.Float64()*0.5)*interval
+			phases = append(phases,
+				sim.LoadPhase{At: at, Crash: []string{name}},
+				sim.LoadPhase{At: at + hold, Restore: []string{name}},
+			)
+		}
+	case ClusterFailure:
+		// One contiguous block — platform generators emit clusters as
+		// consecutive nodes, so a random contiguous run models "rack 2
+		// lost power" rather than scattered bad luck.
+		n := s.waveSize()
+		startIdx := rng.Intn(len(s.Servers) - n + 1)
+		block := append([]string(nil), s.Servers[startIdx:startIdx+n]...)
+		down := s.Start + s.Duration/3
+		up := down + s.RecoverAfter
+		if s.RecoverAfter <= 0 {
+			up = down + s.Duration/3
+		}
+		phases = append(phases,
+			sim.LoadPhase{At: down, Crash: block},
+			sim.LoadPhase{At: up, Restore: block},
+		)
+	case FlashCrowd:
+		// Surge up in two steps around the middle, decay in two steps.
+		surge := int(math.Ceil(s.Intensity * float64(s.BaseClients)))
+		if surge < 1 {
+			surge = 1
+		}
+		half := (surge + 1) / 2
+		t0 := s.Start + s.Duration*0.3
+		t1 := s.Start + s.Duration*0.7
+		step := s.Duration * 0.05
+		phases = append(phases,
+			sim.LoadPhase{At: t0, AddClients: half},
+			sim.LoadPhase{At: t0 + step, AddClients: surge - half},
+			sim.LoadPhase{At: t1, RemoveClients: half},
+			sim.LoadPhase{At: t1 + step, RemoveClients: surge - half},
+		)
+	case Diurnal:
+		// A stepped sinusoid: 8 steps per cycle, amplitude scaled by
+		// intensity, emitted as client deltas. The population returns to
+		// the base level at the end of every cycle (deltas sum to zero).
+		amp := s.Intensity * float64(s.BaseClients)
+		const steps = 8
+		interval := s.Duration / float64(s.Waves*steps)
+		level := 0 // current extra clients
+		for i := 1; i <= s.Waves*steps; i++ {
+			want := int(math.Round(amp * math.Sin(2*math.Pi*float64(i%steps)/steps)))
+			if want < -(s.BaseClients - 1) {
+				want = -(s.BaseClients - 1) // never drain the population
+			}
+			d := want - level
+			level = want
+			if d == 0 {
+				continue
+			}
+			ph := sim.LoadPhase{At: s.Start + float64(i)*interval}
+			if d > 0 {
+				ph.AddClients = d
+			} else {
+				ph.RemoveClients = -d
+			}
+			phases = append(phases, ph)
+		}
+	}
+	sort.SliceStable(phases, func(i, j int) bool { return phases[i].At < phases[j].At })
+	return phases, nil
+}
+
+func subtract(from, remove []string) []string {
+	dead := make(map[string]bool, len(remove))
+	for _, r := range remove {
+		dead[r] = true
+	}
+	out := from[:0]
+	for _, f := range from {
+		if !dead[f] {
+			out = append(out, f)
+		}
+	}
+	return out
+}

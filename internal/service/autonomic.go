@@ -35,6 +35,14 @@ type ScenarioPhase struct {
 	Factors map[string]float64 `json:"factors,omitempty"`
 	// AddClients starts extra closed-loop clients at At.
 	AddClients int `json:"add_clients,omitempty"`
+	// RemoveClients retires that many closed-loop clients at At.
+	RemoveClients int `json:"remove_clients,omitempty"`
+	// Crash marks the named servers crashed at At: they keep answering
+	// scheduling from stale estimates but every service request times out
+	// and fails until a Restore.
+	Crash []string `json:"crash,omitempty"`
+	// Restore revives the named servers at At.
+	Restore []string `json:"restore,omitempty"`
 }
 
 // AutonomicRequest is the JSON body of POST /v1/autonomic/start. The
@@ -253,7 +261,14 @@ func (s *Server) handleAutonomicStart(w http.ResponseWriter, r *http.Request) {
 		}
 		scenario := make([]sim.LoadPhase, 0, len(ar.Scenario))
 		for _, ph := range ar.Scenario {
-			scenario = append(scenario, sim.LoadPhase{At: ph.At, Factors: ph.Factors, AddClients: ph.AddClients})
+			scenario = append(scenario, sim.LoadPhase{
+				At:            ph.At,
+				Factors:       ph.Factors,
+				AddClients:    ph.AddClients,
+				RemoveClients: ph.RemoveClients,
+				Crash:         ph.Crash,
+				Restore:       ph.Restore,
+			})
 		}
 		managed, err := sim.NewManaged(h, req.Costs, req.Platform.Bandwidth, req.Wapp, clients, scenario)
 		if err != nil {
@@ -331,6 +346,31 @@ func (s *Server) handleAutonomicStatus(w http.ResponseWriter, r *http.Request) {
 		RunErr:  sess.error(),
 		Status:  sess.ctrl.Status(),
 	})
+}
+
+// IncidentsResponse is the JSON body of GET /v1/autonomic/incidents:
+// the session's correlated incident records plus MTTR percentiles over
+// the resolved ones.
+type IncidentsResponse struct {
+	Incidents []autonomic.Incident  `json:"incidents"`
+	Summary   autonomic.MTTRSummary `json:"summary"`
+}
+
+// handleAutonomicIncidents serves the running (or finished but not yet
+// stopped) session's incident log.
+func (s *Server) handleAutonomicIncidents(w http.ResponseWriter, r *http.Request) {
+	s.autoMu.Lock()
+	sess := s.auto
+	s.autoMu.Unlock()
+	if sess == nil {
+		writeError(w, http.StatusNotFound, "no autonomic session")
+		return
+	}
+	in := sess.ctrl.Incidents()
+	if in == nil {
+		in = []autonomic.Incident{}
+	}
+	writeJSON(w, http.StatusOK, IncidentsResponse{Incidents: in, Summary: autonomic.SummarizeMTTR(in)})
 }
 
 // InjectRequest is the JSON body of POST /v1/autonomic/inject: live drift

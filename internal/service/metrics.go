@@ -1,6 +1,8 @@
 package service
 
 import (
+	"runtime"
+	"runtime/debug"
 	"time"
 
 	"adept/internal/obs"
@@ -35,7 +37,60 @@ func NewMetrics() *Metrics {
 	reg.GaugeFunc("adeptd_uptime_seconds", "Seconds since the daemon started.", func() float64 {
 		return time.Since(m.started).Seconds()
 	})
+	v, rev, gover := buildIdent()
+	reg.GaugeVec("adeptd_build_info", "Build metadata; the value is fixed at 1, the information is in the labels.",
+		"version", "revision", "goversion").With(v, rev, gover).Set(1)
 	return m
+}
+
+// buildIdent resolves the binary's version identifiers from the embedded
+// build info: module version, VCS revision (short), and Go toolchain.
+func buildIdent() (version, revision, goVersion string) {
+	version, revision, goVersion = "unknown", "unknown", runtime.Version()
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return
+	}
+	if bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			revision = s.Value
+			if len(revision) > 12 {
+				revision = revision[:12]
+			}
+		}
+	}
+	return
+}
+
+// BuildMeta is the build-identity block of the JSON metrics report,
+// mirroring the adeptd_build_info gauge labels.
+type BuildMeta struct {
+	Version   string `json:"version"`
+	Revision  string `json:"revision"`
+	GoVersion string `json:"goversion"`
+}
+
+// Totals returns the cumulative request and error counts summed across
+// endpoints — the (total, bad) pair availability SLOs bind to.
+func (m *Metrics) Totals() (requests, errors uint64) {
+	m.requests.Do(func(_ []string, c *obs.Counter) { requests += c.Value() })
+	m.errors.Do(func(_ []string, c *obs.Counter) { errors += c.Value() })
+	return
+}
+
+// EndpointTotals returns one endpoint's cumulative (requests, errors)
+// pair — what an endpoint-scoped availability SLO binds to.
+func (m *Metrics) EndpointTotals(endpoint string) (requests, errors uint64) {
+	return m.requests.With(endpoint).Value(), m.errors.With(endpoint).Value()
+}
+
+// EndpointLatency returns the latency histogram of one endpoint
+// (created on first use) — what latency SLOs bind to.
+func (m *Metrics) EndpointLatency(endpoint string) *obs.Histogram {
+	return m.latency.With(endpoint)
 }
 
 // Prom exposes the Prometheus registry so the server can add gauges for
@@ -65,8 +120,9 @@ type EndpointMetrics struct {
 
 // Report is the JSON body served by GET /v1/metrics.
 type Report struct {
-	UptimeSeconds float64 `json:"uptime_seconds"`
-	Requests      uint64  `json:"requests"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
+	Build         BuildMeta `json:"build"`
+	Requests      uint64    `json:"requests"`
 	// Errors totals server-attributable request failures (status >= 400)
 	// across endpoints. Client disconnects (499) are never counted.
 	// Requests shed by the admission queue answer 429 and so are part of
@@ -97,8 +153,10 @@ type Report struct {
 // Snapshot renders the counters into a Report; cache/registry/pool gauges
 // are filled in by the caller.
 func (m *Metrics) Snapshot() Report {
+	v, rev, gover := buildIdent()
 	rep := Report{
 		UptimeSeconds: time.Since(m.started).Seconds(),
+		Build:         BuildMeta{Version: v, Revision: rev, GoVersion: gover},
 		Endpoints:     make(map[string]EndpointMetrics),
 	}
 	errs := make(map[string]uint64)

@@ -176,6 +176,10 @@ func (p *Pool) Executed() uint64 { return p.executed.Load() }
 // with ErrQueueFull.
 func (p *Pool) Rejected() uint64 { return p.rejected.Load() }
 
+// Closed reports whether Close has been called — the readiness probe's
+// "pool accepting work" check.
+func (p *Pool) Closed() bool { return p.closed.Load() }
+
 // Close stops the workers. Jobs already handed to a worker finish; jobs
 // still queued at shutdown uniformly receive ErrPoolClosed — workers
 // re-check quit after every dequeue, and Close drains whatever the

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"adept/internal/baseline"
@@ -23,6 +24,7 @@ import (
 	"adept/internal/platform"
 	"adept/internal/portfolio"
 	"adept/internal/runtime"
+	"adept/internal/slo"
 	"adept/internal/workload"
 )
 
@@ -75,6 +77,18 @@ type Config struct {
 	// JournalCapacity bounds the autonomic event journal ring
 	// (default 256).
 	JournalCapacity int
+	// SLO is the declarative objective and burn-rate alert rule set the
+	// embedded SLO engine evaluates (nil means slo.DefaultConfig: 99.5%
+	// availability plus a 2s p99 plan-latency objective).
+	SLO *slo.Config
+	// SampleInterval is the time-series sampling (and SLO evaluation)
+	// tick. Zero means one second; negative disables the background
+	// sampler entirely — tests then drive SLOTick with explicit
+	// timestamps instead of racing a wall clock.
+	SampleInterval time.Duration
+	// SeriesCapacity bounds each time-series ring (default 600 samples,
+	// ten minutes of history at the default tick).
+	SeriesCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +113,9 @@ func (c Config) withDefaults() Config {
 	if c.JournalCapacity <= 0 {
 		c.JournalCapacity = 256
 	}
+	if c.SeriesCapacity <= 0 {
+		c.SeriesCapacity = 600
+	}
 	return c
 }
 
@@ -114,6 +131,15 @@ type Server struct {
 	logger   *slog.Logger
 	journal  *obs.Journal
 	mux      *http.ServeMux
+
+	// Observability plane: the time-series store samples counters,
+	// gauges and histogram quantiles on a fixed tick; the SLO engine
+	// evaluates burn rates over those series on the same tick.
+	store        *obs.Store
+	sloEng       *slo.Engine
+	ready        atomic.Bool
+	sampleCancel context.CancelFunc
+	sampleDone   chan struct{}
 
 	autoMu       sync.Mutex
 	auto         *autonomicSession
@@ -143,9 +169,117 @@ func New(cfg Config) (*Server, error) {
 		mux:      http.NewServeMux(),
 	}
 	s.registerGauges()
+	if err := s.initSLO(); err != nil {
+		pool.Close()
+		return nil, err
+	}
 	s.routes()
+	s.ready.Store(true)
+	s.startSampler()
 	return s, nil
 }
+
+// initSLO builds the time-series store, wires the daemon's key signals
+// into it, and binds every configured objective to its counter sources.
+func (s *Server) initSLO() error {
+	s.store = obs.NewStore(s.cfg.SeriesCapacity)
+	sloCfg := slo.DefaultConfig()
+	if s.cfg.SLO != nil {
+		sloCfg = *s.cfg.SLO
+	}
+	eng, err := slo.NewEngine(sloCfg, s.store, s.journal)
+	if err != nil {
+		return err
+	}
+	for _, spec := range sloCfg.Objectives {
+		if err := s.bindObjective(eng, spec); err != nil {
+			return err
+		}
+	}
+	// Operational series beyond the SLO sources: instantaneous load and
+	// latency signals the soak harness and dashboards read back over time.
+	s.store.Watch("requests_total", func() float64 { r, _ := s.metrics.Totals(); return float64(r) })
+	s.store.Watch("errors_total", func() float64 { _, e := s.metrics.Totals(); return float64(e) })
+	s.store.Watch("queue_depth", func() float64 { return float64(s.pool.QueueDepth()) })
+	s.store.Watch("active_plans", func() float64 { return float64(s.pool.Active()) })
+	s.store.Watch("cache_entries", func() float64 { return float64(s.cache.Len()) })
+	planLat := s.metrics.EndpointLatency("plan")
+	s.store.Watch("plan_latency_p50_ms", func() float64 { return planLat.Quantile(0.50) * 1e3 })
+	s.store.Watch("plan_latency_p99_ms", func() float64 { return planLat.Quantile(0.99) * 1e3 })
+	s.sloEng = eng
+	return nil
+}
+
+// bindObjective attaches one objective spec to the daemon's metrics:
+// availability reduces to the (requests, errors) counter pair — the
+// whole daemon's, or one endpoint's when the spec scopes it — and a
+// latency objective to the endpoint histogram's cumulative count at or
+// under the (bucket-snapped) threshold.
+func (s *Server) bindObjective(eng *slo.Engine, spec slo.ObjectiveSpec) error {
+	switch spec.Type {
+	case slo.TypeAvailability:
+		if ep := spec.Endpoint; ep != "" {
+			return eng.Bind(spec.Name,
+				func() float64 { r, e := s.metrics.EndpointTotals(ep); return float64(r) - float64(e) },
+				func() float64 { r, _ := s.metrics.EndpointTotals(ep); return float64(r) },
+				0)
+		}
+		return eng.Bind(spec.Name,
+			func() float64 { r, e := s.metrics.Totals(); return float64(r) - float64(e) },
+			func() float64 { r, _ := s.metrics.Totals(); return float64(r) },
+			0)
+	case slo.TypeLatency:
+		ep := spec.Endpoint
+		if ep == "" {
+			ep = "plan"
+		}
+		h := s.metrics.EndpointLatency(ep)
+		thresh := spec.ThresholdMillis / 1e3
+		_, bound := h.CountAtOrBelow(thresh)
+		return eng.Bind(spec.Name,
+			func() float64 { c, _ := h.CountAtOrBelow(thresh); return float64(c) },
+			func() float64 { return float64(h.Count()) },
+			bound*1e3)
+	}
+	return fmt.Errorf("slo: objective %q: unbindable type %q", spec.Name, spec.Type)
+}
+
+// startSampler runs the store's wall-clock sampling loop with SLO
+// evaluation chained on every tick. Disabled by a negative interval.
+func (s *Server) startSampler() {
+	interval := s.cfg.SampleInterval
+	if interval < 0 {
+		return
+	}
+	if interval == 0 {
+		interval = time.Second
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.sampleCancel = cancel
+	s.sampleDone = make(chan struct{})
+	go func() {
+		defer close(s.sampleDone)
+		s.store.Run(ctx, interval, s.sloEng.Evaluate)
+	}()
+}
+
+// SLOTick samples the time-series store and advances the SLO engine at
+// an explicit timestamp — one background sampler tick under the
+// caller's clock, for deterministic tests and embedded drivers.
+func (s *Server) SLOTick(now time.Time) {
+	s.store.Sample(now)
+	s.sloEng.Evaluate(now)
+}
+
+// SetReady flips the readiness gate served by GET /readyz. adeptd holds
+// it false while startup preloading runs.
+func (s *Server) SetReady(v bool) { s.ready.Store(v) }
+
+// Store exposes the daemon's time-series store.
+func (s *Server) Store() *obs.Store { return s.store }
+
+// SLO exposes the daemon's SLO engine.
+func (s *Server) SLO() *slo.Engine { return s.sloEng }
 
 // registerGauges bridges the components that keep their own counters
 // (cache, pool, flights, registry, journal) into the Prometheus
@@ -213,8 +347,13 @@ func (s *Server) Cache() *PlanCache { return s.cache }
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops the worker pool and any running autonomic session.
+// Close stops the sampler, the worker pool and any running autonomic
+// session.
 func (s *Server) Close() {
+	if s.sampleCancel != nil {
+		s.sampleCancel()
+		<-s.sampleDone
+	}
 	s.stopAutonomic()
 	s.pool.Close()
 }
@@ -233,7 +372,63 @@ func (s *Server) routes() {
 	s.mux.Handle("POST /v1/autonomic/stop", s.instrument("autonomic_stop", s.handleAutonomicStop))
 	s.mux.Handle("GET /v1/autonomic/status", s.instrument("autonomic_status", s.handleAutonomicStatus))
 	s.mux.Handle("GET /v1/autonomic/events", s.instrument("autonomic_events", s.handleAutonomicEvents))
+	s.mux.Handle("GET /v1/autonomic/incidents", s.instrument("autonomic_incidents", s.handleAutonomicIncidents))
 	s.mux.Handle("POST /v1/autonomic/inject", s.instrument("autonomic_inject", s.handleAutonomicInject))
+	s.mux.Handle("GET /v1/slo", s.instrument("slo", s.handleSLO))
+	s.mux.Handle("GET /v1/alerts", s.instrument("alerts", s.handleAlerts))
+	// Probes stay uninstrumented: a kubelet polling /healthz every few
+	// seconds must not count toward the availability SLO or clutter the
+	// per-endpoint latency families.
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+}
+
+// SLOResponse is the JSON body of GET /v1/slo.
+type SLOResponse struct {
+	Objectives []slo.ObjectiveStatus `json:"objectives"`
+}
+
+// AlertsResponse is the JSON body of GET /v1/alerts.
+type AlertsResponse struct {
+	Alerts []slo.AlertStatus `json:"alerts"`
+}
+
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, SLOResponse{Objectives: s.sloEng.Objectives()})
+}
+
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, AlertsResponse{Alerts: s.sloEng.Alerts()})
+}
+
+// handleHealthz answers liveness: the process is up and serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// ReadyzResponse is the JSON body of GET /readyz; each field is one
+// readiness condition so a failing probe says which gate is shut.
+type ReadyzResponse struct {
+	Ready     bool `json:"ready"`
+	PoolOpen  bool `json:"pool_open"`
+	Preloaded bool `json:"preloaded"`
+	Platforms int  `json:"platforms"`
+}
+
+// handleReadyz answers readiness: startup preloading has finished and
+// the worker pool is accepting jobs. 503 until both hold.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := ReadyzResponse{
+		PoolOpen:  !s.pool.Closed(),
+		Preloaded: s.ready.Load(),
+		Platforms: s.registry.Len(),
+	}
+	st.Ready = st.PoolOpen && st.Preloaded
+	code := http.StatusOK
+	if !st.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, st)
 }
 
 // statusRecorder captures the response status for metrics.
@@ -824,6 +1019,11 @@ type AutonomicEventsResponse struct {
 	// retained means the bounded ring evicted older entries.
 	Events []obs.Event `json:"events"`
 	Total  uint64      `json:"total"`
+	// Truncated reports that the bounded ring evicted events between the
+	// caller's since cursor and the oldest retained entry: the answer is
+	// the oldest events still held, but there is a gap the consumer
+	// cannot recover.
+	Truncated bool `json:"truncated"`
 }
 
 // handleAutonomicEvents serves the MAPE-K decision journal. Pass
@@ -831,20 +1031,21 @@ type AutonomicEventsResponse struct {
 // sequence number (long-poll style incremental consumption).
 func (s *Server) handleAutonomicEvents(w http.ResponseWriter, r *http.Request) {
 	var events []obs.Event
+	var truncated bool
 	if q := r.URL.Query().Get("since"); q != "" {
 		seq, err := strconv.ParseUint(q, 10, 64)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "bad since=%q: %v", q, err)
 			return
 		}
-		events = s.journal.Since(seq)
+		events, truncated = s.journal.SinceTruncated(seq)
 	} else {
 		events = s.journal.Snapshot()
 	}
 	if events == nil {
 		events = []obs.Event{}
 	}
-	writeJSON(w, http.StatusOK, AutonomicEventsResponse{Events: events, Total: s.journal.Total()})
+	writeJSON(w, http.StatusOK, AutonomicEventsResponse{Events: events, Total: s.journal.Total(), Truncated: truncated})
 }
 
 // DeployRequest is the JSON body of POST /v1/deploy: plan (or reuse a

@@ -28,6 +28,15 @@ type LoadPhase struct {
 	// AddClients starts that many extra closed-loop clients at At,
 	// modelling a demand shift.
 	AddClients int
+	// RemoveClients asks that many closed-loop clients to leave at At
+	// (each departs at its next submission boundary) — the downswing of a
+	// demand trace.
+	RemoveClients int
+	// Crash marks the named servers dead at At: they keep answering
+	// scheduling (stale monitoring) but every service request to them
+	// times out and fails. Restore revives servers crashed earlier.
+	Crash   []string
+	Restore []string
 }
 
 // Managed is a running simulated deployment under autonomic management:
@@ -42,6 +51,7 @@ type Managed struct {
 
 	// window baselines for Observe deltas.
 	lastCompleted int64
+	lastFailed    int64
 	lastServed    map[string]int64
 	lastSvcSec    map[string]float64
 	lastSvcCount  map[string]int64
@@ -81,15 +91,38 @@ func NewManaged(h *hierarchy.Hierarchy, costs model.Costs, bandwidth, wapp float
 				return nil, fmt.Errorf("sim: load phase names unknown element %q", name)
 			}
 		}
+		for _, name := range phase.Crash {
+			if _, ok := m.byName[name].(*simServer); !ok {
+				return nil, fmt.Errorf("sim: crash phase names unknown server %q", name)
+			}
+		}
+		for _, name := range phase.Restore {
+			if _, ok := m.byName[name].(*simServer); !ok {
+				return nil, fmt.Errorf("sim: restore phase names unknown server %q", name)
+			}
+		}
 		eng.At(phase.At, func() {
 			for name, f := range phase.Factors {
 				if srv, ok := m.byName[name].(*simServer); ok && f > 0 {
 					srv.bg = f
 				}
 			}
+			// Crash/restore by name, tolerating servers the autonomic loop
+			// already removed by the time the phase fires.
+			for _, name := range phase.Crash {
+				if srv, ok := m.byName[name].(*simServer); ok {
+					srv.crashed = true
+				}
+			}
+			for _, name := range phase.Restore {
+				if srv, ok := m.byName[name].(*simServer); ok {
+					srv.crashed = false
+				}
+			}
 			for i := 0; i < phase.AddClients; i++ {
 				dep.StartClient(eng.Now())
 			}
+			dep.StopClients(phase.RemoveClients)
 		})
 	}
 	return m, nil
@@ -127,6 +160,11 @@ type WindowStats struct {
 	Throughput float64
 	// Completed counts requests completed inside the window.
 	Completed int64
+	// Failed counts requests that timed out against crashed servers
+	// inside the window.
+	Failed int64
+	// ActiveClients is the closed-loop client population at window end.
+	ActiveClients int
 	// Served is the per-server completion count inside the window.
 	Served map[string]int64
 	// ServiceSeconds is the per-server mean observed execution time inside
@@ -144,10 +182,13 @@ func (m *Managed) Observe(window float64) (WindowStats, error) {
 	ws := WindowStats{
 		Window:         window,
 		Completed:      m.dep.Completed - m.lastCompleted,
+		Failed:         m.dep.Failed - m.lastFailed,
+		ActiveClients:  m.dep.ActiveClients(),
 		Served:         make(map[string]int64),
 		ServiceSeconds: make(map[string]float64),
 	}
 	m.lastCompleted = m.dep.Completed
+	m.lastFailed = m.dep.Failed
 	ws.Throughput = float64(ws.Completed) / window
 	for _, s := range m.dep.servers {
 		served := m.dep.PerServer[s.name] - m.lastServed[s.name]
@@ -163,6 +204,57 @@ func (m *Managed) Observe(window float64) (WindowStats, error) {
 	}
 	return ws, nil
 }
+
+// Crash marks a deployed server dead immediately (scenarios do the same
+// on schedule): it keeps answering scheduling but fails every service
+// request until Restore or eviction.
+func (m *Managed) Crash(name string) error {
+	srv, ok := m.byName[name].(*simServer)
+	if !ok {
+		return fmt.Errorf("sim: no server %q", name)
+	}
+	srv.crashed = true
+	return nil
+}
+
+// Restore revives a crashed server.
+func (m *Managed) Restore(name string) error {
+	srv, ok := m.byName[name].(*simServer)
+	if !ok {
+		return fmt.Errorf("sim: no server %q", name)
+	}
+	srv.crashed = false
+	return nil
+}
+
+// SetClientTimeout overrides the clients' reply timeout against crashed
+// servers (seconds).
+func (m *Managed) SetClientTimeout(seconds float64) error {
+	return m.dep.SetClientTimeout(seconds)
+}
+
+// AddClients starts n extra closed-loop clients now.
+func (m *Managed) AddClients(n int) {
+	for i := 0; i < n; i++ {
+		m.dep.StartClient(m.eng.Now())
+	}
+}
+
+// StopClients asks n closed-loop clients to leave at their next
+// submission boundary.
+func (m *Managed) StopClients(n int) { m.dep.StopClients(n) }
+
+// ActiveClients returns the current closed-loop client population.
+func (m *Managed) ActiveClients() int { return m.dep.ActiveClients() }
+
+// Completed returns the cumulative completed-request count.
+func (m *Managed) Completed() int64 { return m.dep.Completed }
+
+// Failed returns the cumulative failed (timed-out) request count.
+func (m *Managed) Failed() int64 { return m.dep.Failed }
+
+// Latencies returns the sampled request latencies in seconds.
+func (m *Managed) Latencies() []float64 { return m.dep.Latencies() }
 
 // SetBackgroundLoad changes a server's background-load factor immediately
 // (scenarios do the same on schedule).

@@ -148,3 +148,108 @@ func TestManagedRejectsBadOps(t *testing.T) {
 		t.Error("scenario naming unknown server accepted")
 	}
 }
+
+func TestManagedCrashFailsAndRestoreRecovers(t *testing.T) {
+	h := managedStar(t, nil)
+	scenario := []LoadPhase{
+		{At: 10, Crash: []string{"s1"}},
+		{At: 30, Restore: []string{"s1"}},
+	}
+	m, err := NewManaged(h, model.DIETDefaults(), 100, 10, 6, scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy, err := m.Observe(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy.Failed != 0 {
+		t.Fatalf("healthy window recorded %d failures", healthy.Failed)
+	}
+	crashed, _ := m.Observe(10)
+	crashed2, _ := m.Observe(10)
+	if crashed.Failed+crashed2.Failed == 0 {
+		t.Fatalf("crashed server produced no failures: %+v / %+v", crashed, crashed2)
+	}
+	// The dead node completes nothing while crashed, but the platform as
+	// a whole keeps serving (stale estimates spread load, the crash
+	// detector needs platform-wide progress).
+	if crashed2.Served["s1"] != 0 {
+		t.Errorf("crashed server served %d requests", crashed2.Served["s1"])
+	}
+	if crashed2.Completed == 0 {
+		t.Errorf("platform stopped entirely during the crash: %+v", crashed2)
+	}
+	// Restored: failures stop (allow the tail of in-flight timeouts in
+	// the first window) and the node serves again.
+	m.Observe(10)
+	restored, _ := m.Observe(10)
+	if restored.Failed != 0 {
+		t.Errorf("failures persisted after restore: %+v", restored)
+	}
+	if restored.Served["s1"] == 0 {
+		t.Errorf("restored server never served again: %+v", restored)
+	}
+	if m.Failed() != crashed.Failed+crashed2.Failed {
+		// Cumulative counter must reconcile with the window deltas plus
+		// anything in the settling window we skipped.
+		skipped := m.Failed() - crashed.Failed - crashed2.Failed
+		if skipped < 0 {
+			t.Errorf("cumulative Failed %d below summed window deltas", m.Failed())
+		}
+	}
+}
+
+func TestManagedClientDepartures(t *testing.T) {
+	h := managedStar(t, nil)
+	// Off the window boundaries: a phase at exactly t=10 fires inside the
+	// first Observe(10) (the engine runs events at t <= 10).
+	scenario := []LoadPhase{
+		{At: 12, AddClients: 8},
+		{At: 22, RemoveClients: 8},
+	}
+	m, err := NewManaged(h, model.DIETDefaults(), 100, 10, 2, scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := m.Observe(10)
+	if base.ActiveClients != 2 {
+		t.Fatalf("base population = %d, want 2", base.ActiveClients)
+	}
+	surge, _ := m.Observe(10)
+	if surge.ActiveClients != 10 {
+		t.Fatalf("surge population = %d, want 10", surge.ActiveClients)
+	}
+	after, _ := m.Observe(10)
+	if after.ActiveClients != 2 {
+		t.Fatalf("population after departures = %d, want 2", after.ActiveClients)
+	}
+	if surge.Completed <= base.Completed || after.Completed >= surge.Completed {
+		t.Errorf("demand trace invisible in completions: %d -> %d -> %d",
+			base.Completed, surge.Completed, after.Completed)
+	}
+}
+
+func TestManagedCrashUnknownServer(t *testing.T) {
+	h := managedStar(t, nil)
+	if _, err := NewManaged(h, model.DIETDefaults(), 100, 10, 1,
+		[]LoadPhase{{At: 1, Crash: []string{"ghost"}}}); err == nil {
+		t.Fatal("crash phase naming an unknown server was accepted")
+	}
+	m, err := NewManaged(h, model.DIETDefaults(), 100, 10, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Crash("ghost"); err == nil {
+		t.Fatal("Crash(ghost) succeeded")
+	}
+	if err := m.Crash("root"); err == nil {
+		t.Fatal("Crash(root) succeeded on an agent")
+	}
+	if err := m.SetClientTimeout(0); err == nil {
+		t.Fatal("zero client timeout accepted")
+	}
+	if err := m.SetClientTimeout(0.5); err != nil {
+		t.Fatal(err)
+	}
+}

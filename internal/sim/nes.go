@@ -26,8 +26,19 @@ type Deployment struct {
 	Completed int64
 	// SchedCompleted counts scheduling phases completed at the root.
 	SchedCompleted int64
+	// Failed counts service requests that timed out against a crashed
+	// server (the client retries after clientTimeout).
+	Failed int64
 	// PerServer counts service completions per server, in deployment order.
 	PerServer map[string]int64
+
+	// clientTimeout is how long a client waits for a service response
+	// from a dead node before giving up and retrying (seconds).
+	clientTimeout float64
+	// stopRequests asks that many closed-loop clients to exit at their
+	// next submission boundary; activeClients tracks how many still loop.
+	stopRequests  int
+	activeClients int
 
 	// mixture optionally replaces the single-application workload: clients
 	// draw each request's service cost from these shares.
@@ -127,6 +138,12 @@ type simServer struct {
 
 	pending int // service requests selected-but-not-finished (for prediction)
 
+	// crashed marks a dead node: it still appears in scheduling replies —
+	// the agents' monitoring database is refreshed asynchronously and
+	// keeps advertising the node until the autonomic loop evicts it — but
+	// service requests sent to it time out and fail instead of completing.
+	crashed bool
+
 	// svcSeconds/svcCount accumulate observed execution times, the
 	// monitoring signal of the autonomic loop.
 	svcSeconds float64
@@ -172,11 +189,12 @@ func Instantiate(eng *Engine, h *hierarchy.Hierarchy, costs model.Costs, bandwid
 		return nil, fmt.Errorf("sim: bandwidth (%g) and wapp (%g) must be positive", bandwidth, wapp)
 	}
 	d := &Deployment{
-		eng:       eng,
-		costs:     costs,
-		bw:        bandwidth,
-		wapp:      wapp,
-		PerServer: make(map[string]int64),
+		eng:           eng,
+		costs:         costs,
+		bw:            bandwidth,
+		wapp:          wapp,
+		PerServer:     make(map[string]int64),
+		clientTimeout: defaultClientTimeout,
 	}
 	var build func(id int) entity
 	build = func(id int) entity {
@@ -318,6 +336,20 @@ func (s *simServer) estimate() float64 {
 func (d *Deployment) submitService(s *simServer, wapp float64, onDone func()) {
 	c, bw := d.costs, s.bw
 	s.pending++
+	if s.crashed {
+		// The request is sent into a dead node: no service ever runs, the
+		// client burns its reply timeout, counts the request as failed,
+		// and retries (onDone resumes the closed loop). pending still
+		// rises and falls so the node's advertised estimate behaves like a
+		// loaded-but-alive server — exactly the stale-monitoring trap that
+		// keeps attracting traffic until the autonomic loop evicts it.
+		d.eng.At(d.eng.Now()+d.clientTimeout, func() {
+			s.pending--
+			d.Failed++
+			onDone()
+		})
+		return
+	}
 	compute := wapp * s.bg / s.power
 	s.res.Do(c.ServerSreq/bw+compute+c.ServerSrep/bw, func() {
 		s.pending--
@@ -359,15 +391,53 @@ func (d *Deployment) Submit(onDone func()) {
 	})
 }
 
+// defaultClientTimeout is how long simulated clients wait on a dead
+// server before retrying. One second is long against service times
+// (milliseconds at the paper's scales) and short against measurement
+// windows, like real middleware RPC timeouts.
+const defaultClientTimeout = 1.0
+
+// SetClientTimeout overrides the clients' reply timeout against crashed
+// servers (seconds).
+func (d *Deployment) SetClientTimeout(seconds float64) error {
+	if seconds <= 0 {
+		return fmt.Errorf("sim: client timeout must be positive, got %g", seconds)
+	}
+	d.clientTimeout = seconds
+	return nil
+}
+
 // StartClient launches a closed-loop client at the given simulation time:
-// it submits one request at a time in a continual loop (§5.1).
+// it submits one request at a time in a continual loop (§5.1). The loop
+// exits when StopClients has asked for departures.
 func (d *Deployment) StartClient(at float64) {
 	var loop func()
 	loop = func() {
+		if d.stopRequests > 0 {
+			d.stopRequests--
+			d.activeClients--
+			return
+		}
 		d.Submit(loop)
 	}
-	d.eng.At(at, loop)
+	d.eng.At(at, func() {
+		d.activeClients++
+		loop()
+	})
 }
+
+// StopClients asks n closed-loop clients to leave; each departs at its
+// next submission boundary (an in-flight request finishes first). Asking
+// for more departures than active clients leaves the surplus pending
+// against clients that start later.
+func (d *Deployment) StopClients(n int) {
+	if n > 0 {
+		d.stopRequests += n
+	}
+}
+
+// ActiveClients returns the number of clients currently looping.
+func (d *Deployment) ActiveClients() int { return d.activeClients }
 
 // Utilization reports per-node busy fraction over the elapsed simulation
 // time; useful for locating bottlenecks in measured deployments.

@@ -8,7 +8,10 @@
 # key workloads through the adeptd HTTP handler), and the
 # BenchmarkServicePlanTrace off/on pair (cached-hit request without and
 # with a plan trace — the off case is the no-trace-overhead guard for the
-# observability instrumentation), writes BENCH_plan.json, and gates:
+# observability instrumentation), and BenchmarkObsStoreSample (one
+# time-series sampling tick over the daemon's SLO source mix — the
+# per-second background cost of the SLO engine), writes
+# BENCH_plan.json, and gates:
 #
 #   1. the 5k incremental-vs-naive speedup must be >= 10x, and the
 #      heterogeneous (cluster-grid) 5k plan must stay within 2x ns/op of
@@ -33,7 +36,7 @@ NS_TOL="${BENCH_NS_TOL:-0.20}"
 ALLOCS_TOL="${BENCH_ALLOCS_TOL:-0.20}"
 
 go test -run '^$' \
-  -bench 'BenchmarkHeuristicPlan(100|1k|5k)$|BenchmarkHeuristicPlanNaive(100|1k|5k)$|BenchmarkHeuristicPlanClustered5k$|BenchmarkServicePlanThroughput$|BenchmarkServicePlanTrace$' \
+  -bench 'BenchmarkHeuristicPlan(100|1k|5k)$|BenchmarkHeuristicPlanNaive(100|1k|5k)$|BenchmarkHeuristicPlanClustered5k$|BenchmarkServicePlanThroughput$|BenchmarkServicePlanTrace$|BenchmarkObsStoreSample$' \
   -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . | tee bench_plan.txt
 
 go run ./cmd/benchguard -parse bench_plan.txt -out BENCH_plan.json
