@@ -203,6 +203,41 @@ func BenchmarkHeuristicPlanClustered5k(b *testing.B) {
 	}
 }
 
+// BenchmarkHeuristicPlan{100k,1M} measure planning at fleet scale through
+// the class-collapsed path: a multi-cluster grid whose powers are drawn
+// from a 20-SKU machine catalogue (PowerLevels), so the pool compresses
+// into a few dozen (power, link) equivalence classes and every spec scan
+// runs over classes instead of nodes. Platform generation stays outside
+// the timer — the gate measures planning, not synthesis. cmd/benchguard
+// enforces an absolute ceiling of one second per 1M-node plan
+// (-require-max-ns), the headline latency this path exists for.
+func benchClassPlanner(b *testing.B, n int) {
+	plat, err := (scenario.Spec{Family: scenario.ClusterGrid, N: n, Seed: 7, Clusters: 8, PowerLevels: 20}).Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := core.Request{
+		Platform: plat,
+		Costs:    model.DIETDefaults(),
+		Wapp:     workload.DGEMM{N: 1000}.MFlop(),
+	}
+	planner := core.NewHeuristic()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := planner.Plan(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !plan.ClassPlanned {
+			b.Fatal("class-collapsed path did not engage")
+		}
+	}
+}
+
+func BenchmarkHeuristicPlan100k(b *testing.B) { benchClassPlanner(b, 100_000) }
+func BenchmarkHeuristicPlan1M(b *testing.B)   { benchClassPlanner(b, 1_000_000) }
+
 // BenchmarkPortfolioPlan1k races the full stock portfolio on a 1k pool.
 func BenchmarkPortfolioPlan1k(b *testing.B) { benchPlanner(b, portfolio.New(), 1000) }
 

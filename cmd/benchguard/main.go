@@ -20,6 +20,13 @@
 //	    ratio). Used to cap the overhead a feature (e.g. heterogeneous
 //	    link support) may add over its baseline path.
 //
+//	benchguard -new BENCH_plan.json \
+//	    -require-max-ns BenchmarkHeuristicPlan1M:1000000000
+//	    Enforce an absolute ns/op ceiling per benchmark. Unlike the ratio
+//	    gates this is machine-dependent, so it is reserved for headline
+//	    latency contracts (a million-node plan stays sub-second) with the
+//	    ceiling set at a comfortable multiple of the measured cost.
+//
 //	benchguard -base old.json -new new.json -tol 0.20 [-allocs-tol 0.20]
 //	    Fail when any benchmark present in both files regressed by more
 //	    than the tolerance in ns/op or allocs/op. Absolute numbers are
@@ -75,6 +82,8 @@ func main() {
 	flag.Var(&pairs, "speedup-pair", "slowBench:fastBench pair for -require-speedup (repeatable)")
 	var ratioPairs multiFlag
 	flag.Var(&ratioPairs, "max-ratio-pair", "bench:baselineBench pair for -require-max-ratio (repeatable)")
+	var maxNs multiFlag
+	flag.Var(&maxNs, "require-max-ns", "bench:ns absolute ns/op ceiling (repeatable)")
 	flag.Parse()
 
 	if *parse != "" {
@@ -142,6 +151,31 @@ func main() {
 			fmt.Printf("benchguard: %s / %s = %.2fx (required ≤ %.2fx)\n", bench, base, ratio, *requireMaxRatio)
 			if ratio > *requireMaxRatio {
 				fail("ratio %.2fx above allowed %.2fx", ratio, *requireMaxRatio)
+			}
+		}
+	}
+
+	if len(maxNs) > 0 {
+		if *newPath == "" {
+			fail("-require-max-ns needs -new")
+		}
+		cur := loadFile(*newPath)
+		for _, pair := range maxNs {
+			name, limStr, ok := strings.Cut(pair, ":")
+			if !ok {
+				fail("malformed -require-max-ns %q (want bench:ns)", pair)
+			}
+			lim, err := strconv.ParseFloat(limStr, 64)
+			if err != nil || lim <= 0 {
+				fail("malformed -require-max-ns limit %q", limStr)
+			}
+			m := cur.Benchmarks[name]
+			if m == nil {
+				fail("max-ns gate %q: benchmark missing from %s", name, *newPath)
+			}
+			fmt.Printf("benchguard: %s = %.0f ns/op (required ≤ %.0f)\n", name, m.NsPerOp, lim)
+			if m.NsPerOp > lim {
+				fail("%s ns/op %.0f above ceiling %.0f", name, m.NsPerOp, lim)
 			}
 		}
 	}

@@ -97,6 +97,13 @@ func planInvariants(t *testing.T, req core.Request, label string) {
 	if rp.Capped < hp.Capped {
 		t.Errorf("%s: swap-refined capped %.9g below plain %.9g", label, rp.Capped, hp.Capped)
 	}
+
+	// 7. Class-collapse invariants: expand(collapse(pool)) preserves the
+	// spec multiset, and the forced class-space planner agrees with the
+	// node-space planner (1e-9 on throughput; bit-identical XML whenever
+	// class planning engages or the pool repeats specs).
+	checkClassRoundTrip(t, req.Platform.Nodes, label)
+	classVsNode(t, req, label)
 }
 
 func platformJSON(t *testing.T, p *platform.Platform) string {
@@ -140,10 +147,48 @@ func applyLinkPattern(plat *platform.Platform, linkSel uint8) {
 	}
 }
 
+// applyPowerPattern mutates node powers by one of four deterministic
+// patterns, so the fuzz battery exercises the class-collapse boundaries
+// (spec bucketing is exact on float64 bits — see core.ClassIndex):
+//
+//	0: untouched (continuous draws — usually all-distinct specs);
+//	1: homogenised — every node gets node 0's power (a single class);
+//	2: snapped to at most 6 evenly spaced levels (duplicated specs);
+//	3: near-duplicates — each odd node one ulp above its even
+//	   predecessor (distinct classes a single bit apart).
+func applyPowerPattern(plat *platform.Platform, powSel uint8) {
+	switch powSel % 4 {
+	case 0:
+	case 1:
+		w := plat.Nodes[0].Power
+		for i := range plat.Nodes {
+			plat.Nodes[i].Power = w
+		}
+	case 2:
+		lo, hi := plat.Nodes[0].Power, plat.Nodes[0].Power
+		for _, n := range plat.Nodes {
+			lo, hi = math.Min(lo, n.Power), math.Max(hi, n.Power)
+		}
+		if lo == hi {
+			return
+		}
+		step := (hi - lo) / 5
+		for i := range plat.Nodes {
+			plat.Nodes[i].Power = lo + math.Round((plat.Nodes[i].Power-lo)/step)*step
+		}
+	case 3:
+		for i := 1; i < len(plat.Nodes); i += 2 {
+			plat.Nodes[i].Power = math.Nextafter(plat.Nodes[i-1].Power, math.Inf(1))
+		}
+	}
+}
+
 // fuzzRequest decodes raw fuzz inputs into a planning request over a
 // scenario-family platform. ok is false for inputs outside the model's
-// domain (they are skipped, not failures). linkSel selects the per-node
-// link-bandwidth mutation (applyLinkPattern).
+// domain (they are skipped, not failures). linkSel's low two bits select
+// the per-node link-bandwidth mutation (applyLinkPattern); its next two
+// bits select the power mutation (applyPowerPattern), so the checked-in
+// corpus keeps its meaning while new seeds reach the class boundaries.
 func fuzzRequest(familyIdx, nRaw uint8, seed, wappMilli, demandMilli int64, bwSel, linkSel uint8) (core.Request, bool) {
 	families := scenario.Families()
 	spec := scenario.Spec{
@@ -156,6 +201,7 @@ func fuzzRequest(familyIdx, nRaw uint8, seed, wappMilli, demandMilli int64, bwSe
 	if err != nil {
 		return core.Request{}, false
 	}
+	applyPowerPattern(plat, linkSel>>2)
 	applyLinkPattern(plat, linkSel)
 	wapp := float64(wappMilli) / 1000
 	if wapp < 0 {
@@ -196,6 +242,11 @@ func FuzzPlanInvariants(f *testing.F) {
 	f.Add(uint8(4), uint8(0), int64(5), int64(59582), int64(25000), uint8(1), uint8(0))
 	f.Add(uint8(5), uint8(24), int64(6), int64(59582), int64(0), uint8(1), uint8(0))
 	f.Add(uint8(6), uint8(40), int64(7), int64(1333330), int64(0), uint8(1), uint8(0))
+	// Class-boundary seeds: homogenised, level-snapped (duplicated-spec),
+	// and ±1-ulp near-duplicate power patterns (linkSel bits 2–3).
+	f.Add(uint8(3), uint8(50), int64(8), int64(59582), int64(0), uint8(1), uint8(1<<2))
+	f.Add(uint8(5), uint8(60), int64(9), int64(1333330), int64(0), uint8(0), uint8(2<<2|2))
+	f.Add(uint8(2), uint8(33), int64(10), int64(59582), int64(40000), uint8(1), uint8(3<<2))
 	f.Fuzz(func(t *testing.T, familyIdx, nRaw uint8, seed, wappMilli, demandMilli int64, bwSel, linkSel uint8) {
 		req, ok := fuzzRequest(familyIdx, nRaw, seed, wappMilli, demandMilli, bwSel, linkSel)
 		if !ok {

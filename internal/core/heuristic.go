@@ -55,22 +55,69 @@ import (
 // placement passes are driven by lazy heaps (gated slack, promotion power)
 // that reproduce the paper's linear scans bit-for-bit, including their
 // tie-breaking towards lower node IDs.
+//
+// Two further levers make million-node pools plannable in under a second:
+// the O(n) candidate scans (sort keys, best-star, one-agent/one-server)
+// shard across GOMAXPROCS with index-tie-broken merges (parscan.go), and
+// pools whose nodes repeat a small set of (power, link) specs collapse to
+// spec equivalence classes and plan in class space (classindex.go,
+// heuristic_class.go). Both are bit-transparent: parallel scans merge to
+// the sequential result exactly, and class planning engages only when it
+// can reproduce node-space decisions (falling back on sort-key collisions).
 type Heuristic struct {
 	// naive, when set, plans through the Θ(n)-per-query NaiveEvaluator.
 	// Kept for benchmarks and the property tests that pin the incremental
 	// evaluator to the reference; NewHeuristic always builds the fast one.
 	naive bool
+	// mode selects between node-space and class-collapsed planning.
+	mode poolMode
 }
 
+// poolMode selects how PlanContext treats the node pool.
+type poolMode int
+
+const (
+	// poolAuto plans in class space when the pool is large and compresses
+	// well (see classMinNodes, classMinCompression), node space otherwise.
+	poolAuto poolMode = iota
+	// poolNodesOnly always plans over concrete nodes.
+	poolNodesOnly
+	// poolClassesOnly always plans over spec classes (still falling back to
+	// node space on a sort-key collision between distinct classes).
+	poolClassesOnly
+)
+
+// Auto-mode thresholds: class planning engages at classMinNodes nodes when
+// the pool has at most n/classMinCompression distinct specs. Below the node
+// floor the node-space planner finishes in microseconds anyway; above it,
+// the capped index build keeps the probe O(n/classMinCompression) on
+// incompressible pools.
+const (
+	classMinNodes       = 4096
+	classMinCompression = 8
+)
+
 // NewHeuristic returns the Algorithm 1 planner backed by the incremental
-// evaluator.
+// evaluator, collapsing large spec-repetitive pools to equivalence classes
+// automatically.
 func NewHeuristic() *Heuristic { return &Heuristic{} }
 
 // NewHeuristicNaive returns the Algorithm 1 planner backed by the
 // full-recompute NaiveEvaluator: the pre-incremental cost profile, retained
 // as the benchmark and property-test reference. It produces the same
-// deployments as NewHeuristic.
-func NewHeuristicNaive() *Heuristic { return &Heuristic{naive: true} }
+// deployments as NewHeuristic. Plans in node space only.
+func NewHeuristicNaive() *Heuristic { return &Heuristic{naive: true, mode: poolNodesOnly} }
+
+// NewHeuristicNodeSpace returns the planner pinned to node-space planning:
+// the class collapse never engages. The differential battery uses it as the
+// reference side.
+func NewHeuristicNodeSpace() *Heuristic { return &Heuristic{mode: poolNodesOnly} }
+
+// NewHeuristicClassSpace returns the planner pinned to class-collapsed
+// planning regardless of pool size or compressibility (it still degrades to
+// node space when distinct classes share a sort key, which class blocks
+// cannot represent). The differential battery uses it as the subject side.
+func NewHeuristicClassSpace() *Heuristic { return &Heuristic{mode: poolClassesOnly} }
 
 // Name implements Planner.
 func (*Heuristic) Name() string { return "heuristic" }
@@ -87,6 +134,37 @@ func (p *Heuristic) newEvaluator(req Request) PlacementEvaluator {
 	}
 	return NewEvaluator(req.Costs, req.Platform.Bandwidth, req.Wapp)
 }
+
+// classIndexFor decides whether this plan runs in class space and, if so,
+// builds the index. nil means node space.
+func (p *Heuristic) classIndexFor(req Request) *ClassIndex {
+	nodes := req.Platform.Nodes
+	switch p.mode {
+	case poolNodesOnly:
+		return nil
+	case poolClassesOnly:
+		return BuildClassIndex(nodes)
+	default:
+		if len(nodes) < classMinNodes {
+			return nil
+		}
+		return buildClassIndexCapped(nodes, len(nodes)/classMinCompression)
+	}
+}
+
+// poolSource is the growth loop's view of the sorted non-root pool: node i
+// in sort order, on demand. The node path wraps the sorted slice; the class
+// path materialises nodes lazily from the class expansion.
+type poolSource interface {
+	at(i int) platform.Node
+	size() int
+}
+
+// slicePool adapts a sorted node slice to poolSource.
+type slicePool []platform.Node
+
+func (s slicePool) at(i int) platform.Node { return s[i] }
+func (s slicePool) size() int              { return len(s) }
 
 // growthOp is one recorded growth decision: attach pool node poolIdx under
 // agent parent, or promote node id to an agent. The best deployment is a
@@ -105,7 +183,7 @@ type growth struct {
 	h        *hierarchy.Hierarchy
 	ev       PlacementEvaluator
 	target   float64
-	pool     []platform.Node // sorted non-root pool
+	pool     poolSource // sorted non-root pool
 	poolSize int
 
 	nodes    []evalNode // driver mirror: role/degree/power/stamp per hierarchy ID
@@ -130,6 +208,14 @@ type growth struct {
 		evaluatorOps   int64 // evaluator queries (Eval, RhoAfterAttach)
 		promotions     int64 // servers converted to agents (shift_nodes)
 	}
+}
+
+// bestMark is the op-log prefix of the best valid deployment seen during
+// growth; the seed deployment (zero ops) is always valid.
+type bestMark struct {
+	ops    int
+	capped float64
+	nodes  int
 }
 
 func (g *growth) ensure(id int) {
@@ -177,7 +263,7 @@ func (g *growth) pushOpen(id int) {
 // attach places pool node poolIdx as a server under parent, updating the
 // hierarchy, the evaluator, and every placement index.
 func (g *growth) attach(parent, poolIdx int) error {
-	node := g.pool[poolIdx]
+	node := g.pool.at(poolIdx)
 	id, err := g.h.AddServer(parent, node.Name, node.Power, node.LinkBandwidth)
 	if err != nil {
 		return err
@@ -228,6 +314,138 @@ func (g *growth) promotable(w, bw float64) bool {
 	return calcSchPow(g.req.Costs, bw, w, 2) >= g.target
 }
 
+// seedGrowth mirrors the seed deployment (root + strongest server) into a
+// fresh growth state and indexes the root for gated placement. Both
+// placement heaps are max-heaps: pass 1 takes the most slack, pass 2 the
+// most power. Shared by the node-space and class-space paths.
+func (p *Heuristic) seedGrowth(req Request, h *hierarchy.Hierarchy, target float64, pool poolSource, rootID int, root platform.Node, firstServerID int) *growth {
+	bw := req.Platform.Bandwidth
+	g := &growth{
+		req: req, h: h, ev: p.newEvaluator(req), target: target,
+		pool: pool, poolSize: pool.size(),
+		open:  lazyHeap{max: true},
+		promo: lazyHeap{max: true},
+	}
+	g.ev.AddAgent(rootID, -1, root.Power, root.LinkBandwidth)
+	g.ensure(rootID)
+	g.nodes[rootID] = evalNode{power: root.Power, bw: root.Link(bw), role: roleAgent, stamp: 1}
+	first := pool.at(0)
+	g.ev.AddServer(firstServerID, rootID, first.Power, first.LinkBandwidth)
+	g.ensure(firstServerID)
+	firstBW := first.Link(bw)
+	g.nodes[firstServerID] = evalNode{power: first.Power, bw: firstBW, role: roleServer, stamp: 1}
+	g.nodes[rootID].degree = 1
+	if g.promotable(first.Power, firstBW) {
+		g.promo.push(heapEnt{val: first.Power, id: firstServerID, stamp: 1})
+	}
+	g.registerAgent(rootID)
+	return g
+}
+
+// run executes the greedy growth loop (Steps 10–38) over the seeded state,
+// returning the best op-log mark seen. The context is polled once per
+// iteration, so cancellation latency is one placement step. Shared by the
+// node-space and class-space paths.
+func (g *growth) run(ctx context.Context, name string) (bestMark, error) {
+	req := g.req
+	h := g.h
+	tr := obs.TraceFrom(ctx)
+	evalCapped := func() float64 {
+		g.stats.evaluatorOps++
+		sched, service := g.ev.Eval()
+		return req.Demand.Cap(math.Min(sched, service))
+	}
+	best := bestMark{ops: 0, capped: evalCapped(), nodes: h.Len()}
+
+	next := 1 // index of the next unused node in the pool
+	endGrow := tr.Phase("grow")
+	for next < g.poolSize {
+		if err := CheckContext(ctx, name); err != nil {
+			return best, err
+		}
+		g.stats.iterations++
+		g.stats.evaluatorOps++
+		sched, service := g.ev.Eval()
+		// Demand met by both phases: stop, preferring fewer resources.
+		if req.Demand.Bounded() && service >= float64(req.Demand) && sched >= float64(req.Demand) {
+			break
+		}
+		// Balance reached: servicing power has caught up with scheduling
+		// power, so additional servers cannot raise ρ.
+		if service >= sched {
+			break
+		}
+
+		parent, promoted, err := g.placeNext(g.poolSize - next)
+		if err != nil {
+			return best, err
+		}
+		if parent < 0 {
+			break
+		}
+		if err := g.attach(parent, next); err != nil {
+			return best, err
+		}
+		next++
+
+		// A promoted agent must end with at least two children to satisfy
+		// the paper's shape invariant; feed it a second server immediately
+		// when available (inner while of Steps 18–24).
+		if promoted && next < g.poolSize {
+			if err := g.attach(parent, next); err != nil {
+				return best, err
+			}
+			next++
+		}
+
+		if g.deficient == 0 {
+			if cur := evalCapped(); cur > best.capped || (cur == best.capped && h.Len() < best.nodes) {
+				best = bestMark{ops: len(g.ops), capped: cur, nodes: h.Len()}
+			}
+		}
+	}
+	endGrow()
+	tr.Count("iterations", g.stats.iterations)
+	tr.Count("candidate_scans", g.stats.candidateScans)
+	tr.Count("evaluator_ops", g.stats.evaluatorOps)
+	tr.Count("promotions", g.stats.promotions)
+	return best, nil
+}
+
+// finishGrown materialises the best growth snapshot: the live hierarchy
+// when it is the best, otherwise a replay of the op-log prefix (Steps 28–34
+// generalised — IDs are assigned sequentially, so the replay reproduces the
+// original hierarchy exactly). root and first are the seed deployment's two
+// nodes. Shared by the node-space and class-space paths.
+func (p *Heuristic) finishGrown(ctx context.Context, req Request, g *growth, best bestMark, root, first platform.Node) (*Plan, error) {
+	if best.ops == len(g.ops) {
+		return Finalize(p.Name(), req, g.h)
+	}
+	endReplay := obs.TraceFrom(ctx).Phase("replay")
+	replay := hierarchy.New(deploymentName(req))
+	replayRoot, err := replay.AddRoot(root.Name, root.Power, root.LinkBandwidth)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := replay.AddServer(replayRoot, first.Name, first.Power, first.LinkBandwidth); err != nil {
+		return nil, err
+	}
+	for _, op := range g.ops[:best.ops] {
+		if op.promote {
+			if err := replay.PromoteToAgent(op.id); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		nd := g.pool.at(op.poolIdx)
+		if _, err := replay.AddServer(op.parent, nd.Name, nd.Power, nd.LinkBandwidth); err != nil {
+			return nil, err
+		}
+	}
+	endReplay()
+	return Finalize(p.Name(), req, replay)
+}
+
 // PlanContext implements Planner; the context is polled once per growth
 // iteration, so cancellation latency is one placement step.
 func (p *Heuristic) PlanContext(ctx context.Context, req Request) (*Plan, error) {
@@ -239,11 +457,25 @@ func (p *Heuristic) PlanContext(ctx context.Context, req Request) (*Plan, error)
 	if err := CheckContext(ctx, p.Name()); err != nil {
 		return nil, err
 	}
+	// Class-collapsed path: when the pool compresses to few spec classes
+	// (or the mode forces it) and the class ranking is collision-free, plan
+	// in class space. Otherwise fall through to node space.
+	if ix := p.classIndexFor(req); ix != nil {
+		if cs, ok := newClassSort(req.Costs, req.Platform.Bandwidth, ix); ok {
+			plan, err := p.planClassed(ctx, req, cs)
+			if plan != nil {
+				plan.ClassPlanned = true
+				plan.PoolClasses = ix.NumClasses()
+			}
+			return plan, err
+		}
+	}
 	c := req.Costs
 	bw := req.Platform.Bandwidth
 	wapp := req.Wapp
 	tr := obs.TraceFrom(ctx)
 	tr.Count("pool_nodes", int64(len(req.Platform.Nodes)))
+	uniform := req.Platform.HasUniformLinks()
 
 	endSort := tr.Phase("sort_nodes")
 	sorted := sortNodes(c, bw, req.Platform.Nodes)
@@ -272,18 +504,17 @@ func (p *Heuristic) PlanContext(ctx context.Context, req Request) (*Plan, error)
 	if err != nil {
 		return nil, err
 	}
-	next := 1 // index of the next unused node in pool
 
 	// Step 6: agent-limited shortcut — one agent, one server. Under
 	// heterogeneous links the sorted head is no longer the best pair root
 	// (the d = n−1 ranking punishes slow links far harder than degree 1
 	// does), so the shortcut considers every pair before committing.
 	if virMaxSchPow < minSerCV {
-		if !req.Platform.HasUniformLinks() {
+		if !uniform {
 			floor := req.Demand.Cap(h.Evaluate(c, bw, wapp).Rho)
 			if pr, ps, ok := bestPair(c, req, sorted, bw, floor); ok {
 				tr.Set("snapshot_win", "pair")
-				return buildPair(p.Name(), req, sorted, pr, ps)
+				return buildPairNodes(p.Name(), req, sorted[pr], sorted[ps])
 			}
 		}
 		tr.Set("snapshot_win", "seed")
@@ -296,13 +527,25 @@ func (p *Heuristic) PlanContext(ctx context.Context, req Request) (*Plan, error)
 	// demand. Agents that cannot schedule at this rate should not be given
 	// more children.
 	allPowers := make([]float64, len(pool))
-	minPoolBW := math.Inf(1)
-	for i, n := range pool {
-		allPowers[i] = n.Power
-		if nbw := n.Link(bw); nbw < minPoolBW {
-			minPoolBW = nbw
+	parFill(len(pool), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			allPowers[i] = pool[i].Power
 		}
-	}
+	})
+	minPoolBW := parReduce(len(pool),
+		func() float64 { return math.Inf(1) },
+		func(m *float64, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if nbw := pool[i].Link(bw); nbw < *m {
+					*m = nbw
+				}
+			}
+		},
+		func(dst *float64, src float64) {
+			if src < *dst {
+				*dst = src
+			}
+		})
 	target := calcHierSerPow(c, minPoolBW, wapp, allPowers)
 	if req.Demand.Bounded() && float64(req.Demand) < target {
 		target = float64(req.Demand)
@@ -318,93 +561,11 @@ func (p *Heuristic) PlanContext(ctx context.Context, req Request) (*Plan, error)
 		target = calcSchPow(c, rootBW, root.Power, 2)
 	}
 
-	// Mirror the seed deployment (root + strongest server) into the growth
-	// state, then index the root for gated placement. Both placement heaps
-	// are max-heaps: pass 1 takes the most slack, pass 2 the most power.
-	g := &growth{
-		req: req, h: h, ev: p.newEvaluator(req), target: target,
-		pool: pool, poolSize: len(pool),
-		open:  lazyHeap{max: true},
-		promo: lazyHeap{max: true},
+	g := p.seedGrowth(req, h, target, slicePool(pool), rootID, root, firstServerID)
+	best, err := g.run(ctx, p.Name())
+	if err != nil {
+		return nil, err
 	}
-	g.ev.AddAgent(rootID, -1, root.Power, root.LinkBandwidth)
-	g.ensure(rootID)
-	g.nodes[rootID] = evalNode{power: root.Power, bw: rootBW, role: roleAgent, stamp: 1}
-	g.ev.AddServer(firstServerID, rootID, pool[0].Power, pool[0].LinkBandwidth)
-	g.ensure(firstServerID)
-	firstBW := pool[0].Link(bw)
-	g.nodes[firstServerID] = evalNode{power: pool[0].Power, bw: firstBW, role: roleServer, stamp: 1}
-	g.nodes[rootID].degree = 1
-	if g.promotable(pool[0].Power, firstBW) {
-		g.promo.push(heapEnt{val: pool[0].Power, id: firstServerID, stamp: 1})
-	}
-	g.registerAgent(rootID)
-
-	// best is the op-log prefix of the best valid deployment seen; the
-	// seed deployment (zero ops) is always valid.
-	type bestMark struct {
-		ops    int
-		capped float64
-		nodes  int
-	}
-	evalCapped := func() float64 {
-		g.stats.evaluatorOps++
-		sched, service := g.ev.Eval()
-		return req.Demand.Cap(math.Min(sched, service))
-	}
-	best := bestMark{ops: 0, capped: evalCapped(), nodes: h.Len()}
-
-	endGrow := tr.Phase("grow")
-	for next < len(pool) {
-		if err := CheckContext(ctx, p.Name()); err != nil {
-			return nil, err
-		}
-		g.stats.iterations++
-		g.stats.evaluatorOps++
-		sched, service := g.ev.Eval()
-		// Demand met by both phases: stop, preferring fewer resources.
-		if req.Demand.Bounded() && service >= float64(req.Demand) && sched >= float64(req.Demand) {
-			break
-		}
-		// Balance reached: servicing power has caught up with scheduling
-		// power, so additional servers cannot raise ρ.
-		if service >= sched {
-			break
-		}
-
-		parent, promoted, err := g.placeNext(len(pool) - next)
-		if err != nil {
-			return nil, err
-		}
-		if parent < 0 {
-			break
-		}
-		if err := g.attach(parent, next); err != nil {
-			return nil, err
-		}
-		next++
-
-		// A promoted agent must end with at least two children to satisfy
-		// the paper's shape invariant; feed it a second server immediately
-		// when available (inner while of Steps 18–24).
-		if promoted && next < len(pool) {
-			if err := g.attach(parent, next); err != nil {
-				return nil, err
-			}
-			next++
-		}
-
-		if g.deficient == 0 {
-			if cur := evalCapped(); cur > best.capped || (cur == best.capped && h.Len() < best.nodes) {
-				best = bestMark{ops: len(g.ops), capped: cur, nodes: h.Len()}
-			}
-		}
-	}
-	endGrow()
-	tr.Count("iterations", g.stats.iterations)
-	tr.Count("candidate_scans", g.stats.candidateScans)
-	tr.Count("evaluator_ops", g.stats.evaluatorOps)
-	tr.Count("promotions", g.stats.promotions)
 
 	endSnapshots := tr.Phase("snapshots")
 	// Gated growth and promotion shape deep trees and never revisit the
@@ -419,11 +580,24 @@ func (p *Heuristic) PlanContext(ctx context.Context, req Request) (*Plan, error)
 	// Under heterogeneous links the sorted pool's tail is no longer
 	// guaranteed to carry the prediction minimum (the sort key mixes power
 	// and link), so scan all pool nodes; on uniform platforms the loop's
-	// minimum is exactly the old tail value.
-	for _, nd := range pool {
-		if t := model.ServerPredictionThroughput(c, nd.Link(bw), nd.Power); t < starSched {
-			starSched = t
-		}
+	// minimum is exactly the old tail value. (Float min is associative, so
+	// the sharded reduction is exact.)
+	poolPredMin := parReduce(len(pool),
+		func() float64 { return math.Inf(1) },
+		func(m *float64, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if t := model.ServerPredictionThroughput(c, pool[i].Link(bw), pool[i].Power); t < *m {
+					*m = t
+				}
+			}
+		},
+		func(dst *float64, src float64) {
+			if src < *dst {
+				*dst = src
+			}
+		})
+	if poolPredMin < starSched {
+		starSched = poolPredMin
 	}
 	starService := calcHierSerPow(c, minPoolBW, wapp, allPowers)
 	starCapped := req.Demand.Cap(math.Min(starSched, starService))
@@ -437,41 +611,38 @@ func (p *Heuristic) PlanContext(ctx context.Context, req Request) (*Plan, error)
 	// of the prediction throughputs and link bandwidths for O(1)
 	// exclusion). Gated to non-uniform platforms: uniform planning keeps
 	// the paper's sorted-head star bit for bit.
-	if !req.Platform.HasUniformLinks() {
+	if !uniform {
 		totalPow := root.Power
 		for _, nd := range pool {
 			totalPow += nd.Power
 		}
-		type min2 struct {
-			v1, v2 float64
-			i1     int
-		}
-		fold := func(m *min2, v float64, i int) {
-			if v < m.v1 {
-				m.v2, m.v1, m.i1 = m.v1, v, i
-			} else if v < m.v2 {
-				m.v2 = v
-			}
-		}
-		pred := min2{v1: math.Inf(1), v2: math.Inf(1), i1: -1}
-		link := min2{v1: math.Inf(1), v2: math.Inf(1), i1: -1}
-		for i, nd := range sorted {
-			nbw := nd.Link(bw)
-			fold(&pred, model.ServerPredictionThroughput(c, nbw, nd.Power), i)
-			fold(&link, nbw, i)
-		}
-		excl := func(m min2, i int) float64 {
-			if m.i1 == i {
-				return m.v2
-			}
-			return m.v1
-		}
-		for i, nd := range sorted {
-			sched := math.Min(calcSchPow(c, nd.Link(bw), nd.Power, len(sorted)-1), excl(pred, i))
-			service := serviceFromAggregates(c, excl(link, i), wapp, len(sorted)-1, totalPow-nd.Power)
-			if capped := req.Demand.Cap(math.Min(sched, service)); capped > starCapped {
-				starCapped, starRootIdx = capped, i
-			}
+		type starAgg struct{ pred, link min2 }
+		agg := parReduce(len(sorted),
+			func() starAgg { return starAgg{pred: newMin2(), link: newMin2()} },
+			func(s *starAgg, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					nbw := sorted[i].Link(bw)
+					s.pred.fold(model.ServerPredictionThroughput(c, nbw, sorted[i].Power), i)
+					s.link.fold(nbw, i)
+				}
+			},
+			func(dst *starAgg, src starAgg) {
+				dst.pred.mergeAfter(src.pred)
+				dst.link.mergeAfter(src.link)
+			})
+		am := parReduce(len(sorted),
+			func() argMax { return argMax{v: starCapped, i: -1} },
+			func(m *argMax, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					nd := sorted[i]
+					sched := math.Min(calcSchPow(c, nd.Link(bw), nd.Power, len(sorted)-1), agg.pred.excl(i))
+					service := serviceFromAggregates(c, agg.link.excl(i), wapp, len(sorted)-1, totalPow-nd.Power)
+					m.fold(req.Demand.Cap(math.Min(sched, service)), i)
+				}
+			},
+			func(dst *argMax, src argMax) { dst.mergeAfter(src) })
+		if am.i >= 0 {
+			starCapped, starRootIdx = am.v, am.i
 		}
 	}
 
@@ -489,11 +660,11 @@ func (p *Heuristic) PlanContext(ctx context.Context, req Request) (*Plan, error)
 	// strict improvement over both the grown tree and the star snapshot,
 	// and gated to non-uniform platforms: uniform planning stays
 	// bit-identical.
-	if !req.Platform.HasUniformLinks() {
+	if !uniform {
 		if pr, ps, ok := bestPair(c, req, sorted, bw, math.Max(best.capped, starCapped)); ok {
 			endSnapshots()
 			tr.Set("snapshot_win", "pair")
-			return buildPair(p.Name(), req, sorted, pr, ps)
+			return buildPairNodes(p.Name(), req, sorted[pr], sorted[ps])
 		}
 	}
 	endSnapshots()
@@ -517,36 +688,8 @@ func (p *Heuristic) PlanContext(ctx context.Context, req Request) (*Plan, error)
 		return Finalize(p.Name(), req, star)
 	}
 
-	// Steps 28–34 generalised: revert to the best deployment seen by
-	// replaying its op-log prefix (IDs are assigned sequentially, so the
-	// replay reproduces the original hierarchy exactly).
 	tr.Set("snapshot_win", "grown")
-	if best.ops == len(g.ops) {
-		return Finalize(p.Name(), req, h)
-	}
-	endReplay := tr.Phase("replay")
-	replay := hierarchy.New(deploymentName(req))
-	replayRoot, err := replay.AddRoot(root.Name, root.Power, root.LinkBandwidth)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := replay.AddServer(replayRoot, pool[0].Name, pool[0].Power, pool[0].LinkBandwidth); err != nil {
-		return nil, err
-	}
-	for _, op := range g.ops[:best.ops] {
-		if op.promote {
-			if err := replay.PromoteToAgent(op.id); err != nil {
-				return nil, err
-			}
-			continue
-		}
-		nd := pool[op.poolIdx]
-		if _, err := replay.AddServer(op.parent, nd.Name, nd.Power, nd.LinkBandwidth); err != nil {
-			return nil, err
-		}
-	}
-	endReplay()
-	return Finalize(p.Name(), req, replay)
+	return p.finishGrown(ctx, req, g, best, root, pool[0])
 }
 
 // placeNext decides where the next pool node goes. It returns the parent
@@ -571,7 +714,8 @@ func (p *Heuristic) PlanContext(ctx context.Context, req Request) (*Plan, error)
 //     small pools whose aggregate service power exceeds what any agent can
 //     schedule). Trade scheduling power down for service power as long as
 //     the move strictly improves the demand-capped throughput, evaluated
-//     with one evaluator what-if per agent.
+//     with one evaluator what-if per agent. (The what-ifs pop lazy-heap
+//     state, so this scan must stay sequential.)
 func (g *growth) placeNext(remaining int) (parent int, promoted bool, err error) {
 	// Pass 1: gated attachment under the agent that keeps the most slack.
 	if e, ok := g.open.peek(g.nodes, roleAgent); ok {
@@ -596,7 +740,7 @@ func (g *growth) placeNext(remaining int) (parent int, promoted bool, err error)
 	g.stats.evaluatorOps++
 	sched, service := g.ev.Eval()
 	cur := g.req.Demand.Cap(math.Min(sched, service))
-	nextNode := g.pool[g.poolSize-remaining]
+	nextNode := g.pool.at(g.poolSize - remaining)
 	bestParent := -1
 	bestRho := cur
 	g.stats.candidateScans += int64(len(g.agentIDs))
@@ -619,7 +763,9 @@ func deploymentName(req Request) string {
 // own link sustains degree 1 best; the best server maximises
 // min(prediction throughput, lone-server servicing power) — a ranking
 // independent of the root choice, so the top-two servers scored against
-// every root cover all candidate pairs in O(n).
+// every root cover all candidate pairs in O(n). Both scans shard across
+// cores with index-tie-broken merges, reproducing the sequential pick
+// exactly.
 func bestPair(c model.Costs, req Request, sorted []platform.Node, bw float64, floor float64) (rootIdx, servIdx int, ok bool) {
 	wapp := req.Wapp
 	serverScore := func(nd platform.Node) float64 {
@@ -627,42 +773,51 @@ func bestPair(c model.Costs, req Request, sorted []platform.Node, bw float64, fl
 		return math.Min(model.ServerPredictionThroughput(c, nbw, nd.Power),
 			calcHierSerPow(c, nbw, wapp, []float64{nd.Power}))
 	}
-	s1, s2 := -1, -1 // best and runner-up server, as indices into sorted
-	for i, nd := range sorted {
-		switch sc := serverScore(nd); {
-		case s1 < 0 || sc > serverScore(sorted[s1]):
-			s1, s2 = i, s1
-		case s2 < 0 || sc > serverScore(sorted[s2]):
-			s2 = i
-		}
+	top := parReduce(len(sorted), newTop2,
+		func(m *top2, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				m.fold(serverScore(sorted[i]), i)
+			}
+		},
+		func(dst *top2, src top2) { dst.mergeAfter(src) })
+	s1, s2 := top.i1, top.i2
+	am := parReduce(len(sorted),
+		func() argMax { return argMax{v: floor, i: -1} },
+		func(m *argMax, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				srv, sv := s1, top.v1
+				if i == s1 {
+					srv, sv = s2, top.v2
+				}
+				if srv < 0 {
+					continue
+				}
+				nd := sorted[i]
+				rho := math.Min(calcSchPow(c, nd.Link(bw), nd.Power, 1), sv)
+				m.fold(req.Demand.Cap(rho), i)
+			}
+		},
+		func(dst *argMax, src argMax) { dst.mergeAfter(src) })
+	if am.i < 0 {
+		return -1, -1, false
 	}
-	best := floor
-	rootIdx, servIdx = -1, -1
-	for i, nd := range sorted {
-		srv := s1
-		if i == s1 {
-			srv = s2
-		}
-		if srv < 0 {
-			continue
-		}
-		rho := math.Min(calcSchPow(c, nd.Link(bw), nd.Power, 1), serverScore(sorted[srv]))
-		if capped := req.Demand.Cap(rho); capped > best {
-			best, rootIdx, servIdx = capped, i, srv
-		}
+	servIdx = s1
+	if am.i == s1 {
+		servIdx = s2
 	}
-	return rootIdx, servIdx, rootIdx >= 0
+	return am.i, servIdx, true
 }
 
-// buildPair materialises and finalises the (root, server) pair selected by
-// bestPair.
-func buildPair(name string, req Request, sorted []platform.Node, rootIdx, servIdx int) (*Plan, error) {
+// buildPairNodes materialises and finalises a one-agent/one-server
+// deployment from concrete nodes. Shared by the node-space and class-space
+// pair scans.
+func buildPairNodes(name string, req Request, root, serv platform.Node) (*Plan, error) {
 	pair := hierarchy.New(deploymentName(req))
-	pairRoot, err := pair.AddRoot(sorted[rootIdx].Name, sorted[rootIdx].Power, sorted[rootIdx].LinkBandwidth)
+	pairRoot, err := pair.AddRoot(root.Name, root.Power, root.LinkBandwidth)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := pair.AddServer(pairRoot, sorted[servIdx].Name, sorted[servIdx].Power, sorted[servIdx].LinkBandwidth); err != nil {
+	if _, err := pair.AddServer(pairRoot, serv.Name, serv.Power, serv.LinkBandwidth); err != nil {
 		return nil, err
 	}
 	return Finalize(name, req, pair)

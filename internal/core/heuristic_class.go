@@ -1,0 +1,469 @@
+package core
+
+import (
+	"context"
+	"math"
+	"sort"
+
+	"adept/internal/hierarchy"
+	"adept/internal/model"
+	"adept/internal/obs"
+	"adept/internal/platform"
+)
+
+// This file is the class-collapsed twin of the node-space planner in
+// heuristic.go. It keeps PlanContext's macro structure exactly — seed
+// shortcut, target computation, gated growth, snapshot scans (full star,
+// star-over-every-root, one-agent/one-server pair), best-prefix replay —
+// but every Θ(n) scan over node *specs* runs over the ClassIndex's Θ(C)
+// classes instead. The growth loop itself is shared verbatim (growth.run):
+// it consumes the sorted pool one node at a time through a poolSource, and
+// the class path's classPool materialises those nodes lazily, spending each
+// class's members in ascending name order.
+//
+// Equivalence contract, enforced by the differential battery in
+// classdiff_test.go and the fuzz invariants:
+//
+//   - On any platform, the class-collapsed plan's predicted throughput
+//     matches the node-space plan's to 1e-9. Spec-scan minima/maxima are
+//     exact per class; only the order of long floating-point power
+//     accumulations can differ (class-block order vs node-sort order).
+//   - When the pool is homogeneous or duplicated-spec — distinct classes
+//     have distinct sort keys, so the node-space sort is exactly "class
+//     blocks, names ascending" — the two planners are bit-identical, XML
+//     included.
+//   - A sort-key collision between distinct classes (the one case where
+//     class blocks cannot reproduce the node-space interleaving) is
+//     detected in newClassSort and falls back to node-space planning.
+
+// classSort ranks the classes of a ClassIndex by the node-space sort key
+// (scheduling power at d = n-1 children, each class at its own link),
+// descending, ties by smallest member name — the class-space image of
+// sortNodes. start[j] is the position of class j's first member in the
+// sorted expansion; start[C] = n.
+type classSort struct {
+	ix    *ClassIndex
+	order []int
+	start []int
+}
+
+// newClassSort builds the class ranking. ok is false when two distinct
+// classes share a sort key bit for bit: node-space sorting would interleave
+// their members by name, which class blocks cannot reproduce, so the caller
+// must plan in node space.
+func newClassSort(c model.Costs, bandwidth float64, ix *ClassIndex) (*classSort, bool) {
+	d := ix.total - 1
+	if d < 1 {
+		d = 1
+	}
+	nc := ix.NumClasses()
+	keys := make([]float64, nc)
+	for i := 0; i < nc; i++ {
+		cl := ix.Class(i)
+		keys[i] = calcSchPow(c, cl.link(bandwidth), cl.Power, d)
+	}
+	order := make([]int, nc)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if keys[order[a]] != keys[order[b]] {
+			return keys[order[a]] > keys[order[b]]
+		}
+		return ix.Class(order[a]).minName < ix.Class(order[b]).minName
+	})
+	for j := 1; j < nc; j++ {
+		if keys[order[j]] == keys[order[j-1]] {
+			return nil, false
+		}
+	}
+	start := make([]int, nc+1)
+	for j, k := range order {
+		start[j+1] = start[j] + ix.Class(k).Count()
+	}
+	return &classSort{ix: ix, order: order, start: start}, true
+}
+
+// class returns the j-th class in sort order.
+func (cs *classSort) class(j int) *NodeClass { return &cs.ix.classes[cs.order[j]] }
+
+// numClasses returns the class count.
+func (cs *classSort) numClasses() int { return len(cs.order) }
+
+// poolCount returns how many members of sorted class j are in the non-root
+// pool (the root consumes one member of class 0).
+func (cs *classSort) poolCount(j int) int {
+	n := cs.class(j).Count()
+	if j == 0 {
+		n--
+	}
+	return n
+}
+
+// uniformLinks is Platform.HasUniformLinks computed over classes.
+func (cs *classSort) uniformLinks(def float64) bool {
+	for j := range cs.order {
+		cl := cs.class(j)
+		if cl.LinkBandwidth > 0 && cl.LinkBandwidth != def {
+			return false
+		}
+	}
+	return true
+}
+
+// fillPoolPowers writes the pool's power vector in sorted-expansion order
+// (class blocks). In the bit-identity regimes this is exactly the node-sort
+// order, so downstream sequential accumulations match bit for bit.
+func (cs *classSort) fillPoolPowers(dst []float64) {
+	pos := 0
+	for j := range cs.order {
+		w := cs.class(j).Power
+		for k := cs.poolCount(j); k > 0; k-- {
+			dst[pos] = w
+			pos++
+		}
+	}
+}
+
+// nameHeap is a binary min-heap of node names. classPool drains one per
+// class: heap construction is O(count) with no upfront sort, so consuming
+// k nodes of a huge class costs O(count + k log count) string comparisons
+// instead of an O(count log count) full sort.
+type nameHeap []string
+
+func (h nameHeap) siftDown(i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && h[r] < h[l] {
+			m = r
+		}
+		if h[i] <= h[m] {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+func heapifyNames(h nameHeap) {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+// classPool lazily materialises the sorted expansion of a classSort:
+// classes in sort order, members in ascending name order. at(i) is the
+// i-th node of the expansion; only the consumed prefix is ever built, so a
+// plan that deploys a few hundred of a million nodes never names the rest.
+type classPool struct {
+	cs    *classSort
+	nodes []platform.Node
+	cls   int // position in cs.order currently draining; -1 before the first
+	heap  nameHeap
+}
+
+func newClassPool(cs *classSort) *classPool {
+	return &classPool{cs: cs, cls: -1}
+}
+
+func (cp *classPool) at(i int) platform.Node {
+	for i >= len(cp.nodes) {
+		cp.materializeOne()
+	}
+	return cp.nodes[i]
+}
+
+func (cp *classPool) materializeOne() {
+	for len(cp.heap) == 0 {
+		cp.cls++
+		cl := cp.cs.class(cp.cls)
+		cp.heap = append(cp.heap[:0], cl.names...)
+		heapifyNames(cp.heap)
+	}
+	name := cp.heap[0]
+	last := len(cp.heap) - 1
+	cp.heap[0] = cp.heap[last]
+	cp.heap = cp.heap[:last]
+	cp.heap.siftDown(0)
+	cp.nodes = append(cp.nodes, cp.cs.class(cp.cls).node(name))
+}
+
+// classPoolView adapts a classPool to the growth loop's poolSource: the
+// non-root pool is the sorted expansion shifted by one (the root is
+// expansion position 0).
+type classPoolView struct {
+	cp *classPool
+	n  int
+}
+
+func (v classPoolView) at(i int) platform.Node { return v.cp.at(i + 1) }
+func (v classPoolView) size() int              { return v.n }
+
+// classRef addresses one concrete node in class space: the member-th
+// smallest name of sorted class j. Only members 0 and 1 are ever needed
+// (best/runner-up selections), so materialisation uses minNames2.
+type classRef struct {
+	j, member int
+}
+
+func (cs *classSort) refNode(r classRef) platform.Node {
+	cl := cs.class(r.j)
+	n1, n2 := cl.minNames2()
+	if r.member == 0 {
+		return cl.node(n1)
+	}
+	return cl.node(n2)
+}
+
+// classFold folds a per-class value into a min2 as if each of the class's
+// cnt members had been folded at the class's block position: the first
+// fold records the value (and the class position as the tie-break index),
+// the second collapses v2 onto v1 so that exclusion of any single member
+// of a multi-member class leaves the value in place.
+func classFold(m *min2, v float64, j, cnt int) {
+	m.fold(v, j)
+	if cnt > 1 {
+		m.fold(v, j)
+	}
+}
+
+// bestPairClassed is bestPair over classes: the top-two server candidates
+// (by the root-independent server score) scored against every candidate
+// root class in O(C). Member indices replicate the node-space scan's
+// earliest-index tie-breaks: a class's first member is its block's first
+// sorted index, and only the best-server class ever needs its second
+// member as a distinct candidate. Returns concrete nodes.
+func (cs *classSort) bestPairClassed(c model.Costs, req Request, bw, floor float64) (rootNd, servNd platform.Node, ok bool) {
+	wapp := req.Wapp
+	score := func(cl *NodeClass) float64 {
+		nbw := cl.link(bw)
+		return math.Min(model.ServerPredictionThroughput(c, nbw, cl.Power),
+			calcHierSerPow(c, nbw, wapp, []float64{cl.Power}))
+	}
+	// Best and runner-up server, with the node-space fold replicated per
+	// member candidate: member 1 of a class is only a distinct candidate
+	// for the runner-up slot (equal score, later index).
+	s1, s2 := classRef{j: -1}, classRef{j: -1}
+	var v1, v2 float64
+	fold := func(j, member int, sc float64) {
+		switch {
+		case s1.j < 0 || sc > v1:
+			s2, v2 = s1, v1
+			s1, v1 = classRef{j, member}, sc
+		case s2.j < 0 || sc > v2:
+			s2, v2 = classRef{j, member}, sc
+		}
+	}
+	for j := range cs.order {
+		sc := score(cs.class(j))
+		fold(j, 0, sc)
+		if cs.class(j).Count() > 1 {
+			fold(j, 1, sc)
+		}
+	}
+	best := floor
+	br, bs := classRef{j: -1}, classRef{j: -1}
+	for j := range cs.order {
+		cl := cs.class(j)
+		rootSch := calcSchPow(c, cl.link(bw), cl.Power, 1)
+		eval := func(member int) {
+			srv, sv := s1, v1
+			if s1.j == j && s1.member == member {
+				srv, sv = s2, v2
+			}
+			if srv.j < 0 {
+				return
+			}
+			rho := math.Min(rootSch, sv)
+			if capped := req.Demand.Cap(rho); capped > best {
+				best, br, bs = capped, classRef{j, member}, srv
+			}
+		}
+		eval(0)
+		// Members past the first share the best server as partner; they
+		// are distinct candidates only when member 0 was the best server
+		// itself (node-space: the i == s1 exclusion).
+		if s1.j == j && s1.member == 0 && cl.Count() > 1 {
+			eval(1)
+		}
+	}
+	if br.j < 0 {
+		return platform.Node{}, platform.Node{}, false
+	}
+	return cs.refNode(br), cs.refNode(bs), true
+}
+
+// bestStarRoot is the star-over-every-root snapshot over classes: the
+// aggregate minima (prediction throughput, link bandwidth) fold per class,
+// exclusion of a candidate root is O(1) via min2, and every member of a
+// class scores identically — so the first member of the first improving
+// class is the node-space argmax. Returns the (possibly improved) capped
+// score and the star root's position in the sorted expansion.
+func (cs *classSort) bestStarRoot(c model.Costs, req Request, bw, wapp float64, allPowers []float64, starCapped float64) (float64, int) {
+	n := cs.ix.total
+	totalPow := cs.class(0).Power
+	for _, w := range allPowers {
+		totalPow += w
+	}
+	pred, link := newMin2(), newMin2()
+	for j := range cs.order {
+		cl := cs.class(j)
+		cnt := cl.Count()
+		nbw := cl.link(bw)
+		classFold(&pred, model.ServerPredictionThroughput(c, nbw, cl.Power), j, cnt)
+		classFold(&link, nbw, j, cnt)
+	}
+	best, bestPos := starCapped, 0
+	for j := range cs.order {
+		cl := cs.class(j)
+		sched := math.Min(calcSchPow(c, cl.link(bw), cl.Power, n-1), pred.excl(j))
+		service := serviceFromAggregates(c, link.excl(j), wapp, n-1, totalPow-cl.Power)
+		if capped := req.Demand.Cap(math.Min(sched, service)); capped > best {
+			best, bestPos = capped, cs.start[j]
+		}
+	}
+	return best, bestPos
+}
+
+// planClassed is PlanContext in class space. See the file comment for the
+// equivalence contract; every step annotates which node-space computation
+// it collapses.
+func (p *Heuristic) planClassed(ctx context.Context, req Request, cs *classSort) (*Plan, error) {
+	c := req.Costs
+	bw := req.Platform.Bandwidth
+	wapp := req.Wapp
+	n := cs.ix.total
+	tr := obs.TraceFrom(ctx)
+	tr.Count("pool_nodes", int64(n))
+	tr.Count("pool_classes", int64(cs.numClasses()))
+
+	// sortNodes collapsed: the classes are already ranked; materialise only
+	// the head of the expansion.
+	endSort := tr.Phase("sort_nodes")
+	cp := newClassPool(cs)
+	root := cp.at(0)
+	endSort()
+	rootBW := root.Link(bw)
+	pool := classPoolView{cp: cp, n: n - 1}
+	uniform := cs.uniformLinks(bw)
+
+	h := hierarchy.New(deploymentName(req))
+	rootID, err := h.AddRoot(root.Name, root.Power, root.LinkBandwidth)
+	if err != nil {
+		return nil, err
+	}
+
+	// Steps 3–5, exactly as the node path computes them.
+	pool0 := pool.at(0)
+	virMaxSchPow := calcSchPow(c, rootBW, root.Power, 1)
+	virMaxSerPow := calcHierSerPow(c, pool0.Link(bw), wapp, []float64{pool0.Power})
+	minSerCV := virMaxSerPow
+	if req.Demand.Bounded() && float64(req.Demand) < minSerCV {
+		minSerCV = float64(req.Demand)
+	}
+
+	firstServerID, err := h.AddServer(rootID, pool0.Name, pool0.Power, pool0.LinkBandwidth)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 6: agent-limited shortcut, with the heterogeneous-links pair
+	// scan collapsed to classes.
+	if virMaxSchPow < minSerCV {
+		if !uniform {
+			floor := req.Demand.Cap(h.Evaluate(c, bw, wapp).Rho)
+			if rootNd, servNd, ok := cs.bestPairClassed(c, req, bw, floor); ok {
+				tr.Set("snapshot_win", "pair")
+				return buildPairNodes(p.Name(), req, rootNd, servNd)
+			}
+		}
+		tr.Set("snapshot_win", "seed")
+		return Finalize(p.Name(), req, h)
+	}
+
+	// The supported_children target: same calcHierSerPow call as the node
+	// path, over the pool's power vector written in class-block order (the
+	// node-sort order whenever bit-identity is claimed). The O(n) fill is
+	// plain stores; the O(C) part is the spec minima.
+	allPowers := make([]float64, n-1)
+	cs.fillPoolPowers(allPowers)
+	minPoolBW := math.Inf(1)
+	for j := range cs.order {
+		if cs.poolCount(j) == 0 {
+			continue
+		}
+		if nbw := cs.class(j).link(bw); nbw < minPoolBW {
+			minPoolBW = nbw
+		}
+	}
+	target := calcHierSerPow(c, minPoolBW, wapp, allPowers)
+	if req.Demand.Bounded() && float64(req.Demand) < target {
+		target = float64(req.Demand)
+	}
+	if target > virMaxSchPow {
+		target = calcSchPow(c, rootBW, root.Power, 2)
+	}
+
+	// Shared growth loop over the lazily materialised pool.
+	g := p.seedGrowth(req, h, target, pool, rootID, root, firstServerID)
+	best, err := g.run(ctx, p.Name())
+	if err != nil {
+		return nil, err
+	}
+
+	endSnapshots := tr.Phase("snapshots")
+	// Full-star snapshot: the pool-wide prediction minimum is exact per
+	// class; the service power reuses the class-ordered power vector.
+	starSched := calcSchPow(c, rootBW, root.Power, n-1)
+	for j := range cs.order {
+		if cs.poolCount(j) == 0 {
+			continue
+		}
+		cl := cs.class(j)
+		if t := model.ServerPredictionThroughput(c, cl.link(bw), cl.Power); t < starSched {
+			starSched = t
+		}
+	}
+	starService := calcHierSerPow(c, minPoolBW, wapp, allPowers)
+	starCapped := req.Demand.Cap(math.Min(starSched, starService))
+	starRootPos := 0
+
+	if !uniform {
+		starCapped, starRootPos = cs.bestStarRoot(c, req, bw, wapp, allPowers, starCapped)
+	}
+	if !uniform {
+		if rootNd, servNd, ok := cs.bestPairClassed(c, req, bw, math.Max(best.capped, starCapped)); ok {
+			endSnapshots()
+			tr.Set("snapshot_win", "pair")
+			return buildPairNodes(p.Name(), req, rootNd, servNd)
+		}
+	}
+	endSnapshots()
+
+	if starCapped > best.capped {
+		tr.Set("snapshot_win", "star")
+		star := hierarchy.New(deploymentName(req))
+		rootNd := cp.at(starRootPos)
+		starRoot, err := star.AddRoot(rootNd.Name, rootNd.Power, rootNd.LinkBandwidth)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			if i == starRootPos {
+				continue
+			}
+			nd := cp.at(i)
+			if _, err := star.AddServer(starRoot, nd.Name, nd.Power, nd.LinkBandwidth); err != nil {
+				return nil, err
+			}
+		}
+		return Finalize(p.Name(), req, star)
+	}
+
+	tr.Set("snapshot_win", "grown")
+	return p.finishGrown(ctx, req, g, best, root, pool0)
+}

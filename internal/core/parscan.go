@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// This file provides the deterministic parallel-scan helpers behind the
+// planner's O(n) candidate scans (sort-key computation, the best-star and
+// one-agent/one-server snapshot scans). They shard a scan across
+// GOMAXPROCS workers and merge the per-shard results left to right, with
+// every tie broken by element index — so the outcome is bit-identical to
+// the sequential scan regardless of the shard count, the scheduler, or
+// GOMAXPROCS. The determinism-under-parallelism tests plan the same
+// platform at GOMAXPROCS 1/2/8 and assert byte-identical XML.
+//
+// Only order-independent reductions go through here: pure per-element maps
+// (parFill) and min/max selections whose merge is associative once ties
+// carry indices (min2, top2, argMax). Floating-point *accumulations*
+// (power sums, compensated service sums) are deliberately kept sequential
+// in the planner — reassociating them would change low-order bits — and
+// they are O(n) additions, never the scan bottleneck.
+
+// parScanMin is the element count below which scans stay sequential: the
+// fan-out costs more than the scan itself, and small pools are planned in
+// microseconds anyway.
+const parScanMin = 4096
+
+// parShards picks the shard count for an n-element scan. The choice only
+// affects speed, never results (merges are index-tie-broken), so it is free
+// to consult GOMAXPROCS.
+func parShards(n int) int {
+	p := runtime.GOMAXPROCS(0)
+	if n < parScanMin || p <= 1 {
+		return 1
+	}
+	if lim := n / 1024; p > lim {
+		p = lim
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// parFill invokes fn over disjoint contiguous spans covering [0, n),
+// concurrently when the scan is large enough. fn must be a pure
+// per-element map (each index written independently).
+func parFill(n int, fn func(lo, hi int)) {
+	shards := parShards(n)
+	if shards == 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		lo, hi := n*s/shards, n*(s+1)/shards
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}()
+	}
+	wg.Wait()
+}
+
+// parReduce folds scan over [0, n) in contiguous shards and merges the
+// per-shard states left to right (merge's src always covers strictly later
+// indices than dst). With an index-tie-broken merge the result is
+// bit-identical to scan(&init(), 0, n).
+func parReduce[S any](n int, init func() S, scan func(s *S, lo, hi int), merge func(dst *S, src S)) S {
+	shards := parShards(n)
+	out := init()
+	if shards == 1 {
+		scan(&out, 0, n)
+		return out
+	}
+	parts := make([]S, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		lo, hi := n*s/shards, n*(s+1)/shards
+		parts[s] = init()
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			scan(&parts[s], lo, hi)
+		}(s, lo, hi)
+	}
+	wg.Wait()
+	for s := 0; s < shards; s++ {
+		merge(&out, parts[s])
+	}
+	return out
+}
+
+// min2 tracks the two smallest values of a scan plus the index of the
+// first element attaining the minimum. fold uses strict <, so ties keep
+// the earliest index — the exact semantics of the sequential snapshot
+// scans it replaces.
+type min2 struct {
+	v1, v2 float64
+	i1     int
+}
+
+func newMin2() min2 { return min2{v1: math.Inf(1), v2: math.Inf(1), i1: -1} }
+
+func (m *min2) fold(v float64, i int) {
+	if v < m.v1 {
+		m.v2, m.v1, m.i1 = m.v1, v, i
+	} else if v < m.v2 {
+		m.v2 = v
+	}
+}
+
+// mergeAfter folds in o, which scanned strictly later indices than m. The
+// two smallest values of the union are kept; on an exact value tie the
+// earlier shard's index wins, matching the sequential fold.
+func (m *min2) mergeAfter(o min2) {
+	if o.v1 < m.v1 {
+		v2 := m.v1
+		if o.v2 < v2 {
+			v2 = o.v2
+		}
+		m.v1, m.v2, m.i1 = o.v1, v2, o.i1
+		return
+	}
+	if o.v1 < m.v2 {
+		m.v2 = o.v1
+	}
+}
+
+// excl returns the scan minimum with element i excluded: the second
+// minimum when i carried the minimum, the minimum otherwise. (When the
+// minimum value occurs more than once, v2 equals v1 and both branches
+// agree.)
+func (m min2) excl(i int) float64 {
+	if m.i1 == i {
+		return m.v2
+	}
+	return m.v1
+}
+
+// top2 tracks the two largest values of a scan with their indices. fold
+// uses strict >, so ties keep the earliest index; the merge preserves
+// that, reproducing the sequential best/runner-up selection exactly.
+type top2 struct {
+	v1, v2 float64
+	i1, i2 int
+}
+
+func newTop2() top2 { return top2{i1: -1, i2: -1} }
+
+func (m *top2) fold(v float64, i int) {
+	switch {
+	case m.i1 < 0 || v > m.v1:
+		m.v2, m.i2 = m.v1, m.i1
+		m.v1, m.i1 = v, i
+	case m.i2 < 0 || v > m.v2:
+		m.v2, m.i2 = v, i
+	}
+}
+
+// mergeAfter folds in o, which scanned strictly later indices than m.
+// Re-folding o's retained (value, index) pairs in o's own order is exact:
+// within a shard equal values keep ascending indices, and any element o
+// dropped was beaten by two elements of its own shard, hence by two of the
+// union.
+func (m *top2) mergeAfter(o top2) {
+	if o.i1 >= 0 {
+		m.fold(o.v1, o.i1)
+	}
+	if o.i2 >= 0 {
+		m.fold(o.v2, o.i2)
+	}
+}
+
+// argMax tracks the largest value strictly above an initial floor and the
+// first index attaining it (strict >, earliest index on ties). i stays -1
+// while nothing beat the floor.
+type argMax struct {
+	v float64
+	i int
+}
+
+func (m *argMax) fold(v float64, i int) {
+	if v > m.v {
+		m.v, m.i = v, i
+	}
+}
+
+func (m *argMax) mergeAfter(o argMax) {
+	if o.i >= 0 && o.v > m.v {
+		m.v, m.i = o.v, o.i
+	}
+}

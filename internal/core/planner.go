@@ -9,6 +9,17 @@
 // produces a deployment hierarchy that maximises the completed-request
 // throughput ρ = min(ρ_sched, ρ_service), preferring the deployment using
 // the fewest resources when several reach the maximum.
+//
+// For fleet-scale pools the heuristic collapses the node list into
+// (power, link bandwidth) equivalence classes and plans over classes with
+// multiplicity counts (classindex.go, heuristic_class.go): million-node
+// platforms drawn from a machine catalogue plan in well under a second,
+// with the result provably identical to node-space planning — bit for bit
+// whenever the class path engages, to 1e-9 in predicted throughput
+// otherwise. Pools that do not compress plan in node space as before, and
+// the remaining O(n) candidate scans shard across GOMAXPROCS with
+// deterministic tie-breaking (parscan.go), bit-identical at any
+// parallelism.
 package core
 
 import (
@@ -67,6 +78,12 @@ type Plan struct {
 	NodesUsed int
 	// Planner names the algorithm that produced the plan.
 	Planner string
+	// ClassPlanned reports that the plan was computed in class-collapsed
+	// space (see ClassIndex); false means node-space planning.
+	ClassPlanned bool
+	// PoolClasses is the number of (power, link) spec equivalence classes
+	// in the pool when ClassPlanned is set; zero otherwise.
+	PoolClasses int
 }
 
 // XML returns the GoDIET-style deployment XML (the write_xml step).

@@ -74,6 +74,11 @@ type Hierarchy struct {
 	Name  string
 	nodes []Node
 	root  int
+	// arena slab-allocates the nodes' Children backing arrays (see
+	// appendChild): growing a deployment one child at a time used to be
+	// one heap allocation per attachment, the dominant allocation cost of
+	// planning at scale.
+	arena []int
 }
 
 // New creates an empty hierarchy. The first added agent becomes the root.
@@ -188,8 +193,42 @@ func (h *Hierarchy) addChild(parent int, name string, power float64, role Role, 
 	}
 	id := len(h.nodes)
 	h.nodes = append(h.nodes, Node{ID: id, Name: name, Power: power, Bandwidth: bw, Role: role, Parent: parent})
-	h.nodes[parent].Children = append(h.nodes[parent].Children, id)
+	h.nodes[parent].Children = h.appendChild(h.nodes[parent].Children, id)
 	return id, nil
+}
+
+// arenaBlock is the slab size (in child IDs) of the Children arena.
+const arenaBlock = 1024
+
+// appendChild appends id to a Children slice, drawing fresh capacity from
+// the hierarchy's slab arena instead of the heap. Each grant hands out the
+// full granted capacity and advances the slab cursor past it, so two
+// Children slices never alias: in-cap appends stay inside the owner's
+// grant, and over-cap appends either take a new grant (here) or fall back
+// to the ordinary heap (append anywhere else in the codebase). Abandoned
+// grants are garbage until the hierarchy itself is released — a fine trade
+// for one-shot plan construction, which allocates O(slabs) instead of
+// O(attachments).
+func (h *Hierarchy) appendChild(s []int, id int) []int {
+	if len(s) < cap(s) {
+		return append(s, id)
+	}
+	newCap := 2 * cap(s)
+	if newCap < 2 {
+		newCap = 2
+	}
+	if len(h.arena)+newCap > cap(h.arena) {
+		size := arenaBlock
+		if newCap > size {
+			size = newCap
+		}
+		h.arena = make([]int, 0, size)
+	}
+	used := len(h.arena)
+	ns := h.arena[used : used : used+newCap]
+	h.arena = h.arena[:used+newCap]
+	ns = append(ns, s...)
+	return append(ns, id)
 }
 
 // PromoteToAgent converts a server into an agent (the heuristic's
@@ -490,8 +529,9 @@ func (h *Hierarchy) ComputeStats() Stats {
 // ModelAgents converts the hierarchy's agents into the analytic model's
 // agent views (power + degree + link bandwidth), in agent-ID order.
 func (h *Hierarchy) ModelAgents() []model.Agent {
-	var out []model.Agent
-	for _, id := range h.Agents() {
+	ids := h.Agents()
+	out := make([]model.Agent, 0, len(ids))
+	for _, id := range ids {
 		n := h.nodes[id]
 		out = append(out, model.Agent{Power: n.Power, Degree: len(n.Children), Bandwidth: n.Bandwidth})
 	}
@@ -501,8 +541,9 @@ func (h *Hierarchy) ModelAgents() []model.Agent {
 // ModelServers converts the hierarchy's servers into the analytic model's
 // server views (power + link bandwidth), in server-ID order.
 func (h *Hierarchy) ModelServers() []model.Server {
-	var out []model.Server
-	for _, id := range h.Servers() {
+	ids := h.Servers()
+	out := make([]model.Server, 0, len(ids))
+	for _, id := range ids {
 		n := h.nodes[id]
 		out = append(out, model.Server{Power: n.Power, Bandwidth: n.Bandwidth})
 	}
@@ -511,8 +552,9 @@ func (h *Hierarchy) ModelServers() []model.Server {
 
 // ServerPowers returns the powers of all servers, in server-ID order.
 func (h *Hierarchy) ServerPowers() []float64 {
-	var out []float64
-	for _, id := range h.Servers() {
+	ids := h.Servers()
+	out := make([]float64, 0, len(ids))
+	for _, id := range ids {
 		out = append(out, h.nodes[id].Power)
 	}
 	return out
@@ -539,22 +581,49 @@ func (h *Hierarchy) UsedNames() []string {
 // distinct node of the platform pool with matching power and link
 // bandwidth.
 func (h *Hierarchy) CheckAgainstPlatform(p *platform.Platform) error {
-	pool := make(map[string]platform.Node, len(p.Nodes))
-	for _, n := range p.Nodes {
-		pool[n.Name] = n
+	// The deployment is usually a tiny fraction of a huge pool, so the
+	// lookup map is built over the hierarchy side and the platform slice is
+	// scanned once: O(pool) time with an O(deployment) map, instead of a
+	// pool-sized map on every finalised plan. Reported errors match the old
+	// pool-map scan: the earliest failing hierarchy node wins, and a
+	// duplicated deployment name fails its later occurrence.
+	idx := make(map[string]int, len(h.nodes))
+	errIdx := -1
+	var firstErr error
+	record := func(i int, err error) {
+		if errIdx < 0 || i < errIdx {
+			errIdx, firstErr = i, err
+		}
 	}
-	for _, n := range h.nodes {
-		pn, ok := pool[n.Name]
+	for i, n := range h.nodes {
+		if _, dup := idx[n.Name]; dup {
+			record(i, fmt.Errorf("hierarchy: node %q not in platform pool", n.Name))
+			continue
+		}
+		idx[n.Name] = i
+	}
+	matched := make([]bool, len(h.nodes))
+	for _, pn := range p.Nodes {
+		i, ok := idx[pn.Name]
 		if !ok {
-			return fmt.Errorf("hierarchy: node %q not in platform pool", n.Name)
+			continue
 		}
-		if pn.Power != n.Power {
-			return fmt.Errorf("hierarchy: node %q power mismatch: deployment says %g, platform says %g", n.Name, n.Power, pn.Power)
+		matched[i] = true
+		n := &h.nodes[i]
+		switch {
+		case pn.Power != n.Power:
+			record(i, fmt.Errorf("hierarchy: node %q power mismatch: deployment says %g, platform says %g", n.Name, n.Power, pn.Power))
+		case pn.LinkBandwidth != n.Bandwidth:
+			record(i, fmt.Errorf("hierarchy: node %q link bandwidth mismatch: deployment says %g, platform says %g", n.Name, n.Bandwidth, pn.LinkBandwidth))
 		}
-		if pn.LinkBandwidth != n.Bandwidth {
-			return fmt.Errorf("hierarchy: node %q link bandwidth mismatch: deployment says %g, platform says %g", n.Name, n.Bandwidth, pn.LinkBandwidth)
+	}
+	for name, i := range idx {
+		if !matched[i] {
+			record(i, fmt.Errorf("hierarchy: node %q not in platform pool", name))
 		}
-		delete(pool, n.Name) // each physical node used at most once
+	}
+	if errIdx >= 0 {
+		return firstErr
 	}
 	return nil
 }

@@ -142,6 +142,19 @@ func (p *Platform) TotalPower() float64 {
 	return sum
 }
 
+// DistinctSpecs counts the distinct (power, raw link bandwidth) node specs
+// in the pool — the number of equivalence classes the planner's
+// class-collapsed path would operate over. Equality is exact (float64 bit
+// patterns), matching the collapse itself.
+func DistinctSpecs(nodes []Node) int {
+	type spec struct{ p, b uint64 }
+	seen := make(map[spec]struct{}, 64)
+	for _, n := range nodes {
+		seen[spec{math.Float64bits(n.Power), math.Float64bits(n.LinkBandwidth)}] = struct{}{}
+	}
+	return len(seen)
+}
+
 // IsHomogeneous reports whether all nodes have identical power.
 func (p *Platform) IsHomogeneous() bool {
 	if len(p.Nodes) <= 1 {

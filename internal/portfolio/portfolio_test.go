@@ -2,6 +2,7 @@ package portfolio_test
 
 import (
 	"context"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -184,5 +185,50 @@ func TestPortfolioIsACorePlanner(t *testing.T) {
 	}
 	if plan.Hierarchy.Validate(0) != nil {
 		t.Error("portfolio plan invalid")
+	}
+}
+
+// TestPortfolioDeterministicThroughClassPath races the stock portfolio on
+// a pool large and quantised enough that the heuristic variants plan
+// through the class-collapsed path, and asserts the race is fully
+// deterministic under scheduling noise: same winner, bit-identical XML,
+// across repeated races and across GOMAXPROCS 1 and 8. The race already
+// breaks throughput-and-size ties by variant order; this pins that
+// contract where the variants themselves run parallel candidate scans.
+func TestPortfolioDeterministicThroughClassPath(t *testing.T) {
+	spec := scenario.Spec{Family: scenario.ClusterGrid, N: 4500, Seed: 29, PowerLevels: 8}
+	req := corpusRequest(t, spec, workload.DGEMM{N: 1000}.MFlop())
+	pf := portfolio.New()
+
+	race := func() (string, string) {
+		t.Helper()
+		plan, _, err := pf.PlanWithStats(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xml, err := plan.XML()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plan.Planner, xml
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	refWinner, refXML := race()
+	if !strings.HasPrefix(refWinner, "portfolio:") {
+		t.Fatalf("winner = %q, want portfolio:<variant>", refWinner)
+	}
+	for _, procs := range []int{1, 8} {
+		runtime.GOMAXPROCS(procs)
+		for round := 0; round < 3; round++ {
+			winner, xml := race()
+			if winner != refWinner {
+				t.Fatalf("GOMAXPROCS=%d round %d: winner %q != %q", procs, round, winner, refWinner)
+			}
+			if xml != refXML {
+				t.Fatalf("GOMAXPROCS=%d round %d: XML differs from reference", procs, round)
+			}
+		}
 	}
 }

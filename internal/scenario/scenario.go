@@ -120,6 +120,16 @@ type Spec struct {
 	// InterBandwidth (ClusterGrid) is the uplink bandwidth of every
 	// cluster but the local one, in Mb/s (default Bandwidth/10).
 	InterBandwidth float64 `json:"inter_bandwidth_mbps,omitempty"`
+	// PowerLevels, when at least 1, snaps the drawn node powers to that
+	// many evenly spaced levels over the drawn [min, max] range — a
+	// machine-catalogue quantisation: real fleets buy from L SKUs, they do
+	// not draw from a continuum. Quantised pools compress into few (power,
+	// link) equivalence classes, the regime the class-collapsed planner
+	// exploits; 0 (the default) keeps the continuous draw untouched. The
+	// snap is a post-pass over the power vector, so it never perturbs the
+	// spec's random stream: PowerLevels=0 stays byte-identical to specs
+	// that predate the knob.
+	PowerLevels int `json:"power_levels,omitempty"`
 	// Tiers (FatTree) is the number of bandwidth tiers (default 3): tier t
 	// runs its links at Bandwidth/2^t and holds twice the nodes of tier
 	// t-1.
@@ -344,7 +354,39 @@ func (s Spec) powers(rng *rand.Rand) ([]float64, error) {
 	default:
 		return nil, fmt.Errorf("scenario: unknown family %q (have %v)", s.Family, Families())
 	}
+	s.quantize(out)
 	return out, nil
+}
+
+// quantize snaps the power vector to PowerLevels evenly spaced levels over
+// its own [min, max] range (no-op when the knob is unset or the vector is
+// constant). Runs after all random draws so the rng stream is untouched.
+func (s Spec) quantize(out []float64) {
+	if s.PowerLevels < 1 || len(out) == 0 {
+		return
+	}
+	lo, hi := out[0], out[0]
+	for _, w := range out {
+		if w < lo {
+			lo = w
+		}
+		if w > hi {
+			hi = w
+		}
+	}
+	if lo == hi {
+		return
+	}
+	if s.PowerLevels == 1 {
+		for i := range out {
+			out[i] = lo
+		}
+		return
+	}
+	step := (hi - lo) / float64(s.PowerLevels-1)
+	for i := range out {
+		out[i] = lo + math.Round((out[i]-lo)/step)*step
+	}
 }
 
 // Corpus returns one spec per (family, size) pair, seeds derived from the

@@ -24,6 +24,7 @@ import (
 	"adept/internal/platform"
 	"adept/internal/portfolio"
 	"adept/internal/runtime"
+	"adept/internal/scenario"
 	"adept/internal/slo"
 	"adept/internal/workload"
 )
@@ -144,6 +145,10 @@ type Server struct {
 	autoMu       sync.Mutex
 	auto         *autonomicSession
 	autoStarting bool
+
+	// classPlans counts fresh planning runs answered by the heuristic's
+	// class-collapsed path (cache hits do not re-count).
+	classPlans atomic.Uint64
 }
 
 // New builds a Server with started workers.
@@ -320,6 +325,7 @@ func (s *Server) registerGauges() {
 		return float64(s.pool.QueueCapacity())
 	})
 	prom.CounterFunc("adeptd_plans_executed_total", "Planning jobs actually run on the pool.", s.pool.Executed)
+	prom.CounterFunc("adeptd_class_planned_total", "Fresh plans produced by the class-collapsed planner path.", s.classPlans.Load)
 	prom.CounterFunc("adeptd_rejected_total", "Plan submissions shed with 429 by fail-fast admission.", s.pool.Rejected)
 	prom.CounterFunc("adeptd_coalesced_total", "Requests that shared another request's planning run.", s.flights.Coalesced)
 	prom.GaugeFunc("adeptd_flights_active", "In-progress coalesced planning flights.", func() float64 {
@@ -515,17 +521,24 @@ func writePlanError(w http.ResponseWriter, status int, err error) {
 }
 
 // PlanRequest is the JSON body of POST /v1/plan (and each element of a
-// batch). Exactly one of Platform (inline) or PlatformName (registry
-// reference) must be set. The service cost comes from Wapp when positive,
-// else from DgemmN (defaulting to the paper's 310×310 DGEMM).
+// batch). Exactly one of Platform (inline), PlatformName (registry
+// reference) or Scenario (server-side generation) must be set. The service
+// cost comes from Wapp when positive, else from DgemmN (defaulting to the
+// paper's 310×310 DGEMM).
 type PlanRequest struct {
 	Platform     *platform.Platform `json:"platform,omitempty"`
 	PlatformName string             `json:"platform_name,omitempty"`
-	Planner      string             `json:"planner,omitempty"`
-	Wapp         float64            `json:"wapp,omitempty"`
-	DgemmN       int                `json:"dgemm_n,omitempty"`
-	Demand       float64            `json:"demand,omitempty"`
-	Costs        *model.Costs       `json:"costs,omitempty"`
+	// Scenario generates the platform server-side from a declarative spec
+	// (internal/scenario). Generation is deterministic, so the same spec
+	// content-addresses the same cache entry; this is the intended way to
+	// plan very large pools (say a million nodes) without shipping every
+	// node over JSON.
+	Scenario *scenario.Spec `json:"scenario,omitempty"`
+	Planner  string         `json:"planner,omitempty"`
+	Wapp     float64        `json:"wapp,omitempty"`
+	DgemmN   int            `json:"dgemm_n,omitempty"`
+	Demand   float64        `json:"demand,omitempty"`
+	Costs    *model.Costs   `json:"costs,omitempty"`
 	// Portfolio races every stock planner (internal/portfolio) and
 	// answers with the best plan plus per-variant stats. Mutually
 	// exclusive with Planner (it is a planner selection of its own).
@@ -555,9 +568,18 @@ type PlanResponse struct {
 	Bottleneck string  `json:"bottleneck"`
 	Capped     float64 `json:"capped"`
 	NodesUsed  int     `json:"nodes_used"`
-	Agents     int     `json:"agents"`
-	Servers    int     `json:"servers"`
-	Depth      int     `json:"depth"`
+	// PoolNodes is the platform pool size the planner drew from.
+	PoolNodes int `json:"pool_nodes"`
+	// SpecClasses counts the distinct (power, link-bandwidth) equivalence
+	// classes the class-collapsed planner bucketed the pool into; present
+	// only when ClassPlanned is true.
+	SpecClasses int `json:"spec_classes,omitempty"`
+	// ClassPlanned reports that the heuristic ran its class-collapsed
+	// path: candidate scans walked equivalence classes instead of nodes.
+	ClassPlanned bool `json:"class_planned,omitempty"`
+	Agents       int  `json:"agents"`
+	Servers      int  `json:"servers"`
+	Depth        int  `json:"depth"`
 	// MinLinkBandwidth and MaxLinkBandwidth report the platform's effective
 	// link-bandwidth range (equal on homogeneous-link platforms).
 	MinLinkBandwidth float64 `json:"min_link_bandwidth_mbps"`
@@ -577,9 +599,16 @@ type PlanResponse struct {
 // resolve turns the wire request into a planner plus core.Request.
 func (s *Server) resolve(pr *PlanRequest) (core.Planner, core.Request, error) {
 	var req core.Request
+	sources := 0
+	for _, set := range []bool{pr.Platform != nil, pr.PlatformName != "", pr.Scenario != nil} {
+		if set {
+			sources++
+		}
+	}
+	if sources > 1 {
+		return nil, req, errors.New("set exactly one of platform, platform_name or scenario")
+	}
 	switch {
-	case pr.Platform != nil && pr.PlatformName != "":
-		return nil, req, errors.New("set either platform or platform_name, not both")
 	case pr.Platform != nil:
 		req.Platform = pr.Platform
 	case pr.PlatformName != "":
@@ -588,8 +617,14 @@ func (s *Server) resolve(pr *PlanRequest) (core.Planner, core.Request, error) {
 			return nil, req, fmt.Errorf("platform %q not registered", pr.PlatformName)
 		}
 		req.Platform = p
+	case pr.Scenario != nil:
+		p, err := pr.Scenario.Generate()
+		if err != nil {
+			return nil, req, fmt.Errorf("generate scenario: %v", err)
+		}
+		req.Platform = p
 	default:
-		return nil, req, errors.New("missing platform or platform_name")
+		return nil, req, errors.New("missing platform, platform_name or scenario")
 	}
 
 	var planner core.Planner
@@ -670,6 +705,9 @@ func planResponse(entry *CachedPlan, key CacheKey, plat *platform.Platform, star
 		Bottleneck:       plan.Eval.Bottleneck.String(),
 		Capped:           plan.Capped,
 		NodesUsed:        plan.NodesUsed,
+		PoolNodes:        len(plat.Nodes),
+		SpecClasses:      plan.PoolClasses,
+		ClassPlanned:     plan.ClassPlanned,
 		Agents:           entry.Stats.Agents,
 		Servers:          entry.Stats.Servers,
 		Depth:            entry.Stats.Depth,
@@ -770,6 +808,9 @@ func (s *Server) plan(r *http.Request, pr *PlanRequest) (*PlanResponse, core.Req
 		endRender()
 		if err != nil {
 			return flightResult{err: err}
+		}
+		if plan.ClassPlanned {
+			s.classPlans.Add(1)
 		}
 		s.cache.Put(key, entry)
 		return flightResult{entry: entry, variants: variants}

@@ -18,6 +18,7 @@ import (
 	"adept/internal/core"
 	"adept/internal/model"
 	"adept/internal/platform"
+	"adept/internal/scenario"
 	"adept/internal/workload"
 )
 
@@ -1110,5 +1111,97 @@ func TestPlanHeterogeneousLinks(t *testing.T) {
 	}
 	if bytes.Contains([]byte(upr.XML), []byte("bandwidth=")) {
 		t.Errorf("uniform plan XML leaks bandwidth attributes:\n%s", upr.XML)
+	}
+}
+
+// TestPlanScenario covers the server-side generation request path: a
+// declarative spec plans without shipping nodes over the wire, a large
+// quantised pool engages the class-collapsed planner (reported on the
+// wire and counted by the daemon), and the spec content-addresses the
+// cache exactly like the platform it expands to.
+func TestPlanScenario(t *testing.T) {
+	srv, ts := newTestServer(t)
+	spec := &scenario.Spec{Family: scenario.ClusterGrid, N: 5000, Seed: 11, PowerLevels: 8}
+	resp, body := postJSON(t, ts.URL+"/v1/plan", PlanRequest{Scenario: spec, DgemmN: 310})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var pr PlanResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.PoolNodes != 5000 {
+		t.Errorf("pool_nodes = %d, want 5000", pr.PoolNodes)
+	}
+	if !pr.ClassPlanned {
+		t.Error("quantised 5000-node pool did not report class_planned")
+	}
+	if pr.SpecClasses < 2 || pr.SpecClasses > 64 {
+		t.Errorf("spec_classes = %d, want a small positive class count", pr.SpecClasses)
+	}
+	if pr.Rho <= 0 {
+		t.Errorf("rho = %g, want > 0", pr.Rho)
+	}
+	if got := srv.classPlans.Load(); got != 1 {
+		t.Errorf("classPlans = %d after one fresh class plan, want 1", got)
+	}
+
+	// The same spec is the same content address: a hit, with the plan's
+	// class provenance preserved through the cache, and no re-count.
+	resp2, body2 := postJSON(t, ts.URL+"/v1/plan", PlanRequest{Scenario: spec, DgemmN: 310})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp2.StatusCode, body2)
+	}
+	var pr2 PlanResponse
+	if err := json.Unmarshal(body2, &pr2); err != nil {
+		t.Fatal(err)
+	}
+	if !pr2.Cached {
+		t.Error("identical scenario request missed the cache")
+	}
+	if !pr2.ClassPlanned || pr2.SpecClasses != pr.SpecClasses {
+		t.Errorf("cached response lost class provenance: class_planned=%v spec_classes=%d", pr2.ClassPlanned, pr2.SpecClasses)
+	}
+	if got := srv.classPlans.Load(); got != 1 {
+		t.Errorf("classPlans = %d after a cache hit, want still 1", got)
+	}
+
+	// A small continuous pool plans fine but stays on the node path.
+	respSmall, bodySmall := postJSON(t, ts.URL+"/v1/plan", PlanRequest{
+		Scenario: &scenario.Spec{Family: scenario.PowerLaw, N: 24, Seed: 3}, DgemmN: 310,
+	})
+	if respSmall.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", respSmall.StatusCode, bodySmall)
+	}
+	var prSmall PlanResponse
+	if err := json.Unmarshal(bodySmall, &prSmall); err != nil {
+		t.Fatal(err)
+	}
+	if prSmall.PoolNodes != 24 || prSmall.ClassPlanned || prSmall.SpecClasses != 0 {
+		t.Errorf("small pool reported pool_nodes=%d class_planned=%v spec_classes=%d, want 24/false/0",
+			prSmall.PoolNodes, prSmall.ClassPlanned, prSmall.SpecClasses)
+	}
+
+	// Scenario is a platform source of its own: combining it with an
+	// inline platform (or a registry name) is a client error.
+	respBad, _ := postJSON(t, ts.URL+"/v1/plan", PlanRequest{
+		Scenario: spec, Platform: testPlatform(8), DgemmN: 310,
+	})
+	if respBad.StatusCode != http.StatusBadRequest {
+		t.Errorf("scenario+platform accepted: status %d", respBad.StatusCode)
+	}
+	respBad2, _ := postJSON(t, ts.URL+"/v1/plan", PlanRequest{
+		Scenario: spec, PlatformName: "nope", DgemmN: 310,
+	})
+	if respBad2.StatusCode != http.StatusBadRequest {
+		t.Errorf("scenario+platform_name accepted: status %d", respBad2.StatusCode)
+	}
+
+	// A bad spec surfaces as a 400, not a planner failure.
+	respErr, _ := postJSON(t, ts.URL+"/v1/plan", PlanRequest{
+		Scenario: &scenario.Spec{Family: "no-such-family", N: 10}, DgemmN: 310,
+	})
+	if respErr.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad scenario family: status %d, want 400", respErr.StatusCode)
 	}
 }

@@ -3,7 +3,8 @@
 #
 # Runs the BenchmarkHeuristicPlan{100,1k,5k} scaling benchmarks (plus their
 # Naive twins planning through the retained full-recompute evaluator), the
-# BenchmarkHeuristicPlanClustered5k heterogeneous-links twin, and
+# BenchmarkHeuristicPlanClustered5k heterogeneous-links twin, the
+# BenchmarkHeuristicPlan{100k,1M} class-collapsed fleet-scale benchmarks, and
 # the BenchmarkServicePlanThroughput serving-layer benchmarks (hot/mixed
 # key workloads through the adeptd HTTP handler), and the
 # BenchmarkServicePlanTrace off/on pair (cached-hit request without and
@@ -17,7 +18,10 @@
 #      heterogeneous (cluster-grid) 5k plan must stay within 2x ns/op of
 #      the homogeneous 5k plan (within-run ratios: machine-independent,
 #      enforced everywhere);
-#   2. when a baseline file exists (BENCH_BASELINE, default
+#   2. a million-node class-collapsed plan must stay under one second
+#      (absolute ceiling — the headline latency contract of the
+#      equivalence-class planner, set at ~2x its measured cost);
+#   3. when a baseline file exists (BENCH_BASELINE, default
 #      BENCH_plan_baseline.json), ns/op may not regress more than
 #      BENCH_NS_TOL (default 20%) and allocs/op more than
 #      BENCH_ALLOCS_TOL (default 20%) against it (same-machine
@@ -36,7 +40,7 @@ NS_TOL="${BENCH_NS_TOL:-0.20}"
 ALLOCS_TOL="${BENCH_ALLOCS_TOL:-0.20}"
 
 go test -run '^$' \
-  -bench 'BenchmarkHeuristicPlan(100|1k|5k)$|BenchmarkHeuristicPlanNaive(100|1k|5k)$|BenchmarkHeuristicPlanClustered5k$|BenchmarkServicePlanThroughput$|BenchmarkServicePlanTrace$|BenchmarkObsStoreSample$' \
+  -bench 'BenchmarkHeuristicPlan(100|1k|5k|100k|1M)$|BenchmarkHeuristicPlanNaive(100|1k|5k)$|BenchmarkHeuristicPlanClustered5k$|BenchmarkServicePlanThroughput$|BenchmarkServicePlanTrace$|BenchmarkObsStoreSample$' \
   -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . | tee bench_plan.txt
 
 go run ./cmd/benchguard -parse bench_plan.txt -out BENCH_plan.json
@@ -48,6 +52,9 @@ go run ./cmd/benchguard -new BENCH_plan.json \
 go run ./cmd/benchguard -new BENCH_plan.json \
   -require-max-ratio 2 \
   -max-ratio-pair BenchmarkHeuristicPlanClustered5k:BenchmarkHeuristicPlan5k
+
+go run ./cmd/benchguard -new BENCH_plan.json \
+  -require-max-ns BenchmarkHeuristicPlan1M:1000000000
 
 if [ -f "$BASELINE" ]; then
   go run ./cmd/benchguard -base "$BASELINE" -new BENCH_plan.json -tol "$NS_TOL" -allocs-tol "$ALLOCS_TOL"
