@@ -1,3 +1,9 @@
 module adept
 
 go 1.24
+
+// No third-party requirements — deliberately, including for cmd/adeptvet:
+// the static-analysis suite in internal/analysis implements the loader,
+// driver, and `go vet -vettool` protocol on the standard library (go/ast,
+// go/types, go/importer) instead of depending on golang.org/x/tools, so
+// the whole repository builds offline from a bare toolchain.

@@ -1,0 +1,42 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// CtxFlow enforces context propagation in request-scoped code: library
+// packages must thread their caller's context.Context rather than minting
+// fresh roots. A context.Background() (or context.TODO()) deep in the
+// stack silently detaches cancellation and deadlines — the planner pool,
+// coalesced flights, and autonomic cycles all rely on ctx plumbing to
+// shed abandoned work.
+//
+// Deliberate detaches are fine when they are visible: the singleflight
+// coalescer detaches its planning run from the first caller on purpose,
+// and documents it with //adeptvet:allow ctxflow. Package main owns the
+// root context and is out of scope.
+var CtxFlow = &Analyzer{
+	Name:             "ctxflow",
+	Doc:              "request-scoped code must propagate context.Context; fresh roots need an explicit allow",
+	SkipMainPackages: true,
+	Run:              runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case isPkgCall(pass.TypesInfo, call, "context", "Background"):
+				pass.Reportf(call.Pos(), "context.Background() in library code detaches cancellation from the caller; propagate the request context (or //adeptvet:allow ctxflow <reason> for a deliberate detach)")
+			case isPkgCall(pass.TypesInfo, call, "context", "TODO"):
+				pass.Reportf(call.Pos(), "context.TODO() is a placeholder; thread the caller's context.Context through this path")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// A Unit is one loaded, type-checked package ready for analysis: the
+// common currency between the standalone loader (load.go) and the
+// `go vet -vettool` protocol (unit.go).
+type Unit struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// A Finding is one diagnostic after suppression matching, positioned and
+// ready to print.
+type Finding struct {
+	Analyzer   string         `json:"analyzer"`
+	Message    string         `json:"message"`
+	Pos        token.Position `json:"pos"`
+	Suppressed bool           `json:"suppressed,omitempty"`
+	// Reason carries the //adeptvet:allow justification when Suppressed.
+	Reason string `json:"reason,omitempty"`
+}
+
+func (f Finding) String() string {
+	return f.Pos.String() + ": " + f.Analyzer + ": " + f.Message
+}
+
+// RunOptions controls a driver run.
+type RunOptions struct {
+	// ReportStale audits unused and malformed //adeptvet:allow
+	// directives. Enable only when the full analyzer suite runs —
+	// a partial run cannot tell stale from not-yet-exercised.
+	ReportStale bool
+}
+
+// RunUnit applies the analyzers to one package, matches findings against
+// //adeptvet:allow directives, and returns every finding (suppressed ones
+// included, flagged) in stable position order, plus the allow audit.
+func RunUnit(u *Unit, analyzers []*Analyzer, opt RunOptions) ([]Finding, []AllowRecord, error) {
+	allows := collectAllows(u.Fset, u.Files)
+
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.SkipMainPackages && u.Pkg.Name() == "main" {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      u.Fset,
+			Files:     u.Files,
+			Pkg:       u.Pkg,
+			TypesInfo: u.Info,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	var findings []Finding
+	for _, d := range diags {
+		if isTestFile(u.Fset, d.Pos) {
+			// go vet hands us test variants of each package; the
+			// invariants govern production code only.
+			continue
+		}
+		f := Finding{Analyzer: d.Analyzer, Message: d.Message, Pos: u.Fset.Position(d.Pos)}
+		f.Reason, f.Suppressed = allows.suppresses(d)
+		findings = append(findings, f)
+	}
+	if opt.ReportStale {
+		for _, d := range append(allows.malformed, allows.stale()...) {
+			findings = append(findings, Finding{Analyzer: d.Analyzer, Message: d.Message, Pos: u.Fset.Position(d.Pos)})
+		}
+	}
+	sortFindings(findings)
+	return findings, allows.records(), nil
+}
+
+// Unsuppressed filters to the findings that fail a run.
+func Unsuppressed(fs []Finding) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatAccum flags bare `+=` / `-=` accumulation on floating-point values
+// in determinism-critical packages and in //adeptvet:hotpath functions.
+// Naive float accumulation drifts with evaluation order, which is exactly
+// what the incremental evaluator's op-log replay and the parallel
+// candidate scans reorder; the planner's 1e-9 evaluator-agreement and
+// bit-identical-plan guarantees rest on the Neumaier compensated-sum
+// helpers (core.Evaluator.sumAdd) instead. The helpers' own
+// implementation is the one legitimate bare accumulation and carries a
+// function-scoped //adeptvet:allow floataccum directive.
+var FloatAccum = &Analyzer{
+	Name:             "floataccum",
+	Doc:              "flag bare float += / -= accumulation in evaluator and heuristic hot paths",
+	SkipMainPackages: true,
+	Run:              runFloatAccum,
+}
+
+func runFloatAccum(pass *Pass) error {
+	critical := isDeterminismCritical(pass.Pkg.Path())
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !critical && !hasHotPathDirective(fn) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				assign, ok := n.(*ast.AssignStmt)
+				if !ok || (assign.Tok != token.ADD_ASSIGN && assign.Tok != token.SUB_ASSIGN) {
+					return true
+				}
+				tv, ok := pass.TypesInfo.Types[assign.Lhs[0]]
+				if !ok || !isFloat(tv.Type) {
+					return true
+				}
+				pass.Reportf(assign.Pos(), "bare float accumulation drifts with evaluation order; use a compensated sum (cf. core.Evaluator.sumAdd) so reordered scans stay bit-identical")
+				return true
+			})
+		}
+	}
+	return nil
+}

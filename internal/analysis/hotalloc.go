@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc guards the planner's allocation budget: inside any function
+// whose doc comment carries //adeptvet:hotpath, it flags the constructs
+// that quietly allocate per call — fmt formatting, string concatenation,
+// closures, unsized map/slice makes, and append-growth of slices that
+// were declared without capacity inside a loop. The 5k-node plan costs
+// 940 allocs/op after the slab-arena work; one stray fmt.Sprintf in an
+// O(n) candidate scan is a per-candidate allocation that erases it.
+//
+// The directive is opt-in per function, so the check costs nothing
+// elsewhere; annotate the evaluator ops and scan kernels, not their
+// callers.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag allocation-prone constructs inside //adeptvet:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasHotPathDirective(fn) {
+				continue
+			}
+			checkHotFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	unsized := unsizedSlices(info, fn.Body)
+
+	var loopDepth int
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopDepth++
+			for _, child := range loopChildren(n) {
+				ast.Inspect(child, walk)
+			}
+			loopDepth--
+			return false
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "func literal in a hot path allocates a closure per call; hoist it to a named function or method")
+			return false // the literal's body is a different (cold) frame
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := info.Types[n]; ok && isString(tv.Type) {
+					pass.Reportf(n.Pos(), "string concatenation in a hot path allocates; compare pieces or reuse a buffer")
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, n, unsized, loopDepth > 0)
+		}
+		return true
+	}
+	ast.Inspect(fn.Body, walk)
+}
+
+func checkHotCall(pass *Pass, call *ast.CallExpr, unsized map[types.Object]bool, inLoop bool) {
+	info := pass.TypesInfo
+	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s in a hot path allocates for formatting; precompute the string or use strconv on a reused buffer", fn.Name())
+		return
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return
+	}
+	switch id.Name {
+	case "make":
+		tv, ok := info.Types[call.Args[0]]
+		if !ok {
+			return
+		}
+		switch types.Unalias(tv.Type).Underlying().(type) {
+		case *types.Map:
+			if len(call.Args) == 1 {
+				pass.Reportf(call.Pos(), "make(map) without a size hint in a hot path rehashes as it grows; pass the expected element count")
+			}
+		case *types.Slice:
+			if len(call.Args) == 2 && isConstZero(info, call.Args[1]) {
+				pass.Reportf(call.Pos(), "make of a zero-length slice without capacity in a hot path grows by reallocation; pass the expected capacity")
+			}
+		}
+	case "append":
+		if !inLoop || len(call.Args) == 0 {
+			return
+		}
+		if arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			if obj := info.ObjectOf(arg); obj != nil && unsized[obj] {
+				pass.Reportf(call.Pos(), "append to %s inside a loop reallocates as it grows; declare it with make(..., 0, n)", arg.Name)
+			}
+		}
+	}
+}
+
+// unsizedSlices collects slice variables declared in the function without
+// any capacity: `var s []T`, `s := []T{}`, or `s := []T(nil)`.
+func unsizedSlices(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	mark := func(id *ast.Ident) {
+		if obj := info.Defs[id]; obj != nil {
+			if _, ok := types.Unalias(obj.Type()).Underlying().(*types.Slice); ok {
+				out[obj] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeclStmt:
+			gen, ok := n.Decl.(*ast.GenDecl)
+			if !ok || gen.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gen.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					mark(name)
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || !isEmptySliceExpr(info, n.Rhs[i]) {
+					continue
+				}
+				mark(id)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isEmptySliceExpr matches `[]T{}` and `[]T(nil)`.
+func isEmptySliceExpr(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return len(e.Elts) == 0
+	case *ast.CallExpr: // conversion []T(nil)
+		if len(e.Args) != 1 {
+			return false
+		}
+		if id, ok := ast.Unparen(e.Args[0]).(*ast.Ident); ok && id.Name == "nil" {
+			tv, ok := info.Types[e.Fun]
+			return ok && tv.IsType()
+		}
+	}
+	return false
+}
+
+func isConstZero(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	return ok && v == 0
+}
+
+func isString(t types.Type) bool {
+	b, ok := types.Unalias(t).Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// loopChildren returns the sub-nodes of a loop statement to walk while
+// tracking loop depth.
+func loopChildren(n ast.Node) []ast.Node {
+	var out []ast.Node
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		if n.Init != nil {
+			out = append(out, n.Init)
+		}
+		if n.Cond != nil {
+			out = append(out, n.Cond)
+		}
+		if n.Post != nil {
+			out = append(out, n.Post)
+		}
+		out = append(out, n.Body)
+	case *ast.RangeStmt:
+		if n.Key != nil {
+			out = append(out, n.Key)
+		}
+		if n.Value != nil {
+			out = append(out, n.Value)
+		}
+		out = append(out, n.X, n.Body)
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// Load resolves the patterns (e.g. "./...") against the module rooted at
+// dir, type-checks every matched package from source, and returns one
+// Unit per package in import-path order.
+//
+// It shells out to `go list -deps -export -json`, which makes the build
+// cache produce export data for every dependency; the matched packages
+// themselves are then parsed with comments (the directives live there)
+// and type-checked against that export data — the same separate-
+// compilation scheme `go vet` uses, with no network and no module
+// dependencies.
+func Load(dir string, patterns []string) ([]*Unit, error) {
+	type listModule struct {
+		GoVersion string
+	}
+	type listPackage struct {
+		ImportPath string
+		Dir        string
+		GoFiles    []string
+		Export     string
+		DepOnly    bool
+		Module     *listModule
+	}
+
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,GoFiles,Export,DepOnly,Module",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	exports := make(map[string]string)
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	var units []*Unit
+	for _, p := range targets {
+		fset := token.NewFileSet()
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		goVersion := ""
+		if p.Module != nil && p.Module.GoVersion != "" {
+			goVersion = "go" + p.Module.GoVersion
+		}
+		pkg, info, err := typecheck(fset, p.ImportPath, files, exports, goVersion)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+		}
+		units = append(units, &Unit{
+			ImportPath: p.ImportPath,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			Info:       info,
+		})
+	}
+	return units, nil
+}
+
+// typecheck checks one package's parsed files against export data for its
+// dependencies.
+func typecheck(fset *token.FileSet, path string, files []*ast.File, exports map[string]string, goVersion string) (*types.Package, *types.Info, error) {
+	lookup := func(pkgPath string) (io.ReadCloser, error) {
+		file, ok := exports[pkgPath]
+		if !ok {
+			// The gc toolchain records vendored standard-library
+			// dependencies under a vendor/ prefix.
+			if file, ok = exports["vendor/"+pkgPath]; !ok {
+				return nil, fmt.Errorf("no export data for %q", pkgPath)
+			}
+		}
+		return os.Open(file)
+	}
+	conf := types.Config{
+		Importer:  importer.ForCompiler(fset, "gc", lookup),
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		GoVersion: goVersion,
+	}
+	info := newTypesInfo()
+	pkg, err := conf.Check(path, fset, files, info)
+	return pkg, info, err
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		FileVersions: make(map[*ast.File]string),
+	}
+}

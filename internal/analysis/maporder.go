@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags `for range` over maps in packages whose output ordering
+// must be deterministic. Map iteration order is randomized per run, so a
+// map range that feeds plan output, serialized bytes, float accumulation,
+// or any snapshot handed to a caller makes the bit-reproducibility
+// guarantee (node-space vs class-space, GOMAXPROCS 1/2/8, cache replay)
+// silently false.
+//
+// The one idiom it recognizes as safe is collect-then-sort: a range body
+// that only appends loop variables into a slice which the same function
+// later passes to sort.* or slices.Sort*. Everything else needs either a
+// sorted-key loop or an //adeptvet:allow maporder <reason> directive.
+var MapOrder = &Analyzer{
+	Name:             "maporder",
+	Doc:              "flag nondeterministic map iteration in order-sensitive packages",
+	SkipMainPackages: true,
+	Run:              runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	if !isOrderSensitive(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := pass.TypesInfo.Types[rng.X]
+				if !ok || !isMap(tv.Type) {
+					return true
+				}
+				if isCollectThenSort(pass.TypesInfo, fn.Body, rng) {
+					return true
+				}
+				pass.Reportf(rng.Pos(), "map iteration order is nondeterministic and this package's output ordering is determinism-critical; iterate sorted keys instead (collect, sort.*, then index)")
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isCollectThenSort recognizes the canonical safe idiom:
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Strings(keys) // or slices.Sort(keys), sort.Slice(keys, ...)
+//
+// Every statement of the range body must be an append of loop-derived
+// values into slice variables, and each of those slices must flow into a
+// sort call later in the same function.
+func isCollectThenSort(info *types.Info, funcBody *ast.BlockStmt, rng *ast.RangeStmt) bool {
+	targets := make(map[types.Object]bool)
+	for _, stmt := range rng.Body.List {
+		assign, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+			return false
+		}
+		lhs, ok := assign.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+			return false
+		}
+		obj := info.ObjectOf(lhs)
+		if obj == nil {
+			return false
+		}
+		targets[obj] = true
+	}
+	if len(targets) == 0 {
+		return false
+	}
+
+	// Every collected slice must be sorted after the loop.
+	sorted := make(map[types.Object]bool)
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || len(call.Args) == 0 {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		if arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			if obj := info.ObjectOf(arg); obj != nil && targets[obj] {
+				sorted[obj] = true
+			}
+		}
+		return true
+	})
+	for obj := range targets {
+		if !sorted[obj] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// MetricName enforces the observability naming convention at every
+// obs.Registry registration site: metric names must be compile-time
+// constants matching adeptd_<snake_case>, counters must end in _total
+// (Prometheus convention for monotonic series), and non-counters must
+// not. Dashboards, PromQL recording rules, and the CI smoke job's
+// exposition greps all key on these names, so a misnamed metric is a
+// silent observability outage.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc:  "obs metric names must be constant, adeptd_*-prefixed, with _total reserved for counters",
+	Run:  runMetricName,
+}
+
+var metricNameRE = regexp.MustCompile(`^adeptd(_[a-z0-9]+)+$`)
+
+// counterMethods and otherMethods are the obs.Registry registration
+// methods whose first argument is the metric name.
+var (
+	counterMethods = map[string]bool{"Counter": true, "CounterVec": true, "CounterFunc": true}
+	otherMethods   = map[string]bool{
+		"Gauge": true, "GaugeVec": true, "GaugeFunc": true,
+		"Histogram": true, "HistogramVec": true,
+	}
+)
+
+func runMetricName(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			method, isCounter, ok := registryMethod(pass.TypesInfo, call)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(call.Args[0].Pos(), "metric name passed to Registry.%s must be a compile-time constant so it is auditable and greppable", method)
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !metricNameRE.MatchString(name) {
+				pass.Reportf(call.Args[0].Pos(), "metric name %q does not match the adeptd_<snake_case> convention", name)
+				return true
+			}
+			hasTotal := strings.HasSuffix(name, "_total")
+			if isCounter && !hasTotal {
+				pass.Reportf(call.Args[0].Pos(), "counter %q must end in _total (Prometheus convention for monotonic series)", name)
+			}
+			if !isCounter && hasTotal {
+				pass.Reportf(call.Args[0].Pos(), "%q ends in _total but is registered as a %s; the suffix is reserved for counters", name, strings.ToLower(strings.TrimSuffix(strings.TrimSuffix(method, "Vec"), "Func")))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// registryMethod reports whether call is a metric registration on an
+// obs.Registry (matched structurally: a type named Registry in a package
+// whose path ends in "obs", so the analysistest fixture package
+// qualifies too).
+func registryMethod(info *types.Info, call *ast.CallExpr) (method string, isCounter bool, ok bool) {
+	sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !okSel {
+		return "", false, false
+	}
+	name := sel.Sel.Name
+	if !counterMethods[name] && !otherMethods[name] {
+		return "", false, false
+	}
+	fn, okFn := info.Uses[sel.Sel].(*types.Func)
+	if !okFn || fn.Signature().Recv() == nil {
+		return "", false, false
+	}
+	recv := fn.Signature().Recv().Type()
+	if ptr, okPtr := types.Unalias(recv).(*types.Pointer); okPtr {
+		recv = ptr.Elem()
+	}
+	named, okNamed := types.Unalias(recv).(*types.Named)
+	if !okNamed || named.Obj().Name() != "Registry" || named.Obj().Pkg() == nil {
+		return "", false, false
+	}
+	if !pkgSegment(named.Obj().Pkg().Path(), "obs") {
+		return "", false, false
+	}
+	return name, counterMethods[name], true
+}

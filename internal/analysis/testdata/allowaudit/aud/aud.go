@@ -1,0 +1,15 @@
+// Package aud exercises the allow-directive audit: malformed directives
+// and directives that suppress nothing are findings of their own.
+package aud
+
+//adeptvet:allow bogus this analyzer does not exist
+// want -1 allowaudit
+
+//adeptvet:allow maporder
+// want -1 allowaudit
+
+//adeptvet:allow ctxflow nothing in this package uses a context; reported stale
+// want -1 allowaudit
+
+// Nothing anchors the package.
+func Nothing() {}

@@ -1,0 +1,21 @@
+// Package lib is the ctxflow fixture: any non-main package is in scope.
+package lib
+
+import "context"
+
+// Detach mints a fresh root where the caller's context belongs.
+func Detach() context.Context {
+	return context.Background() // want ctxflow
+}
+
+// Later leaves a placeholder root behind.
+func Later() context.Context {
+	return context.TODO() // want ctxflow
+}
+
+// DaemonRoot documents its fresh root with a function-scoped directive.
+//
+//adeptvet:allow ctxflow daemon-lifetime lifecycle root; there is no caller context to inherit
+func DaemonRoot() (context.Context, context.CancelFunc) {
+	return context.WithCancel(context.Background()) // want ctxflow suppressed
+}

@@ -1,0 +1,31 @@
+// Package core is the floataccum fixture: determinism-critical scope,
+// where bare float accumulation is flagged everywhere.
+package core
+
+// Total accumulates naively.
+func Total(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x // want floataccum
+	}
+	return sum
+}
+
+// Count accumulates integers, which are exact; no finding.
+func Count(xs []float64) int {
+	n := 0
+	for range xs {
+		n++
+	}
+	return n
+}
+
+// Drain documents a reference accumulation with a directive.
+func Drain(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		//adeptvet:allow floataccum reference accumulation held to 1e-9 by a fuzz harness
+		sum -= x // want floataccum suppressed
+	}
+	return sum
+}

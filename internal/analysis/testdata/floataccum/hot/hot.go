@@ -1,0 +1,24 @@
+// Package hot exercises the //adeptvet:hotpath gate for floataccum:
+// the segment "hot" is outside the determinism-critical set, so only
+// annotated functions are checked.
+package hot
+
+// Fold is annotated hot; bare float accumulation is flagged here too.
+//
+//adeptvet:hotpath
+func Fold(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x // want floataccum
+	}
+	return s
+}
+
+// Cold is unannotated; the identical accumulation passes.
+func Cold(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

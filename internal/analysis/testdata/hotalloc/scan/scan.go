@@ -1,0 +1,42 @@
+// Package scan is the hotalloc fixture: only functions annotated
+// //adeptvet:hotpath are checked.
+package scan
+
+import "fmt"
+
+// Label runs once per candidate; every allocation-prone construct in it
+// is flagged.
+//
+//adeptvet:hotpath
+func Label(id int, names []string) string {
+	out := fmt.Sprintf("node-%d", id) // want hotalloc
+	seen := make(map[string]bool)     // want hotalloc
+	var grown []string
+	for _, n := range names {
+		grown = append(grown, n) // want hotalloc
+	}
+	f := func() int { return id } // want hotalloc
+	_, _, _ = seen, grown, f
+	return out + names[0] // want hotalloc
+}
+
+// ColdLabel is the identical body without the annotation: no findings.
+func ColdLabel(id int, names []string) string {
+	out := fmt.Sprintf("node-%d", id)
+	seen := make(map[string]bool)
+	var grown []string
+	for _, n := range names {
+		grown = append(grown, n)
+	}
+	f := func() int { return id }
+	_, _, _ = seen, grown, f
+	return out + names[0]
+}
+
+// Tuned is hot and allocation-clean save one audited exception.
+//
+//adeptvet:hotpath
+//adeptvet:allow hotalloc one-time header formatting, amortised across the whole scan
+func Tuned(id int) string {
+	return fmt.Sprint(id) // want hotalloc suppressed
+}

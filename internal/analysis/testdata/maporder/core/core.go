@@ -1,0 +1,35 @@
+// Package core is the maporder fixture: the path segment "core" places
+// it in the determinism-critical scope, exactly like adept/internal/core.
+package core
+
+import "sort"
+
+// Keys leaks map iteration order into its returned slice.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { // want maporder
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys is the recognized collect-then-sort idiom: the range body
+// only appends, and the collected slice is sorted before use.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Sum documents a genuinely order-free fold with a directive.
+func Sum(m map[string]int) int {
+	total := 0
+	//adeptvet:allow maporder commutative integer sum; iteration order cannot change the result
+	for _, v := range m { // want maporder suppressed
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,12 @@
+// Package misc sits outside every order-sensitive scope, so maporder
+// stays silent here.
+package misc
+
+// Keys iterates a map freely: "misc" is not an order-sensitive segment.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

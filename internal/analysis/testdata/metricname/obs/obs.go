@@ -1,0 +1,30 @@
+// Package obs is the metricname fixture: a type named Registry in a
+// package whose path has an "obs" segment matches the analyzer's
+// structural obs.Registry pattern.
+package obs
+
+// Registry mimics the production registration surface.
+type Registry struct{}
+
+// Counter registers a monotonic series.
+func (r *Registry) Counter(name, help string) int { return len(name) + len(help) }
+
+// CounterVec registers a labelled monotonic series.
+func (r *Registry) CounterVec(name, help string, labels ...string) int {
+	return len(name) + len(help) + len(labels)
+}
+
+// Gauge registers an instantaneous series.
+func (r *Registry) Gauge(name, help string) int { return len(name) + len(help) }
+
+// Register exercises every naming rule.
+func Register(r *Registry, dynamic string) {
+	r.Counter("adeptd_plans_total", "well-formed counter")
+	r.Gauge("adeptd_queue_depth", "well-formed gauge")
+	r.Counter("adeptd_plans", "counter missing _total") // want metricname
+	r.Gauge("adeptd_uptime_total", "gauge with _total") // want metricname
+	r.Counter("plans_total", "missing adeptd_ prefix")  // want metricname
+	r.Counter(dynamic, "name not a constant")           // want metricname
+	//adeptvet:allow metricname legacy dashboard name kept until the dashboards migrate
+	r.CounterVec("adeptd_Legacy_total", "bad case") // want metricname suppressed
+}

@@ -1,0 +1,8 @@
+// Package obs is exempt from nondet by configuration: wall-clock reads
+// are its job.
+package obs
+
+import "time"
+
+// Stamp is clean here; the "obs" segment is exempt.
+func Stamp() time.Time { return time.Now() }

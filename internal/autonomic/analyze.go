@@ -146,11 +146,13 @@ func (a *Analyzer) Analyze(cur *hierarchy.Hierarchy, obs Observation, mon *Monit
 	}
 
 	// Drop streaks of servers that left the deployment.
+	//adeptvet:allow maporder prune-in-place of a keyed set; iteration order cannot reach any output
 	for name := range a.driftStreak {
 		if _, ok := rated[name]; !ok {
 			delete(a.driftStreak, name)
 		}
 	}
+	//adeptvet:allow maporder prune-in-place of a keyed set; iteration order cannot reach any output
 	for name := range a.zeroStreak {
 		if _, ok := rated[name]; !ok {
 			delete(a.zeroStreak, name)
@@ -186,12 +188,14 @@ func (a *Analyzer) Baseline() float64 { return a.baseline }
 // is only debuggable alongside how long each signal had been building.
 func (a *Analyzer) Streaks() (drift, zero map[string]int, sag int) {
 	drift = make(map[string]int)
+	//adeptvet:allow maporder filtered copy into an unordered map; no cross-key interaction, journal serialization sorts keys
 	for name, n := range a.driftStreak {
 		if n > 0 {
 			drift[name] = n
 		}
 	}
 	zero = make(map[string]int)
+	//adeptvet:allow maporder filtered copy into an unordered map; no cross-key interaction, journal serialization sorts keys
 	for name, n := range a.zeroStreak {
 		if n > 0 {
 			zero[name] = n

@@ -228,6 +228,7 @@ func (c *Controller) event(kind, msg string, fields map[string]string) {
 	if c.cfg.Journal != nil {
 		c.cfg.Journal.Append(kind, msg, fields)
 	}
+	//adeptvet:allow ctxflow log-enablement probe; slog's context is for handler plumbing, there is no request here
 	if !c.cfg.Logger.Enabled(context.Background(), slog.LevelInfo) {
 		return
 	}
@@ -241,6 +242,7 @@ func (c *Controller) event(kind, msg string, fields map[string]string) {
 	for _, k := range keys {
 		attrs = append(attrs, slog.String(k, fields[k]))
 	}
+	//adeptvet:allow ctxflow journal mirror to the structured log; decision events outlive any one request context
 	c.cfg.Logger.LogAttrs(context.Background(), slog.LevelInfo, msg, attrs...)
 }
 
@@ -367,6 +369,7 @@ func (c *Controller) Step(ctx context.Context) error {
 		c.crashed[name] = true
 	}
 	crashed := make(map[string]bool, len(c.crashed))
+	//adeptvet:allow maporder set copy into an unordered map; the replanner re-sorts the pool it filters with this
 	for name := range c.crashed {
 		crashed[name] = true
 	}
@@ -390,6 +393,7 @@ func (c *Controller) Step(ctx context.Context) error {
 	}
 	c.incidentMark(func(in *Incident) {
 		if in.ReplanAt.IsZero() {
+			//adeptvet:allow nondet wall-clock incident milestone; journal metadata, never an input to planning
 			in.ReplanAt = time.Now().UTC()
 			in.ReplanVirtual = c.virtualNow
 		}
@@ -539,7 +543,8 @@ func (c *Controller) execute(ctx context.Context, cycle int, cur, target *hierar
 	}
 
 	event := AdaptationEvent{
-		Cycle:              cycle,
+		Cycle: cycle,
+		//adeptvet:allow nondet wall-clock history stamp; journal metadata, never an input to planning
 		At:                 time.Now(),
 		Reasons:            v.Reasons,
 		PredictedRhoBefore: rhoBefore,
@@ -597,7 +602,8 @@ func (c *Controller) fullRedeploy(ctx context.Context, cycle int, target *hierar
 	c.mu.Lock()
 	c.cur = target.Clone()
 	c.history = append(c.history, AdaptationEvent{
-		Cycle:              cycle,
+		Cycle: cycle,
+		//adeptvet:allow nondet wall-clock history stamp; journal metadata, never an input to planning
 		At:                 time.Now(),
 		Reasons:            v.Reasons,
 		FullRedeploy:       true,
@@ -610,6 +616,7 @@ func (c *Controller) fullRedeploy(ctx context.Context, cycle int, target *hierar
 	if c.openIdx >= 0 {
 		in := &c.incidents[c.openIdx]
 		if in.PatchAt.IsZero() {
+			//adeptvet:allow nondet wall-clock incident milestone; journal metadata, never an input to planning
 			in.PatchAt = time.Now().UTC()
 			in.PatchVirtual = c.virtualNow
 		}

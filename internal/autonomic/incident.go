@@ -62,9 +62,10 @@ func (c *Controller) incidentDetect(cycle int, reasons []string) int {
 		return in.ID
 	}
 	c.incidents = append(c.incidents, Incident{
-		ID:              len(c.incidents) + 1,
-		Reasons:         append([]string(nil), reasons...),
-		DetectCycle:     cycle,
+		ID:          len(c.incidents) + 1,
+		Reasons:     append([]string(nil), reasons...),
+		DetectCycle: cycle,
+		//adeptvet:allow nondet wall-clock incident milestone; MTTR is measured on both clocks, planning reads neither
 		DetectedAt:      time.Now().UTC(),
 		DetectedVirtual: c.virtualNow,
 	})
@@ -98,6 +99,7 @@ func (c *Controller) incidentRecoverLocked(cycle int) (Incident, bool) {
 		return Incident{}, false
 	}
 	in := &c.incidents[c.openIdx]
+	//adeptvet:allow nondet wall-clock incident milestone; MTTR is measured on both clocks, planning reads neither
 	in.RecoveredAt = time.Now().UTC()
 	in.RecoveredVirtual = c.virtualNow
 	in.RecoverCycle = cycle

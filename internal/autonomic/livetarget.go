@@ -59,6 +59,7 @@ func (t *LiveTarget) Observe(ctx context.Context) (Observation, error) {
 	}
 	after := sys.ServedCounts()
 	served := make(map[string]int64, len(after))
+	//adeptvet:allow maporder per-key delta into an unordered map; no cross-key interaction
 	for name, n := range after {
 		served[name] = n - before[name]
 	}
@@ -73,6 +74,7 @@ func (t *LiveTarget) Observe(ctx context.Context) (Observation, error) {
 		Served:         served,
 		ServiceSeconds: make(map[string]float64),
 	}
+	//adeptvet:allow maporder per-key ratio into an unordered map; no cross-key interaction
 	for name, st := range sys.TakeServiceStats() {
 		if st.Count > 0 {
 			obs.ServiceSeconds[name] = st.Seconds / float64(st.Count)

@@ -26,6 +26,7 @@ func NewMonitor(alpha, wapp float64) *Monitor {
 
 // Update folds one observation window into the estimators.
 func (m *Monitor) Update(obs Observation) {
+	//adeptvet:allow maporder per-name estimator fold; each EWMA only sees its own key's samples
 	for name, sec := range obs.ServiceSeconds {
 		if sec <= 0 {
 			continue
@@ -58,10 +59,12 @@ func (m *Monitor) EffectivePower(name string) (float64, bool) {
 }
 
 // EffectivePowers returns every learned effective power, for status
-// reporting.
+// reporting. The snapshot is assembled over sorted server names so the
+// work (and any future serialization threaded through it) is
+// reproducible run to run.
 func (m *Monitor) EffectivePowers() map[string]float64 {
 	out := make(map[string]float64, len(m.est))
-	for name := range m.est {
+	for _, name := range m.Names() {
 		if p, ok := m.EffectivePower(name); ok {
 			out[name] = p
 		}

@@ -159,6 +159,8 @@ type OptimalDAry struct{}
 func (*OptimalDAry) Name() string { return "optimal-dary" }
 
 // Plan implements core.Planner.
+//
+//adeptvet:allow ctxflow context-free convenience wrapper; callers that want cancellation use PlanContext
 func (o *OptimalDAry) Plan(req core.Request) (*core.Plan, error) {
 	return o.PlanContext(context.Background(), req)
 }

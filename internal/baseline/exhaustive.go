@@ -34,6 +34,8 @@ type Exhaustive struct{}
 func (*Exhaustive) Name() string { return "exhaustive" }
 
 // Plan implements core.Planner.
+//
+//adeptvet:allow ctxflow context-free convenience wrapper; callers that want cancellation use PlanContext
 func (e *Exhaustive) Plan(req core.Request) (*core.Plan, error) {
 	return e.PlanContext(context.Background(), req)
 }

@@ -58,6 +58,7 @@ func MeasureMessageSizes(agentPower, serverPower float64, opts runtime.Options, 
 		return MessageSizes{}, err
 	}
 	defer dep.Stop()
+	//adeptvet:allow ctxflow calibration harness owns its run lifecycle; duration-bounded, nothing upstream to cancel it
 	if _, err := dep.System.RunClients(context.Background(), clients, dur); err != nil {
 		return MessageSizes{}, err
 	}
@@ -119,6 +120,7 @@ func MeasureWrep(agentPower, serverPower float64, opts runtime.Options, degrees 
 		if err != nil {
 			return WrepCalibration{}, err
 		}
+		//adeptvet:allow ctxflow calibration harness owns its run lifecycle; duration-bounded, nothing upstream to cancel it
 		if _, err := dep.System.RunClients(context.Background(), 2, perDegree); err != nil {
 			dep.Stop()
 			return WrepCalibration{}, err

@@ -88,6 +88,8 @@ type evalNode struct {
 // bandwidth is the link the service transfer is charged at: under
 // heterogeneous links, the *minimum* server link bandwidth of the set
 // (matching model.ServiceThroughputLinks).
+//
+//adeptvet:hotpath
 func serviceFromAggregates(c model.Costs, bandwidth, wapp float64, n int, sum float64) float64 {
 	if n == 0 {
 		return 0
@@ -125,6 +127,7 @@ func (h *lazyHeap) less(a, b heapEnt) bool {
 	return a.id < b.id
 }
 
+//adeptvet:hotpath
 func (h *lazyHeap) push(e heapEnt) {
 	h.ents = append(h.ents, e)
 	i := len(h.ents) - 1
@@ -138,6 +141,7 @@ func (h *lazyHeap) push(e heapEnt) {
 	}
 }
 
+//adeptvet:hotpath
 func (h *lazyHeap) pop() heapEnt {
 	top := h.ents[0]
 	last := len(h.ents) - 1
@@ -164,6 +168,8 @@ func (h *lazyHeap) pop() heapEnt {
 
 // peek returns the best live entry, permanently discarding stale ones.
 // ok is false when the heap holds no live entry.
+//
+//adeptvet:hotpath
 func (h *lazyHeap) peek(nodes []evalNode, role int8) (heapEnt, bool) {
 	for len(h.ents) > 0 {
 		e := h.ents[0]
@@ -176,6 +182,8 @@ func (h *lazyHeap) peek(nodes []evalNode, role int8) (heapEnt, bool) {
 }
 
 // peekExcluding returns the best live entry whose id differs from skip.
+//
+//adeptvet:hotpath
 func (h *lazyHeap) peekExcluding(nodes []evalNode, role int8, skip int) (heapEnt, bool) {
 	e, ok := h.peek(nodes, role)
 	if !ok || e.id != skip {
@@ -262,6 +270,9 @@ func (e *Evaluator) ensure(id int) {
 // sumAdd adds v to the server power sum with Neumaier compensation, so
 // promote/swap subtractions do not accumulate drift relative to a fresh
 // summation (the fuzz harness holds the two evaluators to 1e-9).
+//
+//adeptvet:allow floataccum this IS the compensated-sum implementation the analyzer points everyone else at
+//adeptvet:hotpath
 func (e *Evaluator) sumAdd(v float64) {
 	t := e.sumPow + v
 	if math.Abs(e.sumPow) >= math.Abs(v) {

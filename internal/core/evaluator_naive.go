@@ -127,6 +127,7 @@ func (e *NaiveEvaluator) sweep(ov naiveOverride) (sched, service float64) {
 				power, bw = ov.serverPower, ov.serverBW
 			}
 			nServers++
+			//adeptvet:allow floataccum naive reference evaluator; the fuzz harness holds it to the compensated one within 1e-9
 			sum += power
 			if bw < minBW {
 				minBW = bw
@@ -138,6 +139,7 @@ func (e *NaiveEvaluator) sweep(ov naiveOverride) (sched, service float64) {
 	}
 	if ov.extraServer >= 0 {
 		nServers++
+		//adeptvet:allow floataccum naive reference evaluator; the fuzz harness holds it to the compensated one within 1e-9
 		sum += ov.extraServer
 		if ov.extraBW < minBW {
 			minBW = ov.extraBW

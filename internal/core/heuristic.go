@@ -123,6 +123,8 @@ func NewHeuristicClassSpace() *Heuristic { return &Heuristic{mode: poolClassesOn
 func (*Heuristic) Name() string { return "heuristic" }
 
 // Plan implements Planner.
+//
+//adeptvet:allow ctxflow context-free convenience wrapper; callers that want cancellation use PlanContext
 func (p *Heuristic) Plan(req Request) (*Plan, error) {
 	return p.PlanContext(context.Background(), req)
 }
@@ -614,6 +616,7 @@ func (p *Heuristic) PlanContext(ctx context.Context, req Request) (*Plan, error)
 	if !uniform {
 		totalPow := root.Power
 		for _, nd := range pool {
+			//adeptvet:allow floataccum fixed left-to-right fold over the sorted pool; the class twin mirrors it term for term
 			totalPow += nd.Power
 		}
 		type starAgg struct{ pred, link min2 }

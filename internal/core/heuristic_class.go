@@ -85,6 +85,8 @@ func newClassSort(c model.Costs, bandwidth float64, ix *ClassIndex) (*classSort,
 }
 
 // class returns the j-th class in sort order.
+//
+//adeptvet:hotpath
 func (cs *classSort) class(j int) *NodeClass { return &cs.ix.classes[cs.order[j]] }
 
 // numClasses returns the class count.
@@ -92,6 +94,8 @@ func (cs *classSort) numClasses() int { return len(cs.order) }
 
 // poolCount returns how many members of sorted class j are in the non-root
 // pool (the root consumes one member of class 0).
+//
+//adeptvet:hotpath
 func (cs *classSort) poolCount(j int) int {
 	n := cs.class(j).Count()
 	if j == 0 {
@@ -224,6 +228,8 @@ func (cs *classSort) refNode(r classRef) platform.Node {
 // fold records the value (and the class position as the tie-break index),
 // the second collapses v2 onto v1 so that exclusion of any single member
 // of a multi-member class leaves the value in place.
+//
+//adeptvet:hotpath
 func classFold(m *min2, v float64, j, cnt int) {
 	m.fold(v, j)
 	if cnt > 1 {
@@ -307,6 +313,7 @@ func (cs *classSort) bestStarRoot(c model.Costs, req Request, bw, wapp float64, 
 	n := cs.ix.total
 	totalPow := cs.class(0).Power
 	for _, w := range allPowers {
+		//adeptvet:allow floataccum fixed left-to-right fold mirroring the node-space twin term for term; classdiff proves bit-identity
 		totalPow += w
 	}
 	pred, link := newMin2(), newMin2()

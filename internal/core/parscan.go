@@ -105,6 +105,7 @@ type min2 struct {
 
 func newMin2() min2 { return min2{v1: math.Inf(1), v2: math.Inf(1), i1: -1} }
 
+//adeptvet:hotpath
 func (m *min2) fold(v float64, i int) {
 	if v < m.v1 {
 		m.v2, m.v1, m.i1 = m.v1, v, i
@@ -134,6 +135,8 @@ func (m *min2) mergeAfter(o min2) {
 // minimum when i carried the minimum, the minimum otherwise. (When the
 // minimum value occurs more than once, v2 equals v1 and both branches
 // agree.)
+//
+//adeptvet:hotpath
 func (m min2) excl(i int) float64 {
 	if m.i1 == i {
 		return m.v2
@@ -151,6 +154,7 @@ type top2 struct {
 
 func newTop2() top2 { return top2{i1: -1, i2: -1} }
 
+//adeptvet:hotpath
 func (m *top2) fold(v float64, i int) {
 	switch {
 	case m.i1 < 0 || v > m.v1:
@@ -183,6 +187,7 @@ type argMax struct {
 	i int
 }
 
+//adeptvet:hotpath
 func (m *argMax) fold(v float64, i int) {
 	if v > m.v {
 		m.v, m.i = v, i

@@ -50,6 +50,8 @@ type SwapRefiner struct {
 func (r *SwapRefiner) Name() string { return r.Inner.Name() + "+swap" }
 
 // Plan implements Planner.
+//
+//adeptvet:allow ctxflow context-free convenience wrapper; callers that want cancellation use PlanContext
 func (r *SwapRefiner) Plan(req Request) (*Plan, error) {
 	return r.PlanContext(context.Background(), req)
 }

@@ -617,6 +617,7 @@ func (h *Hierarchy) CheckAgainstPlatform(p *platform.Platform) error {
 			record(i, fmt.Errorf("hierarchy: node %q link bandwidth mismatch: deployment says %g, platform says %g", n.Name, n.Bandwidth, pn.LinkBandwidth))
 		}
 	}
+	//adeptvet:allow maporder record() keeps the smallest hierarchy index, so iteration order cannot change the reported error
 	for name, i := range idx {
 		if !matched[i] {
 			record(i, fmt.Errorf("hierarchy: node %q not in platform pool", name))

@@ -137,6 +137,7 @@ func (p *Platform) Powers() []float64 {
 func (p *Platform) TotalPower() float64 {
 	sum := 0.0
 	for _, n := range p.Nodes {
+		//adeptvet:allow floataccum fixed-order fold over the Nodes slice; reporting aggregate, not a planner input
 		sum += n.Power
 	}
 	return sum
@@ -307,7 +308,7 @@ func Generate(spec GenSpec) (*Platform, error) {
 	for i := 0; i < spec.N; i++ {
 		w := spec.MinPower
 		if spec.MaxPower > spec.MinPower {
-			w += rng.Float64() * (spec.MaxPower - spec.MinPower)
+			w = spec.MinPower + rng.Float64()*(spec.MaxPower-spec.MinPower)
 		}
 		n := Node{Name: fmt.Sprintf("%s-%03d", spec.Name, i), Power: w}
 		if multi {

@@ -104,6 +104,8 @@ func New() *Planner { return &Planner{} }
 func (*Planner) Name() string { return "portfolio" }
 
 // Plan implements core.Planner.
+//
+//adeptvet:allow ctxflow context-free convenience wrapper; callers that want cancellation use PlanContext
 func (p *Planner) Plan(req core.Request) (*core.Plan, error) {
 	return p.PlanContext(context.Background(), req)
 }
@@ -171,8 +173,10 @@ func (p *Planner) PlanWithStats(ctx context.Context, req core.Request) (*core.Pl
 				results[i].Err = raceCtx.Err().Error()
 				return
 			}
+			//adeptvet:allow nondet per-variant wall-time stats for the race report; winner selection never reads them
 			start := time.Now()
 			plan, err := v.Planner.PlanContext(variantCtx, req)
+			//adeptvet:allow nondet per-variant wall-time stats for the race report; winner selection never reads them
 			results[i].ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
 			if err != nil {
 				results[i].Err = err.Error()

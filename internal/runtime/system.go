@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -239,8 +240,17 @@ func (s *System) SetBackgroundLoad(name string, factor float64) error {
 func (s *System) WrepSamples() []WrepSample {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	// Concatenate per-agent samples in sorted agent order: the result is
+	// a slice, so map iteration order would leak straight into the
+	// calibration input ordering.
+	names := make([]string, 0, len(s.agents))
+	for name := range s.agents {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var out []WrepSample
-	for _, a := range s.agents {
+	for _, name := range names {
+		a := s.agents[name]
 		a.sampleMu.Lock()
 		out = append(out, a.wrepSamples...)
 		a.sampleMu.Unlock()
@@ -253,6 +263,7 @@ func (s *System) ServedCounts() map[string]int64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make(map[string]int64, len(s.servers))
+	//adeptvet:allow maporder per-key counter copy into an unordered map; no cross-key interaction
 	for name, srv := range s.servers {
 		out[name] = srv.served.Load()
 	}
@@ -275,6 +286,7 @@ func (s *System) TakeServiceStats() map[string]ServiceStat {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make(map[string]ServiceStat, len(s.servers))
+	//adeptvet:allow maporder per-key drain into an unordered map; no cross-key interaction
 	for name, srv := range s.servers {
 		sec, n := srv.takeService()
 		out[name] = ServiceStat{Seconds: sec, Count: n}
@@ -662,6 +674,9 @@ func (s *System) Stop() {
 		names = append(names, name)
 	}
 	s.mu.RUnlock()
+	// Deterministic shutdown order, so teardown traces and any
+	// shutdown-races the soak harness shakes out replay identically.
+	sort.Strings(names)
 	for _, name := range names {
 		_ = s.transport.Send("system", name, Shutdown{})
 	}

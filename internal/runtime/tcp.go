@@ -142,6 +142,7 @@ func (t *TCPTransport) Deregister(name string) error {
 	delete(t.addrs, name)
 	delete(t.boxes, name)
 	suffix := "\x00" + name
+	//adeptvet:allow maporder teardown of matching connections; close order is immaterial
 	for key, c := range t.conns {
 		if len(key) >= len(suffix) && key[len(key)-len(suffix):] == suffix {
 			c.conn.Close()
@@ -163,9 +164,11 @@ func (t *TCPTransport) Close() error {
 		return nil
 	}
 	t.closed = true
+	//adeptvet:allow maporder transport shutdown; close order is immaterial
 	for _, ln := range t.listeners {
 		ln.Close()
 	}
+	//adeptvet:allow maporder transport shutdown; close order is immaterial
 	for _, c := range t.conns {
 		c.conn.Close()
 	}
@@ -174,6 +177,7 @@ func (t *TCPTransport) Close() error {
 	t.mu.Unlock()
 
 	t.wg.Wait()
+	//adeptvet:allow maporder transport shutdown; retire order is immaterial
 	for _, box := range boxes {
 		box.retire()
 	}

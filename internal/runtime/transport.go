@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -151,6 +152,7 @@ func (t *ChanTransport) Close() error {
 	boxes := t.boxes
 	t.boxes = map[string]*inbox{}
 	t.mu.Unlock()
+	//adeptvet:allow maporder transport shutdown; retire order is immaterial
 	for _, b := range boxes {
 		b.retire()
 	}
@@ -215,13 +217,20 @@ func (m *MeteredTransport) Deregister(name string) error { return m.inner.Deregi
 // Close implements Transport.
 func (m *MeteredTransport) Close() error { return m.inner.Close() }
 
-// Stats returns a copy of the per-type traffic counters.
+// Stats returns a copy of the per-type traffic counters. The snapshot is
+// assembled over sorted message types so its construction order is
+// stable for any consumer that iterates as it copies.
 func (m *MeteredTransport) Stats() map[string]MessageStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	types := make([]string, 0, len(m.stats))
+	for k := range m.stats {
+		types = append(types, k)
+	}
+	sort.Strings(types)
 	out := make(map[string]MessageStats, len(m.stats))
-	for k, v := range m.stats {
-		out[k] = *v
+	for _, k := range types {
+		out[k] = *m.stats[k]
 	}
 	return out
 }

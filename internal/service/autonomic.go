@@ -293,6 +293,7 @@ func (s *Server) handleAutonomicStart(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	//adeptvet:allow ctxflow session-lifetime lifecycle root; the MAPE-K loop outlives the HTTP request that started it
 	ctx, cancel := context.WithCancel(context.Background())
 	sess := &autonomicSession{backend: backend, ctrl: ctrl, cancel: cancel, done: make(chan struct{}), live: live}
 	go func() {

@@ -86,6 +86,7 @@ func (g *flightGroup) join(key CacheKey, timeout time.Duration,
 		g.coalesced.Add(1)
 		return fl, false
 	}
+	//adeptvet:allow ctxflow deliberate flight detach from the leader's request context; the last waiter out cancels it
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	fl = &flight{key: key, ctx: ctx, cancel: cancel, done: make(chan struct{}), waiters: 1}
 	g.flights[key] = fl

@@ -32,9 +32,11 @@ func NewMetrics() *Metrics {
 		requests: reg.CounterVec("adeptd_requests_total", "HTTP requests served, by endpoint.", "endpoint"),
 		errors:   reg.CounterVec("adeptd_request_errors_total", "HTTP requests answered with a server-attributable error status (>= 400, excluding 499 client disconnects), by endpoint.", "endpoint"),
 		latency:  reg.HistogramVec("adeptd_request_duration_seconds", "HTTP request service latency, by endpoint.", obs.LatencyBuckets(), "endpoint"),
-		started:  time.Now(),
+		//adeptvet:allow nondet uptime epoch; serving-layer telemetry, not planner state
+		started: time.Now(),
 	}
 	reg.GaugeFunc("adeptd_uptime_seconds", "Seconds since the daemon started.", func() float64 {
+		//adeptvet:allow nondet uptime gauge; serving-layer telemetry, not planner state
 		return time.Since(m.started).Seconds()
 	})
 	v, rev, gover := buildIdent()
@@ -155,6 +157,7 @@ type Report struct {
 func (m *Metrics) Snapshot() Report {
 	v, rev, gover := buildIdent()
 	rep := Report{
+		//adeptvet:allow nondet uptime report; serving-layer telemetry, not planner state
 		UptimeSeconds: time.Since(m.started).Seconds(),
 		Build:         BuildMeta{Version: v, Revision: rev, GoVersion: gover},
 		Endpoints:     make(map[string]EndpointMetrics),

@@ -108,6 +108,7 @@ func (p *Pool) run(job *poolJob) {
 	}
 	// How long the job sat behind busy workers — a no-op unless the
 	// submitter's context carries a trace recorder.
+	//adeptvet:allow nondet queue-wait latency measurement; trace telemetry, not planner state
 	obs.TraceFrom(job.ctx).Span("queue_wait", time.Since(job.enqueued))
 	p.active.Add(1)
 	p.executed.Add(1)
@@ -124,6 +125,7 @@ func (p *Pool) Submit(ctx context.Context, fn func(context.Context) (*core.Plan,
 	if p.closed.Load() {
 		return nil, ErrPoolClosed
 	}
+	//adeptvet:allow nondet enqueue timestamp for the queue-wait span; trace telemetry, not planner state
 	job := &poolJob{ctx: ctx, fn: fn, done: make(chan poolResult, 1), enqueued: time.Now()}
 	select {
 	case p.jobs <- job:

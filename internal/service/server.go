@@ -259,6 +259,7 @@ func (s *Server) startSampler() {
 	if interval == 0 {
 		interval = time.Second
 	}
+	//adeptvet:allow ctxflow daemon-lifetime lifecycle root for the metrics sampler; cancelled in Close
 	ctx, cancel := context.WithCancel(context.Background())
 	s.sampleCancel = cancel
 	s.sampleDone = make(chan struct{})
@@ -467,8 +468,10 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 		w.Header().Set("X-Request-ID", reqID)
 		r = r.WithContext(obs.ContextWithRequestID(r.Context(), reqID))
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		//adeptvet:allow nondet request latency measurement; serving-layer telemetry, not planner state
 		start := time.Now()
 		h(rec, r)
+		//adeptvet:allow nondet request latency measurement; serving-layer telemetry, not planner state
 		elapsed := time.Since(start)
 		// A client cancellation is not a server error: it is recorded as a
 		// request (and visible as a 499 in logs) but must not pollute the
@@ -714,8 +717,9 @@ func planResponse(entry *CachedPlan, key CacheKey, plat *platform.Platform, star
 		MinLinkBandwidth: minBW,
 		MaxLinkBandwidth: maxBW,
 		XML:              entry.XML,
-		ElapsedMS:        float64(time.Since(start)) / float64(time.Millisecond),
-		Variants:         variants,
+		//adeptvet:allow nondet plan-latency field of the response; reporting only, the plan itself is deterministic
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+		Variants:  variants,
 	}
 }
 
@@ -743,6 +747,7 @@ func (s *Server) plan(r *http.Request, pr *PlanRequest) (*PlanResponse, core.Req
 		return nil, req, http.StatusInternalServerError, err
 	}
 
+	//adeptvet:allow nondet plan latency measurement; reporting only, the plan itself is deterministic
 	start := time.Now()
 	if !pr.NoCache {
 		// lookup, not Get: the miss is charged in runPlanner, so requests

@@ -86,7 +86,16 @@ func NewManaged(h *hierarchy.Hierarchy, costs model.Costs, bandwidth, wapp float
 		if phase.At < 0 {
 			return nil, fmt.Errorf("sim: load phase at negative time %g", phase.At)
 		}
+		// Validate and later apply factors in sorted-name order: which
+		// unknown element gets reported, and the order servers pick up
+		// new background load inside the DES, must not depend on map
+		// iteration order.
+		factorNames := make([]string, 0, len(phase.Factors))
 		for name := range phase.Factors {
+			factorNames = append(factorNames, name)
+		}
+		sort.Strings(factorNames)
+		for _, name := range factorNames {
 			if _, ok := m.byName[name]; !ok {
 				return nil, fmt.Errorf("sim: load phase names unknown element %q", name)
 			}
@@ -102,9 +111,9 @@ func NewManaged(h *hierarchy.Hierarchy, costs model.Costs, bandwidth, wapp float
 			}
 		}
 		eng.At(phase.At, func() {
-			for name, f := range phase.Factors {
-				if srv, ok := m.byName[name].(*simServer); ok && f > 0 {
-					srv.bg = f
+			for _, name := range factorNames {
+				if srv, ok := m.byName[name].(*simServer); ok && phase.Factors[name] > 0 {
+					srv.bg = phase.Factors[name]
 				}
 			}
 			// Crash/restore by name, tolerating servers the autonomic loop
