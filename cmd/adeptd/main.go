@@ -23,8 +23,23 @@
 //	POST   /v1/autonomic/inject  background-load drift on a live server
 //	GET    /v1/slo               SLO compliance, error budgets, burn rates
 //	GET    /v1/alerts            burn-rate alert rule states + transitions
+//	GET    /v1/cluster           ring membership, peer health, key ownership
+//	POST   /v1/cluster/invalidate  peer registry-invalidation webhook (HMAC)
 //	GET    /healthz              liveness probe
 //	GET    /readyz               readiness probe (registry loaded, pool open)
+//
+// Clustering: -peers runs the daemon as one member of a static cluster.
+// Every member is started with the same comma-separated membership list
+// (its own -peer-self URL included); a consistent-hash ring over plan
+// content addresses routes each /v1/plan request to the peer owning its
+// digest (one hop at most — forwarded requests are always planned where
+// they land), so the fleet shares one logical plan cache. Registry
+// writes (PUT/DELETE /v1/platforms/*) carry monotonic versions and fan
+// out to peers as HMAC-signed invalidation webhooks (-peer-secret or
+// $ADEPTD_PEER_SECRET), converging every member's registry. A peer
+// failure degrades to local planning — never to a client-visible error.
+// Without -peers the daemon is the plain single-node service: no extra
+// listeners, no peer traffic, byte-identical behaviour.
 //
 // Observability: GET /metrics serves Prometheus text exposition,
 // GET /v1/autonomic/events the MAPE-K decision journal, and every
@@ -38,6 +53,8 @@
 //	adeptd [-addr :8080] [-platform-dir dir] [-cache 256]
 //	       [-workers N] [-queue 64] [-plan-timeout 30s]
 //	       [-log-format text] [-log-level info] [-debug-addr addr]
+//	       [-peers url1,url2,... -peer-self url] [-peer-secret s]
+//	       [-peer-forward-timeout 2s] [-peer-ring-replicas 64]
 //
 // -platform-dir both preloads *.json platforms at startup and receives
 // the write-through journal of later PUT /v1/platforms calls (atomic
@@ -62,9 +79,11 @@ import (
 	_ "net/http/pprof" // registers profiling handlers on http.DefaultServeMux for -debug-addr
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"adept/internal/cluster"
 	"adept/internal/obs"
 	"adept/internal/service"
 	"adept/internal/slo"
@@ -90,6 +109,12 @@ func run() error {
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 		sloConfig   = flag.String("slo-config", "", "JSON file of SLO objectives and burn-rate alert rules (empty = built-in defaults)")
 		sampleEvery = flag.Duration("sample-interval", time.Second, "time-series sampling and SLO evaluation tick")
+
+		peers          = flag.String("peers", "", "comma-separated base URLs of every cluster member, this one included (empty = single-node)")
+		peerSelf       = flag.String("peer-self", "", "this member's own base URL as it appears in -peers")
+		peerSecret     = flag.String("peer-secret", "", "shared HMAC secret signing peer invalidation webhooks (default $ADEPTD_PEER_SECRET)")
+		peerTimeout    = flag.Duration("peer-forward-timeout", 2*time.Second, "deadline for one forwarded plan exchange or webhook delivery attempt")
+		peerRingPoints = flag.Int("peer-ring-replicas", 0, "virtual nodes per peer on the consistent-hash ring (0 = default)")
 	)
 	flag.Parse()
 
@@ -115,6 +140,11 @@ func run() error {
 		sloCfg = &cfg
 	}
 
+	// The registry is built here rather than inside service.New so the
+	// journal methods (LoadDir/PersistTo) stay reachable on the concrete
+	// type after the server has abstracted it behind RegistryStore.
+	registry := service.NewRegistry()
+
 	srv, err := service.New(service.Config{
 		CacheSize:      *cacheSize,
 		Workers:        *workers,
@@ -123,6 +153,7 @@ func run() error {
 		Logger:         logger,
 		SLO:            sloCfg,
 		SampleInterval: *sampleEvery,
+		Registry:       registry,
 	})
 	if err != nil {
 		return err
@@ -140,14 +171,40 @@ func run() error {
 		if err := os.MkdirAll(*platformDir, 0o755); err != nil {
 			return err
 		}
-		names, err := srv.Registry().LoadDir(*platformDir)
+		names, err := registry.LoadDir(*platformDir)
 		if err != nil {
 			return err
 		}
-		if err := srv.Registry().PersistTo(*platformDir); err != nil {
+		if err := registry.PersistTo(*platformDir); err != nil {
 			return err
 		}
 		logger.Info("platforms loaded", "count", len(names), "dir", *platformDir, "names", fmt.Sprint(names))
+	}
+
+	if *peers != "" {
+		secret := *peerSecret
+		if secret == "" {
+			secret = os.Getenv("ADEPTD_PEER_SECRET")
+		}
+		if *peerSelf == "" {
+			return fmt.Errorf("-peers requires -peer-self (this member's own URL from the list)")
+		}
+		node, err := cluster.New(cluster.Config{
+			Self:           *peerSelf,
+			Peers:          strings.Split(*peers, ","),
+			Secret:         secret,
+			Replicas:       *peerRingPoints,
+			ForwardTimeout: *peerTimeout,
+			Registry:       srv.Registry(),
+			Cache:          srv.Cache(),
+			Logger:         logger,
+		})
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		srv.EnableCluster(node)
+		logger.Info("cluster enabled", "self", *peerSelf, "peers", fmt.Sprint(node.Ring().Peers()))
 	}
 	srv.SetReady(true)
 

@@ -13,6 +13,15 @@
 //	          [-conns 8] [-hot 0.9] [-hot-keys 4] [-nodes 60]
 //	          [-planner heuristic] [-seed 1] [-json]
 //
+// -url accepts a comma-separated list of targets for clustered adeptd
+// fleets: requests round-robin across every target, hot platforms are
+// registered on the first target and polled on all of them until the
+// cluster's registry replication converges, and the daemon-side counter
+// deltas are summed across every member — a load window against a
+// cluster is one logical run, not N disjoint ones. (The old single-URL
+// behaviour scraped whichever peer -url named and silently attributed
+// the whole cluster's work to it.)
+//
 // With -rps 0 the workers run unpaced (pure closed loop: each connection
 // issues its next request as soon as the previous one answers), which
 // measures the daemon's saturation throughput. A paced run held below
@@ -20,12 +29,13 @@
 // shed, not as errors, since backpressure is the daemon behaving as
 // configured (see -queue on adeptd).
 //
-// The generator scrapes the daemon's GET /metrics exposition before and
-// after the window; the -json summary then carries a "server" object of
-// daemon-side counter deltas (requests, plans executed, cache hits and
-// misses, coalesced, rejected) so client- and server-side views of the
-// same run land in one artifact. Scrape failures degrade gracefully: the
-// run still reports, just without the server section.
+// The generator scrapes every target's GET /metrics exposition before
+// and after the window; the -json summary then carries a "server" object
+// of daemon-side counter deltas (requests, plans executed, cache hits
+// and misses, coalesced, rejected, peer forwards/fallbacks) so client-
+// and server-side views of the same run land in one artifact. A scrape
+// failure on any target is a hard error: a partial scrape would report
+// deltas that silently undercount the fleet.
 //
 // The generator registers its hot platforms under adeptload-hot-<i> via
 // PUT /v1/platforms, so the daemon must be reachable before the run.
@@ -100,7 +110,7 @@ func (r *recorder) merge(o *recorder) {
 
 func run() error {
 	var (
-		url       = flag.String("url", "http://localhost:8080", "adeptd base URL")
+		url       = flag.String("url", "http://localhost:8080", "adeptd base URL, or a comma-separated list of cluster peers")
 		duration  = flag.Duration("duration", 10*time.Second, "load window")
 		rps       = flag.Float64("rps", 0, "target request rate (0 = unpaced closed loop)")
 		conns     = flag.Int("conns", 8, "concurrent closed-loop connections")
@@ -133,10 +143,21 @@ func run() error {
 		return fmt.Errorf("-hot %g outside [0,1]", *hot)
 	}
 
+	targets := strings.Split(*url, ",")
+	for i := range targets {
+		targets[i] = strings.TrimRight(strings.TrimSpace(targets[i]), "/")
+		if targets[i] == "" {
+			return fmt.Errorf("-url contains an empty target in %q", *url)
+		}
+	}
+
 	client := &http.Client{Timeout: *timeout}
 
-	// Register the hot platforms. Each hot key is one (platform, dgemm)
-	// pair, so repeated requests against it share one content address.
+	// Register the hot platforms on the first target. Each hot key is one
+	// (platform, dgemm) pair, so repeated requests against it share one
+	// content address. Against a cluster the registration replicates via
+	// invalidation webhooks; the convergence wait below makes sure every
+	// member can resolve the names before load starts.
 	for i := 0; i < *hotKeys; i++ {
 		p, err := platform.Generate(platform.GenSpec{
 			Name: fmt.Sprintf("adeptload-hot-%d", i), N: *nodes,
@@ -150,13 +171,13 @@ func run() error {
 			return err
 		}
 		req, err := http.NewRequest(http.MethodPut,
-			fmt.Sprintf("%s/v1/platforms/adeptload-hot-%d", *url, i), bytes.NewReader(body))
+			fmt.Sprintf("%s/v1/platforms/adeptload-hot-%d", targets[0], i), bytes.NewReader(body))
 		if err != nil {
 			return err
 		}
 		resp, err := client.Do(req)
 		if err != nil {
-			return fmt.Errorf("register platform: %w (is adeptd running at %s?)", err, *url)
+			return fmt.Errorf("register platform: %w (is adeptd running at %s?)", err, targets[0])
 		}
 		_, _ = io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
@@ -164,10 +185,14 @@ func run() error {
 			return fmt.Errorf("register platform: status %d", resp.StatusCode)
 		}
 	}
+	if err := waitRegistered(client, targets, *hotKeys); err != nil {
+		return err
+	}
+	logger.Info("hot platforms registered on every target", "targets", len(targets), "hot_keys", *hotKeys)
 
-	before, err := scrapeMetrics(client, *url)
+	before, err := scrapeAll(client, targets)
 	if err != nil {
-		logger.Warn("pre-run metrics scrape failed; summary will omit server deltas", "error", err)
+		return fmt.Errorf("pre-run metrics scrape: %w", err)
 	}
 
 	// Pacing: a token channel filled at the target rate. Unpaced runs get
@@ -209,6 +234,9 @@ func run() error {
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
+			// Round-robin across the fleet, each worker starting at its
+			// own offset so the first requests spread over every target.
+			turn := w
 			for time.Now().Before(deadline) {
 				if tokens != nil {
 					select {
@@ -217,6 +245,8 @@ func run() error {
 						return
 					}
 				}
+				target := targets[turn%len(targets)]
+				turn++
 				wire := planWire{
 					PlatformName: fmt.Sprintf("adeptload-hot-%d", rng.Intn(*hotKeys)),
 					Planner:      *planner,
@@ -234,7 +264,7 @@ func run() error {
 					continue
 				}
 				t0 := time.Now()
-				resp, err := client.Post(*url+"/v1/plan", "application/json", bytes.NewReader(body))
+				resp, err := client.Post(target+"/v1/plan", "application/json", bytes.NewReader(body))
 				if err != nil {
 					rec.errors++
 					continue
@@ -278,15 +308,11 @@ func run() error {
 		total.merge(rec)
 	}
 
-	var server *serverDeltas
-	if before != nil {
-		after, err := scrapeMetrics(client, *url)
-		if err != nil {
-			logger.Warn("post-run metrics scrape failed; summary will omit server deltas", "error", err)
-		} else {
-			server = metricDeltas(before, after)
-		}
+	after, err := scrapeAll(client, targets)
+	if err != nil {
+		return fmt.Errorf("post-run metrics scrape: %w", err)
 	}
+	server := metricDeltas(before, after)
 	s := report(total, server, elapsed, *jsonOut)
 	if total.ok == 0 {
 		return fmt.Errorf("no request succeeded (%d shed, %d errors)", total.shed, total.errors)
@@ -315,6 +341,60 @@ type serverDeltas struct {
 	CacheMisses   int64 `json:"cache_misses"`
 	Coalesced     int64 `json:"coalesced"`
 	Rejected      int64 `json:"rejected"`
+	// PeerForwards and PeerFallbacks come from the adeptd_peer_* families
+	// and stay zero against a single-node daemon (the families are absent
+	// there, and an absent metric deltas to zero).
+	PeerForwards  int64 `json:"peer_forwards"`
+	PeerFallbacks int64 `json:"peer_fallbacks"`
+}
+
+// waitRegistered polls every target until it resolves all hot platform
+// names — against a cluster this is the registry replication converging;
+// against a single daemon it passes on the first round.
+func waitRegistered(client *http.Client, targets []string, hotKeys int) error {
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		pending := ""
+	scan:
+		for _, target := range targets {
+			for i := 0; i < hotKeys; i++ {
+				resp, err := client.Get(fmt.Sprintf("%s/v1/platforms/adeptload-hot-%d", target, i))
+				if err != nil {
+					return fmt.Errorf("poll %s: %w", target, err)
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					pending = fmt.Sprintf("%s missing adeptload-hot-%d (status %d)", target, i, resp.StatusCode)
+					break scan
+				}
+			}
+		}
+		if pending == "" {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("hot platforms did not replicate to every target: %s", pending)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// scrapeAll scrapes every target and sums the family totals, so the
+// deltas describe the whole fleet. Any failed scrape fails the run: a
+// partial sum would silently undercount.
+func scrapeAll(client *http.Client, targets []string) (map[string]float64, error) {
+	sums := make(map[string]float64)
+	for _, target := range targets {
+		one, err := scrapeMetrics(client, target)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", target, err)
+		}
+		for name, v := range one {
+			sums[name] += v
+		}
+	}
+	return sums, nil
 }
 
 // scrapeMetrics fetches url/metrics and sums every series into its
@@ -374,6 +454,8 @@ func metricDeltas(before, after map[string]float64) *serverDeltas {
 		CacheMisses:   d("adeptd_cache_misses_total"),
 		Coalesced:     d("adeptd_coalesced_total"),
 		Rejected:      d("adeptd_rejected_total"),
+		PeerForwards:  d("adeptd_peer_forwards_total"),
+		PeerFallbacks: d("adeptd_peer_fallbacks_total"),
 	}
 }
 
@@ -433,6 +515,9 @@ func report(r *recorder, server *serverDeltas, elapsed time.Duration, asJSON boo
 	if server != nil {
 		fmt.Printf("  server: requests %d, plans executed %d, cache %d/%d hit/miss, coalesced %d, rejected %d\n",
 			server.Requests, server.PlansExecuted, server.CacheHits, server.CacheMisses, server.Coalesced, server.Rejected)
+		if server.PeerForwards > 0 || server.PeerFallbacks > 0 {
+			fmt.Printf("  cluster: peer forwards %d, fallbacks %d\n", server.PeerForwards, server.PeerFallbacks)
+		}
 	}
 	if len(r.latencies) == 0 {
 		return s

@@ -1,0 +1,412 @@
+package cluster
+
+import (
+	"bytes"
+	"container/list"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adept/internal/obs"
+	"adept/internal/service"
+)
+
+// Config wires a Node into one adeptd process.
+type Config struct {
+	// Self is this peer's advertised base URL. It must appear in Peers —
+	// every member is configured with the one complete membership list.
+	Self string
+	// Peers is the full static cluster membership (Self included), as
+	// base URLs. Order is irrelevant; every member sorts the same list
+	// into the same ring.
+	Peers []string
+	// Secret is the shared HMAC key signing invalidation webhooks. Empty
+	// disables signing and verification (trusted-network mode).
+	Secret string
+	// Replicas is the virtual-node count per peer on the ring
+	// (DefaultReplicas when zero).
+	Replicas int
+	// ForwardTimeout bounds one forwarded plan exchange and one webhook
+	// delivery attempt (default 2s). Kept tight on purpose: blowing the
+	// timeout only costs a local replan, while a generous timeout stalls
+	// every request routed at a dead peer.
+	ForwardTimeout time.Duration
+	// DeliveryAttempts is how many times one invalidation webhook is
+	// tried per peer before being dropped (default 3; version-checked
+	// application makes redelivery and loss both safe).
+	DeliveryAttempts int
+	// RetryBase seeds the exponential backoff between delivery attempts
+	// (default 100ms: 100ms, 200ms, 400ms, ...).
+	RetryBase time.Duration
+	// RemoteFillCapacity bounds the LRU of forwarded responses retained
+	// locally (default 256 entries; 0 keeps the default, negative
+	// disables fill-back).
+	RemoteFillCapacity int
+	// Registry receives peer invalidations; Cache is consulted for key
+	// ownership reporting. Both are the server's own stores.
+	Registry service.RegistryStore
+	Cache    service.CacheStore
+	// Client issues all peer HTTP exchanges (http.DefaultClient-alike
+	// when nil; tests inject RoundTrippers here).
+	Client *http.Client
+	// Logger receives peer-layer logs (discard when nil).
+	Logger *slog.Logger
+}
+
+// defaults for the zero Config values.
+const (
+	defaultForwardTimeout   = 2 * time.Second
+	defaultDeliveryAttempts = 3
+	defaultRetryBase        = 100 * time.Millisecond
+	defaultRemoteFill       = 256
+	// probeTimeout bounds one /healthz probe issued by the status
+	// endpoint.
+	probeTimeout = time.Second
+	// maxPeerBody bounds how much of a peer response body is read: a
+	// plan response for a large platform is a few MB of XML; 64 MB is
+	// far above any legitimate exchange.
+	maxPeerBody = 64 << 20
+	// breakerBase/breakerMax shape the per-peer circuit breaker: after n
+	// consecutive failures the peer is skipped for min(base<<(n-1), max).
+	breakerBase = 250 * time.Millisecond
+	breakerMax  = 15 * time.Second
+)
+
+// Node is the peer layer of one adeptd process: it owns the ring, the
+// peer HTTP client, the per-peer circuit breakers, the retained-response
+// LRU, and the webhook delivery workers. It implements service.Cluster.
+type Node struct {
+	cfg    Config
+	ring   *Ring
+	client *http.Client
+	logger *slog.Logger
+
+	forwards   atomic.Uint64
+	fallbacks  atomic.Uint64
+	remoteHits atomic.Uint64
+	invSent    atomic.Uint64
+	invApplied atomic.Uint64
+	peerErrors atomic.Uint64
+
+	healthMu sync.Mutex
+	health   map[string]*peerHealth
+
+	remote *remoteFill
+
+	// now and sleep are injection points for tests; production uses the
+	// wall clock. Both are function values, never called at plan-shaping
+	// time — the breaker and backoff are serving-layer concerns.
+	now   func() time.Time
+	sleep func(ctx context.Context, d time.Duration) bool
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// peerHealth is one peer's passive circuit breaker: consecutive failures
+// open it for an exponentially growing window; one success closes it.
+type peerHealth struct {
+	failures  int
+	openUntil time.Time
+}
+
+// New validates cfg, builds the ring, and returns a ready Node. The
+// returned Node owns background webhook deliveries; Close releases them.
+func New(cfg Config) (*Node, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: Self URL required")
+	}
+	if cfg.Registry == nil || cfg.Cache == nil {
+		return nil, fmt.Errorf("cluster: Registry and Cache stores required")
+	}
+	ring, err := NewRing(cfg.Peers, cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	self := false
+	for _, p := range ring.Peers() {
+		if p == cfg.Self {
+			self = true
+			break
+		}
+	}
+	if !self {
+		return nil, fmt.Errorf("cluster: Self %q is not in the peer list %v", cfg.Self, ring.Peers())
+	}
+	if cfg.ForwardTimeout <= 0 {
+		cfg.ForwardTimeout = defaultForwardTimeout
+	}
+	if cfg.DeliveryAttempts <= 0 {
+		cfg.DeliveryAttempts = defaultDeliveryAttempts
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = defaultRetryBase
+	}
+	if cfg.RemoteFillCapacity == 0 {
+		cfg.RemoteFillCapacity = defaultRemoteFill
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
+	}
+	//adeptvet:allow ctxflow daemon-lifetime lifecycle root for webhook deliveries; there is no caller context to inherit
+	ctx, cancel := context.WithCancel(context.Background())
+	n := &Node{
+		cfg:    cfg,
+		ring:   ring,
+		client: cfg.Client,
+		logger: cfg.Logger,
+		health: make(map[string]*peerHealth, len(ring.Peers())),
+		now:    time.Now,
+		sleep:  sleepCtx,
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	if cfg.RemoteFillCapacity > 0 {
+		n.remote = newRemoteFill(cfg.RemoteFillCapacity)
+	}
+	return n, nil
+}
+
+// Close stops background webhook deliveries and waits for them to drain.
+func (n *Node) Close() {
+	n.cancel()
+	n.wg.Wait()
+}
+
+// Ring exposes the node's consistent-hash ring (for status and tests).
+func (n *Node) Ring() *Ring { return n.ring }
+
+// Report snapshots the peer counters for the metrics endpoints.
+func (n *Node) Report() service.PeerReport {
+	return service.PeerReport{
+		Peers:                len(n.ring.Peers()),
+		Forwards:             n.forwards.Load(),
+		Fallbacks:            n.fallbacks.Load(),
+		RemoteCacheHits:      n.remoteHits.Load(),
+		InvalidationsSent:    n.invSent.Load(),
+		InvalidationsApplied: n.invApplied.Load(),
+		PeerErrors:           n.peerErrors.Load(),
+	}
+}
+
+// sleepCtx sleeps for d unless ctx ends first; it reports whether the
+// full duration elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// peerOpen reports whether peer's circuit breaker currently blocks
+// exchanges with it.
+func (n *Node) peerOpen(peer string) bool {
+	n.healthMu.Lock()
+	defer n.healthMu.Unlock()
+	h, ok := n.health[peer]
+	if !ok {
+		return false
+	}
+	return h.failures > 0 && n.now().Before(h.openUntil)
+}
+
+// noteFailure records one failed exchange with peer and extends its
+// breaker window exponentially (250ms, 500ms, ..., capped at 15s).
+func (n *Node) noteFailure(peer string) {
+	n.healthMu.Lock()
+	defer n.healthMu.Unlock()
+	h, ok := n.health[peer]
+	if !ok {
+		h = &peerHealth{}
+		n.health[peer] = h
+	}
+	h.failures++
+	backoff := breakerBase
+	for i := 1; i < h.failures && backoff < breakerMax; i++ {
+		backoff *= 2
+	}
+	if backoff > breakerMax {
+		backoff = breakerMax
+	}
+	h.openUntil = n.now().Add(backoff)
+}
+
+// noteSuccess closes peer's breaker.
+func (n *Node) noteSuccess(peer string) {
+	n.healthMu.Lock()
+	defer n.healthMu.Unlock()
+	delete(n.health, peer)
+}
+
+// peerFailures reports peer's consecutive failure count (0 = healthy).
+func (n *Node) peerFailures(peer string) int {
+	n.healthMu.Lock()
+	defer n.healthMu.Unlock()
+	h, ok := n.health[peer]
+	if !ok {
+		return 0
+	}
+	return h.failures
+}
+
+// ForwardPlan answers the plan request on the peer owning key, or
+// reports ok=false to have the caller plan locally. Self-owned keys
+// return immediately; remote-owned keys are answered from the retained
+// forwarded-response LRU when possible, else forwarded one hop with the
+// loop-prevention header set. Any peer failure — breaker open, transport
+// error, non-200 — degrades to local planning and is counted, never
+// surfaced to the client.
+func (n *Node) ForwardPlan(ctx context.Context, key service.CacheKey, pr *service.PlanRequest) (*service.PlanResponse, bool) {
+	owner := n.ring.Owner(string(key))
+	if owner == n.cfg.Self {
+		return nil, false
+	}
+	cacheable := !pr.NoCache && !pr.Trace
+	if cacheable && n.remote != nil {
+		if resp, ok := n.remote.get(key); ok {
+			n.remoteHits.Add(1)
+			return resp, true
+		}
+	}
+	if n.peerOpen(owner) {
+		n.fallbacks.Add(1)
+		return nil, false
+	}
+	resp, err := n.forwardOnce(ctx, owner, pr)
+	if err != nil {
+		n.peerErrors.Add(1)
+		n.noteFailure(owner)
+		n.fallbacks.Add(1)
+		if n.logger.Enabled(ctx, slog.LevelWarn) {
+			n.logger.LogAttrs(ctx, slog.LevelWarn, "peer forward failed; planning locally",
+				slog.String("peer", owner),
+				slog.String("key", string(key)),
+				slog.String("error", err.Error()))
+		}
+		return nil, false
+	}
+	n.noteSuccess(owner)
+	n.forwards.Add(1)
+	resp.Peer = owner
+	if cacheable && n.remote != nil {
+		// Retain a copy normalized to what a cache-served answer looks
+		// like: content addresses are immutable, so the copy never goes
+		// stale, and the flags must not claim a fresh planning run.
+		fill := *resp
+		fill.Cached = true
+		fill.Coalesced = false
+		fill.Variants = nil
+		fill.Trace = nil
+		n.remote.put(key, &fill)
+	}
+	return resp, true
+}
+
+// forwardOnce performs one forwarded /v1/plan exchange with peer.
+func (n *Node) forwardOnce(ctx context.Context, peer string, pr *service.PlanRequest) (*service.PlanResponse, error) {
+	body, err := json.Marshal(pr)
+	if err != nil {
+		return nil, fmt.Errorf("encode request: %w", err)
+	}
+	ctx, cancel := context.WithTimeout(ctx, n.cfg.ForwardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+"/v1/plan", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(service.ForwardedHeader, n.cfg.Self)
+	httpResp, err := n.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(httpResp.Body, maxPeerBody))
+	if err != nil {
+		return nil, fmt.Errorf("read response: %w", err)
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		// A non-200 from the owner (replication lag on a platform name,
+		// admission shedding, an owner-side bug) falls back to a local
+		// run, which produces the authoritative local answer or error.
+		return nil, fmt.Errorf("peer answered %d", httpResp.StatusCode)
+	}
+	var resp service.PlanResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return nil, fmt.Errorf("decode response: %w", err)
+	}
+	return &resp, nil
+}
+
+// remoteFill is a bounded LRU of forwarded plan responses, keyed by
+// content address. Entries are immutable; get returns a private shallow
+// copy so callers can stamp per-request fields (Peer is already set).
+type remoteFill struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[service.CacheKey]*list.Element
+	order    *list.List // front = most recently used
+}
+
+type remoteEntry struct {
+	key  service.CacheKey
+	resp *service.PlanResponse
+}
+
+func newRemoteFill(capacity int) *remoteFill {
+	return &remoteFill{
+		capacity: capacity,
+		entries:  make(map[service.CacheKey]*list.Element, capacity),
+		order:    list.New(),
+	}
+}
+
+func (f *remoteFill) get(key service.CacheKey) (*service.PlanResponse, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	el, ok := f.entries[key]
+	if !ok {
+		return nil, false
+	}
+	f.order.MoveToFront(el)
+	resp := *el.Value.(*remoteEntry).resp
+	return &resp, true
+}
+
+func (f *remoteFill) put(key service.CacheKey, resp *service.PlanResponse) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if el, ok := f.entries[key]; ok {
+		el.Value.(*remoteEntry).resp = resp
+		f.order.MoveToFront(el)
+		return
+	}
+	if f.order.Len() >= f.capacity {
+		oldest := f.order.Back()
+		if oldest != nil {
+			f.order.Remove(oldest)
+			delete(f.entries, oldest.Value.(*remoteEntry).key)
+		}
+	}
+	f.entries[key] = f.order.PushFront(&remoteEntry{key: key, resp: resp})
+}
+
+func (f *remoteFill) len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.order.Len()
+}

@@ -1,0 +1,162 @@
+// Package cluster scales adeptd out to a static fleet of peers: a
+// consistent-hash ring routes each plan request to the peer owning its
+// content address (lifting the plan cache's shard-by-digest-prefix scheme
+// across processes), and versioned registry mutations fan out to every
+// peer as HMAC-signed push-invalidation webhooks so named-platform
+// resolutions converge. The design follows the distributed deployment
+// services of the related work — Flissi & Merle's deployment framework
+// and Dearle et al.'s autonomically managed middleware — in making the
+// planner itself a replicated, self-routing service.
+//
+// Membership is static (the -peers flag): every peer is configured with
+// the same sorted peer list and therefore computes the same ring, so
+// routing needs no gossip, no coordinator, and no agreement protocol
+// beyond configuration. Peer failure degrades, never breaks: a request
+// whose owner is unreachable is planned locally (and counted as a
+// fallback), and webhook deliveries retry with exponential backoff until
+// the peer returns or the attempts are exhausted — version-checked
+// application makes redelivery harmless.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultReplicas is the virtual-node count per peer on the ring. 64
+// points per peer keeps the maximum ownership imbalance across a handful
+// of peers within a few percent while the ring stays small enough to
+// rebuild instantly.
+const DefaultReplicas = 64
+
+// Ring is a consistent-hash ring over the content-address digest space.
+// Peers are placed at Replicas pseudo-random points each (SHA-256 of
+// "url#i", so every peer computes identical placements from the same
+// configuration), and a key belongs to the first peer point at or after
+// the key's own point, wrapping at the top of the space.
+type Ring struct {
+	replicas int
+	peers    []string // sorted, deduplicated
+	points   []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	peer string
+}
+
+// NewRing builds the ring over the given peer URLs. Order and duplicates
+// in peers are irrelevant: the list is sorted and deduplicated first, so
+// every cluster member configured with the same set — in any order —
+// computes the same ring.
+func NewRing(peers []string, replicas int) (*Ring, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one peer")
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	uniq := make([]string, 0, len(peers))
+	seen := make(map[string]bool, len(peers))
+	for _, p := range peers {
+		if p == "" {
+			return nil, fmt.Errorf("cluster: empty peer URL")
+		}
+		if !seen[p] {
+			seen[p] = true
+			uniq = append(uniq, p)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{
+		replicas: replicas,
+		peers:    uniq,
+		points:   make([]ringPoint, 0, len(uniq)*replicas),
+	}
+	for _, peer := range uniq {
+		for i := 0; i < replicas; i++ {
+			sum := sha256.Sum256([]byte(peer + "#" + strconv.Itoa(i)))
+			r.points = append(r.points, ringPoint{
+				hash: binary.BigEndian.Uint64(sum[:8]),
+				peer: peer,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A full 64-bit collision between two peers' points is vanishingly
+		// unlikely, but the tie-break must still be deterministic.
+		return r.points[i].peer < r.points[j].peer
+	})
+	return r, nil
+}
+
+// keyPoint maps a content address onto the ring's hash space. Cache keys
+// are hex SHA-256 digests, so their leading 16 hex digits are already a
+// uniform 64-bit value — the same digest-prefix scheme the in-process
+// cache shards by, widened from 4 bits to 64. Non-digest keys (tests,
+// future key schemes) fall back to FNV-1a.
+func keyPoint(key string) uint64 {
+	if len(key) >= 16 {
+		if v, err := strconv.ParseUint(key[:16], 16, 64); err == nil {
+			return v
+		}
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// Owner returns the peer owning key's slice of the ring.
+func (r *Ring) Owner(key string) string {
+	p := keyPoint(key)
+	// First point with hash >= p, wrapping to points[0] past the top.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= p })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].peer
+}
+
+// Peers returns the ring membership, sorted.
+func (r *Ring) Peers() []string {
+	return append([]string(nil), r.peers...)
+}
+
+// Replicas returns the virtual-node count per peer.
+func (r *Ring) Replicas() int { return r.replicas }
+
+// Share returns the fraction of the hash space peer owns — the expected
+// share of content addresses routed to it (about 1/len(peers), with
+// bounded imbalance from the pseudo-random placement).
+func (r *Ring) Share(peer string) float64 {
+	if len(r.points) == 0 {
+		return 0
+	}
+	// Each point owns the arc from its predecessor (exclusive) to itself
+	// (inclusive); the first point also owns the wrap-around arc. Each
+	// arc length is exact in uint64 (wrapping subtraction), but the sum
+	// must accumulate in float64: a peer owning the whole circle owns
+	// 2^64 points, which a uint64 total would wrap to zero.
+	var owned float64
+	for i, pt := range r.points {
+		if pt.peer != peer {
+			continue
+		}
+		var prev uint64
+		if i == 0 {
+			prev = r.points[len(r.points)-1].hash
+		} else {
+			prev = r.points[i-1].hash
+		}
+		owned += float64(pt.hash - prev)
+	}
+	const circle = float64(1<<63) * 2 // 2^64
+	return owned / circle
+}

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// testKeys generates n distinct hex-digest keys, shaped exactly like the
+// plan cache's content addresses.
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+		keys[i] = hex.EncodeToString(sum[:])
+	}
+	return keys
+}
+
+// TestRingDeterminism proves the routing property clustering rests on:
+// every member, handed the same membership set in any order, routes every
+// key to the same owner.
+func TestRingDeterminism(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:2", "http://c:3"}
+	shuffled := []string{"http://c:3", "http://a:1", "http://b:2", "http://a:1"} // order + dup
+	r1, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(shuffled, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(500) {
+		if o1, o2 := r1.Owner(k), r2.Owner(k); o1 != o2 {
+			t.Fatalf("ring views diverge for %s: %q vs %q", k[:12], o1, o2)
+		}
+	}
+	// Non-digest keys still route deterministically (FNV fallback).
+	for _, k := range []string{"", "short", "not-hex-not-hex-not-hex"} {
+		if o1, o2 := r1.Owner(k), r2.Owner(k); o1 != o2 {
+			t.Fatalf("fallback routing diverges for %q: %q vs %q", k, o1, o2)
+		}
+	}
+}
+
+// TestRingBalance checks the virtual-node placement spreads ownership
+// usefully: with the default replica count no peer should starve or
+// dominate, and the analytic Share should agree with empirical routing.
+func TestRingBalance(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	counts := make(map[string]int, len(peers))
+	for _, k := range testKeys(n) {
+		counts[r.Owner(k)]++
+	}
+	var shareSum float64
+	for _, p := range peers {
+		frac := float64(counts[p]) / n
+		if frac < 0.10 || frac > 0.60 {
+			t.Errorf("peer %s owns %.1f%% of keys; expected roughly a third", p, 100*frac)
+		}
+		share := r.Share(p)
+		if math.Abs(share-frac) > 0.05 {
+			t.Errorf("peer %s: analytic share %.3f vs empirical %.3f", p, share, frac)
+		}
+		shareSum += share
+	}
+	if math.Abs(shareSum-1) > 1e-9 {
+		t.Errorf("shares sum to %.12f, want 1", shareSum)
+	}
+}
+
+// TestRingSinglePeerOwnsAll pins the degenerate cluster of one.
+func TestRingSinglePeerOwnsAll(t *testing.T) {
+	r, err := NewRing([]string{"http://only:1"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(50) {
+		if r.Owner(k) != "http://only:1" {
+			t.Fatal("single peer does not own every key")
+		}
+	}
+	if s := r.Share("http://only:1"); math.Abs(s-1) > 1e-9 {
+		t.Errorf("single-peer share = %v, want 1", s)
+	}
+}
+
+// TestRingRejectsBadMembership covers constructor validation.
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty membership accepted")
+	}
+	if _, err := NewRing([]string{"http://a", ""}, 0); err == nil {
+		t.Error("empty peer URL accepted")
+	}
+}

@@ -83,6 +83,32 @@ func Render(plan *core.Plan) (*CachedPlan, error) {
 	return &CachedPlan{Plan: &cp, XML: xml, Stats: stats}, nil
 }
 
+// CacheStore is the content-addressed plan cache behind the daemon.
+// *PlanCache is the in-memory lock-striped default; the interface exists
+// so the store can be decorated or replaced (tiered, persistent, …)
+// while single-node deployments and tests keep the zero-config in-memory
+// form. Entries are immutable once stored — content addresses never go
+// stale — which is also what lets the cluster layer shard them across
+// processes by digest.
+type CacheStore interface {
+	// Get returns the cached rendered plan, charging a hit or a miss.
+	Get(key CacheKey) (*CachedPlan, bool)
+	// Lookup is Get without the miss accounting (see PlanCache.Lookup).
+	Lookup(key CacheKey) (*CachedPlan, bool)
+	// NoteMiss charges one miss against key.
+	NoteMiss(key CacheKey)
+	// Put stores the rendered plan under key.
+	Put(key CacheKey, plan *CachedPlan)
+	// Contains reports presence without touching recency or counters.
+	Contains(key CacheKey) bool
+	// Keys snapshots the cached content addresses (any order).
+	Keys() []CacheKey
+	Len() int
+	Shards() int
+	ShardSizes() []int
+	Stats() (hits, misses uint64)
+}
+
 // defaultCacheShards is the segment count of the sharded cache. Sixteen
 // stripes keep lock hold times independent across the digest space at any
 // worker count the daemon realistically runs with.
@@ -184,18 +210,18 @@ func (c *PlanCache) shard(key CacheKey) *cacheShard {
 // and refreshing the entry's recency on a hit. The returned entry is
 // shared between callers and must be treated as read-only.
 func (c *PlanCache) Get(key CacheKey) (*CachedPlan, bool) {
-	entry, ok := c.lookup(key)
+	entry, ok := c.Lookup(key)
 	if !ok {
-		c.noteMiss(key)
+		c.NoteMiss(key)
 	}
 	return entry, ok
 }
 
-// lookup is Get without the miss accounting: a hit is recorded (and
+// Lookup is Get without the miss accounting: a hit is recorded (and
 // recency refreshed), an absence is reported silently. The serving layer
 // uses it so that a thundering herd coalescing onto one flight charges
 // one miss — attributed where the planning run happens — rather than N.
-func (c *PlanCache) lookup(key CacheKey) (*CachedPlan, bool) {
+func (c *PlanCache) Lookup(key CacheKey) (*CachedPlan, bool) {
 	s := c.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -208,8 +234,8 @@ func (c *PlanCache) lookup(key CacheKey) (*CachedPlan, bool) {
 	return el.Value.(*cacheEntry).plan, true
 }
 
-// noteMiss charges one miss against key's shard.
-func (c *PlanCache) noteMiss(key CacheKey) {
+// NoteMiss charges one miss against key's shard.
+func (c *PlanCache) NoteMiss(key CacheKey) {
 	s := c.shard(key)
 	s.mu.Lock()
 	s.misses++
@@ -273,6 +299,22 @@ func (c *PlanCache) Len() int {
 
 // Shards returns the shard count.
 func (c *PlanCache) Shards() int { return len(c.shards) }
+
+// Keys returns the content addresses currently cached, in shard order
+// (arbitrary within a shard). The cluster status endpoint uses it to
+// report how many locally cached keys each ring peer owns.
+func (c *PlanCache) Keys() []CacheKey {
+	keys := make([]CacheKey, 0, c.Len())
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for k := range s.entries {
+			keys = append(keys, k)
+		}
+		s.mu.Unlock()
+	}
+	return keys
+}
 
 // ShardSizes returns the entry count per shard, indexed by shard. The
 // metrics exposition uses it to make uneven shard fill visible.

@@ -144,12 +144,17 @@ type Report struct {
 	// errors — see Errors), Coalesced counts requests that shared
 	// another request's planning run, and PlansExecuted counts actual
 	// planner executions on the pool.
-	QueueDepth    int                        `json:"queue_depth"`
-	QueueCapacity int                        `json:"queue_capacity"`
-	Rejected      uint64                     `json:"rejected"`
-	Coalesced     uint64                     `json:"coalesced"`
-	PlansExecuted uint64                     `json:"plans_executed"`
-	Endpoints     map[string]EndpointMetrics `json:"endpoints"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+	Rejected      uint64 `json:"rejected"`
+	Coalesced     uint64 `json:"coalesced"`
+	PlansExecuted uint64 `json:"plans_executed"`
+	// Peer carries the cluster-layer counters (forwards, fallbacks,
+	// invalidations, peer errors) and is present only when the daemon
+	// runs clustered — the same numbers GET /metrics exposes as the
+	// adeptd_peer_* families.
+	Peer      *PeerReport                `json:"peer,omitempty"`
+	Endpoints map[string]EndpointMetrics `json:"endpoints"`
 }
 
 // Snapshot renders the counters into a Report; cache/registry/pool gauges

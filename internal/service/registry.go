@@ -6,17 +6,23 @@
 //
 // The subsystem has four parts, each usable on its own:
 //
-//   - Registry   — named platform descriptions with CRUD and dir loading
+//   - Registry   — named, versioned platform descriptions with CRUD,
+//     optimistic concurrency (If-Match), dir loading, and replication
+//     hooks (see RegistryStore and ApplyRemote)
 //   - PlanCache  — content-addressed plan cache with LRU eviction
 //   - Pool       — bounded worker pool running planners under context
 //   - Server     — the HTTP JSON API wiring the three together, plus a
 //     live-deployment endpoint backed by internal/deploy
 //
 // cmd/adeptd is the thin binary around Server; examples/service is a
-// client walkthrough.
+// client walkthrough. internal/cluster lifts the cache's digest sharding
+// and the registry's versioning across processes (see the Cluster
+// interface).
 package service
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -27,27 +33,98 @@ import (
 	"adept/internal/platform"
 )
 
-// Registry is a concurrency-safe store of named platform descriptions.
-// Plan requests may reference a registered platform by name instead of
-// inlining the full node list, so clients describe their pool once and
-// plan against it many times. With PersistTo enabled, every Put journals
-// the platform to disk (atomic temp-file rename) and every Delete removes
-// it, so a daemon restart pointed at the same directory keeps its
-// registered platforms.
+// ErrVersionMismatch reports a conditional write whose expected version no
+// longer matches the entry — the caller's read is stale and its update
+// must not silently overwrite the concurrent writer's. The HTTP layer
+// maps it to 412 Precondition Failed.
+var ErrVersionMismatch = errors.New("service: platform version mismatch")
+
+// MatchAny is the expected-version wildcard (If-Match: *): the entry must
+// exist, at any version.
+const MatchAny = ^uint64(0)
+
+// RegistryStore is the named-platform store the daemon plans against.
+// *Registry is the in-memory (optionally journalled) default; the
+// interface exists so the store can be decorated or replaced — the
+// cluster layer replicates through it via ApplyRemote — while tests and
+// single-node deployments keep the zero-config in-memory form.
+type RegistryStore interface {
+	// Put stores p under name unconditionally (last write wins), bumping
+	// the entry's version.
+	Put(name string, p *platform.Platform) error
+	// PutIfMatch stores p under name with optimistic concurrency: expect
+	// nil writes unconditionally, &MatchAny requires the entry to exist,
+	// and any other value must equal the entry's current version (0 = "must
+	// not exist yet"). It returns the new version, or ErrVersionMismatch.
+	PutIfMatch(name string, p *platform.Platform, expect *uint64) (uint64, error)
+	// Get returns a clone of the named platform.
+	Get(name string) (*platform.Platform, bool)
+	// GetVersion is Get plus the entry's current version.
+	GetVersion(name string) (*platform.Platform, uint64, bool)
+	// Delete removes the named platform unconditionally.
+	Delete(name string) bool
+	// DeleteIfMatch removes the named platform under the same expect
+	// semantics as PutIfMatch, returning the tombstone version (the
+	// deletion is itself a versioned event replication must order).
+	DeleteIfMatch(name string, expect *uint64) (uint64, bool, error)
+	// ApplyRemote folds a peer-originated update in: applied iff
+	// u.Version is strictly newer than everything seen for u.Name, so
+	// replays and out-of-order deliveries are harmless.
+	ApplyRemote(u RegistryUpdate) (bool, error)
+	// Names returns the registered names in sorted order.
+	Names() []string
+	// Len returns the number of registered platforms.
+	Len() int
+}
+
+// regEntry pairs a stored platform with its monotonic version.
+type regEntry struct {
+	p       *platform.Platform
+	version uint64
+}
+
+// Registry is a concurrency-safe store of named, versioned platform
+// descriptions. Plan requests may reference a registered platform by name
+// instead of inlining the full node list, so clients describe their pool
+// once and plan against it many times.
+//
+// Every entry carries a monotonic version: each Put bumps it, each Delete
+// records a tombstone version, and conditional writes (PutIfMatch /
+// DeleteIfMatch) reject stale writers with ErrVersionMismatch instead of
+// silently dropping their predecessor's update. Versions survive
+// delete/re-create (the counter never rewinds for a name), which is what
+// lets replicated peers order updates by version alone.
+//
+// With PersistTo enabled, every write journals the platform to disk
+// (atomic temp-file rename) plus a version sidecar, and every delete
+// removes the journal, so a daemon restart pointed at the same directory
+// keeps its registered platforms — and deleted entries stay deleted.
 type Registry struct {
 	mu        sync.RWMutex
-	platforms map[string]*platform.Platform
-	// persistMu serialises journal I/O and pins its ordering against the
-	// map updates, without ever holding the read-path lock across disk
-	// writes: a slow disk must not stall /v1/plan lookups in Get.
+	platforms map[string]*regEntry
+	// versions records the highest version ever seen per name, including
+	// tombstones of deleted entries — guarded by mu with the map.
+	versions map[string]uint64
+	// persistMu serialises all writers (and their journal I/O), pinning
+	// version check-then-act sequences and disk ordering against the map
+	// updates without ever holding the read-path lock across disk writes:
+	// a slow disk must not stall /v1/plan lookups in Get.
 	persistMu  sync.Mutex
 	persistDir string // guarded by persistMu
 }
 
 // NewRegistry returns an empty, non-persisting registry.
 func NewRegistry() *Registry {
-	return &Registry{platforms: make(map[string]*platform.Platform)}
+	return &Registry{
+		platforms: make(map[string]*regEntry),
+		versions:  make(map[string]uint64),
+	}
 }
+
+// versionsSidecar is the file (inside the persist dir) recording the
+// per-name version counters, tombstones included. It deliberately does
+// not end in .json so LoadDir never mistakes it for a platform journal.
+const versionsSidecar = ".adept-versions"
 
 // PersistTo enables journaling: subsequent Puts write <name>.json into dir
 // via a same-directory temp file renamed into place (atomic on POSIX), and
@@ -76,29 +153,75 @@ func validName(name string) error {
 	return nil
 }
 
-// Put validates p and stores it under name, replacing any previous entry.
-// The registry keeps its own clone so later caller mutations cannot leak in.
+// Put validates p and stores it under name, replacing any previous entry
+// and bumping its version (unconditional last-write-wins; use PutIfMatch
+// to reject stale writers). The registry keeps its own clone so later
+// caller mutations cannot leak in.
 func (r *Registry) Put(name string, p *platform.Platform) error {
+	_, err := r.PutIfMatch(name, p, nil)
+	return err
+}
+
+// PutIfMatch stores p under name with optimistic concurrency control.
+// expect nil writes unconditionally; &MatchAny requires any existing
+// entry; any other value must equal the entry's current version, with 0
+// meaning "must not exist yet". A stale expectation returns
+// ErrVersionMismatch — the caller's read-modify-write lost a race and
+// must re-read, not overwrite. The new version is returned.
+func (r *Registry) PutIfMatch(name string, p *platform.Platform, expect *uint64) (uint64, error) {
 	if err := validName(name); err != nil {
-		return err
+		return 0, err
 	}
 	if p == nil {
-		return fmt.Errorf("service: nil platform %q", name)
+		return 0, fmt.Errorf("service: nil platform %q", name)
 	}
 	if err := p.Validate(); err != nil {
-		return err
+		return 0, err
 	}
 	clone := p.Clone()
+	// persistMu serialises every writer, so the version comparison below
+	// and the write that follows are one atomic step with respect to any
+	// concurrent PutIfMatch/DeleteIfMatch on the same name.
 	r.persistMu.Lock()
 	defer r.persistMu.Unlock()
+	r.mu.RLock()
+	current := uint64(0)
+	if e := r.platforms[name]; e != nil {
+		current = e.version
+	}
+	next := r.versions[name] + 1
+	r.mu.RUnlock()
+	if err := checkMatch(name, current, expect); err != nil {
+		return 0, err
+	}
 	if r.persistDir != "" {
 		if err := persistPlatform(r.persistDir, name, p); err != nil {
-			return err
+			return 0, err
 		}
 	}
 	r.mu.Lock()
-	r.platforms[name] = clone
+	r.platforms[name] = &regEntry{p: clone, version: next}
+	r.versions[name] = next
 	r.mu.Unlock()
+	r.persistVersionsLocked()
+	return next, nil
+}
+
+// checkMatch compares an entry's current version against the caller's
+// expectation (PutIfMatch semantics). current is 0 when the entry does
+// not exist.
+func checkMatch(name string, current uint64, expect *uint64) error {
+	if expect == nil {
+		return nil
+	}
+	switch {
+	case *expect == MatchAny:
+		if current == 0 {
+			return fmt.Errorf("%w: %q does not exist (If-Match: *)", ErrVersionMismatch, name)
+		}
+	case *expect != current:
+		return fmt.Errorf("%w: %q is at version %d, not %d", ErrVersionMismatch, name, current, *expect)
+	}
 	return nil
 }
 
@@ -130,30 +253,149 @@ func persistPlatform(dir, name string, p *platform.Platform) error {
 	return nil
 }
 
+// persistVersionsLocked journals the version counters (tombstones
+// included) into the sidecar file. Callers hold persistMu. Best-effort:
+// the sidecar is an optimisation for cross-restart version continuity,
+// not a correctness requirement for the in-memory store.
+func (r *Registry) persistVersionsLocked() {
+	if r.persistDir == "" {
+		return
+	}
+	r.mu.RLock()
+	// json.Marshal emits map keys in sorted order, so the sidecar bytes
+	// are deterministic for equal contents.
+	data, err := json.Marshal(r.versions)
+	r.mu.RUnlock()
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(r.persistDir, versionsSidecar+".tmp-*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Close()
+	} else {
+		tmp.Close()
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(r.persistDir, versionsSidecar)); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
 // Get returns a clone of the named platform, or false when absent.
 func (r *Registry) Get(name string) (*platform.Platform, bool) {
+	p, _, ok := r.GetVersion(name)
+	return p, ok
+}
+
+// GetVersion returns a clone of the named platform plus its current
+// version (the ETag conditional writes compare against), or false when
+// absent.
+func (r *Registry) GetVersion(name string) (*platform.Platform, uint64, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	p, ok := r.platforms[name]
+	e, ok := r.platforms[name]
 	if !ok {
-		return nil, false
+		return nil, 0, false
 	}
-	return p.Clone(), true
+	return e.p.Clone(), e.version, true
 }
 
 // Delete removes the named platform (and its journal file, when
 // persisting), reporting whether it existed.
 func (r *Registry) Delete(name string) bool {
+	_, ok, _ := r.DeleteIfMatch(name, nil)
+	return ok
+}
+
+// DeleteIfMatch removes the named platform under PutIfMatch's expect
+// semantics and returns the tombstone version — the deletion is itself a
+// versioned event, so replicated peers can order it against concurrent
+// puts. The journal file is always removed alongside the entry: every
+// name in the map passed validName on the way in (LoadDir and Put agree
+// on validation), so there is no such thing as an entry whose journal
+// cannot be deleted — the asymmetry that used to resurrect entries on
+// restart.
+func (r *Registry) DeleteIfMatch(name string, expect *uint64) (uint64, bool, error) {
 	r.persistMu.Lock()
 	defer r.persistMu.Unlock()
 	r.mu.Lock()
-	_, ok := r.platforms[name]
+	e, ok := r.platforms[name]
+	current := uint64(0)
+	if ok {
+		current = e.version
+	}
+	if err := checkMatch(name, current, expect); err != nil {
+		r.mu.Unlock()
+		return 0, ok, err
+	}
+	if !ok {
+		r.mu.Unlock()
+		return 0, false, nil
+	}
 	delete(r.platforms, name)
+	tombstone := r.versions[name] + 1
+	r.versions[name] = tombstone
 	r.mu.Unlock()
-	if ok && r.persistDir != "" && validName(name) == nil {
+	if r.persistDir != "" {
 		_ = os.Remove(filepath.Join(r.persistDir, name+".json"))
 	}
-	return ok
+	r.persistVersionsLocked()
+	return tombstone, true, nil
+}
+
+// ApplyRemote folds a replication update from a peer into the store. It
+// applies iff u.Version is strictly newer than the highest version seen
+// locally for u.Name — duplicate deliveries, replays after webhook
+// retries, and out-of-order arrivals are all no-ops, so convergence needs
+// no coordination beyond the version itself. Local writes through
+// Put/Delete keep their own monotonic counters above anything applied
+// here, because both paths share the versions map.
+func (r *Registry) ApplyRemote(u RegistryUpdate) (bool, error) {
+	if err := validName(u.Name); err != nil {
+		return false, err
+	}
+	if u.Version == 0 {
+		return false, fmt.Errorf("service: remote update for %q carries no version", u.Name)
+	}
+	var clone *platform.Platform
+	if !u.Deleted {
+		if u.Platform == nil {
+			return false, fmt.Errorf("service: remote update for %q carries no platform", u.Name)
+		}
+		if err := u.Platform.Validate(); err != nil {
+			return false, err
+		}
+		clone = u.Platform.Clone()
+	}
+	r.persistMu.Lock()
+	defer r.persistMu.Unlock()
+	r.mu.Lock()
+	if u.Version <= r.versions[u.Name] {
+		r.mu.Unlock()
+		return false, nil
+	}
+	r.versions[u.Name] = u.Version
+	if u.Deleted {
+		delete(r.platforms, u.Name)
+	} else {
+		r.platforms[u.Name] = &regEntry{p: clone, version: u.Version}
+	}
+	r.mu.Unlock()
+	if r.persistDir != "" {
+		if u.Deleted {
+			_ = os.Remove(filepath.Join(r.persistDir, u.Name+".json"))
+		} else if err := persistPlatform(r.persistDir, u.Name, u.Platform); err != nil {
+			return true, err
+		}
+	}
+	r.persistVersionsLocked()
+	return true, nil
 }
 
 // Names returns the registered names in sorted order.
@@ -177,27 +419,79 @@ func (r *Registry) Len() int {
 
 // LoadDir registers every *.json platform description in dir under its
 // file basename (sans extension). It returns the names registered; a file
-// that fails to parse or validate aborts the load with an error naming it.
+// that fails to parse or validate — or whose basename would not be a
+// valid registry name — aborts the load with an error naming it, so the
+// set of loadable journals and the set of deletable entries are exactly
+// the same set: nothing can be loaded that Delete could not later remove.
+// Entry versions are restored from the version sidecar when present
+// (tombstoned names whose journal reappeared resume above their tombstone,
+// never below), defaulting to 1 for journals from before versioning.
 func (r *Registry) LoadDir(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("service: load platforms: %w", err)
 	}
+	versions := loadVersions(dir)
+	// Fold the whole sidecar into the version map up front, tombstones
+	// included: a deleted name has no journal file to loop over below,
+	// but its version line must still resume above the tombstone when
+	// the name is re-created after the restart.
+	r.persistMu.Lock()
+	r.mu.Lock()
+	for name, v := range versions {
+		if v > r.versions[name] {
+			r.versions[name] = v
+		}
+	}
+	r.mu.Unlock()
+	r.persistMu.Unlock()
 	var names []string
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
 			continue
 		}
+		name := strings.TrimSuffix(e.Name(), ".json")
+		// Reject at load, with the same validator Delete relies on: a
+		// journal that sneaked in under a non-conforming filename must
+		// fail loudly here, not become an undeletable registry entry.
+		if err := validName(name); err != nil {
+			return nil, fmt.Errorf("service: load %s: %w", e.Name(), err)
+		}
 		p, err := platform.LoadJSON(filepath.Join(dir, e.Name()))
 		if err != nil {
 			return nil, fmt.Errorf("service: load %s: %w", e.Name(), err)
 		}
-		name := strings.TrimSuffix(e.Name(), ".json")
-		if err := r.Put(name, p); err != nil {
-			return nil, fmt.Errorf("service: register %s: %w", e.Name(), err)
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("service: load %s: %w", e.Name(), err)
 		}
+		version := versions[name]
+		if version == 0 {
+			version = 1
+		}
+		r.persistMu.Lock()
+		r.mu.Lock()
+		r.platforms[name] = &regEntry{p: p.Clone(), version: version}
+		if version > r.versions[name] {
+			r.versions[name] = version
+		}
+		r.mu.Unlock()
+		r.persistMu.Unlock()
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	return names, nil
+}
+
+// loadVersions reads the version sidecar, tolerating its absence (dirs
+// journalled before versioning) and corruption (versions restart at 1).
+func loadVersions(dir string) map[string]uint64 {
+	data, err := os.ReadFile(filepath.Join(dir, versionsSidecar))
+	if err != nil {
+		return nil
+	}
+	var versions map[string]uint64
+	if err := json.Unmarshal(data, &versions); err != nil {
+		return nil
+	}
+	return versions
 }

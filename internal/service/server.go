@@ -90,6 +90,12 @@ type Config struct {
 	// SeriesCapacity bounds each time-series ring (default 600 samples,
 	// ten minutes of history at the default tick).
 	SeriesCapacity int
+	// Registry overrides the platform store (nil = a fresh in-memory
+	// Registry). cmd/adeptd injects a preloaded journalled Registry here.
+	Registry RegistryStore
+	// Cache overrides the plan cache (nil = an in-memory PlanCache of
+	// CacheSize entries).
+	Cache CacheStore
 }
 
 func (c Config) withDefaults() Config {
@@ -124,8 +130,8 @@ func (c Config) withDefaults() Config {
 // JSON API. Create with New, expose via Handler, release with Close.
 type Server struct {
 	cfg      Config
-	registry *Registry
-	cache    *PlanCache
+	registry RegistryStore
+	cache    CacheStore
 	pool     *Pool
 	flights  *flightGroup
 	metrics  *Metrics
@@ -146,6 +152,10 @@ type Server struct {
 	auto         *autonomicSession
 	autoStarting bool
 
+	// cluster is the optional peer layer (EnableCluster); nil means
+	// single-node mode and every peer code path short-circuits.
+	cluster Cluster
+
 	// classPlans counts fresh planning runs answered by the heuristic's
 	// class-collapsed path (cache hits do not re-count).
 	classPlans atomic.Uint64
@@ -154,9 +164,16 @@ type Server struct {
 // New builds a Server with started workers.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	cache, err := NewPlanCache(cfg.CacheSize)
-	if err != nil {
-		return nil, err
+	cache := cfg.Cache
+	if cache == nil {
+		var err error
+		if cache, err = NewPlanCache(cfg.CacheSize); err != nil {
+			return nil, err
+		}
+	}
+	registry := cfg.Registry
+	if registry == nil {
+		registry = NewRegistry()
 	}
 	pool, err := NewPool(cfg.Workers, cfg.QueueDepth)
 	if err != nil {
@@ -164,7 +181,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:      cfg,
-		registry: NewRegistry(),
+		registry: registry,
 		cache:    cache,
 		pool:     pool,
 		flights:  newFlightGroup(),
@@ -345,11 +362,12 @@ func (s *Server) Logger() *slog.Logger { return s.logger }
 // Journal exposes the autonomic event journal.
 func (s *Server) Journal() *obs.Journal { return s.journal }
 
-// Registry exposes the platform registry (e.g. for startup preloading).
-func (s *Server) Registry() *Registry { return s.registry }
+// Registry exposes the platform store (e.g. for startup preloading or
+// cluster replication).
+func (s *Server) Registry() RegistryStore { return s.registry }
 
 // Cache exposes the plan cache.
-func (s *Server) Cache() *PlanCache { return s.cache }
+func (s *Server) Cache() CacheStore { return s.cache }
 
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -587,8 +605,13 @@ type PlanResponse struct {
 	// link-bandwidth range (equal on homogeneous-link platforms).
 	MinLinkBandwidth float64 `json:"min_link_bandwidth_mbps"`
 	MaxLinkBandwidth float64 `json:"max_link_bandwidth_mbps"`
-	XML              string  `json:"xml"`
-	ElapsedMS        float64 `json:"elapsed_ms"`
+	// Peer is the advertised URL of the cluster peer that actually
+	// answered this request, set only when it was forwarded to the
+	// content address's ring owner (or served from a retained copy of the
+	// owner's answer). Empty in single-node mode and for self-owned keys.
+	Peer      string  `json:"peer,omitempty"`
+	XML       string  `json:"xml"`
+	ElapsedMS float64 `json:"elapsed_ms"`
 	// Variants reports the portfolio race (portfolio requests only;
 	// answers served from the cache omit it — the race never re-ran).
 	Variants []portfolio.Result `json:"variants,omitempty"`
@@ -753,12 +776,30 @@ func (s *Server) plan(r *http.Request, pr *PlanRequest) (*PlanResponse, core.Req
 		// lookup, not Get: the miss is charged in runPlanner, so requests
 		// that coalesce onto an existing flight count no miss of their own.
 		endLookup := tr.Phase("cache_lookup")
-		entry, ok := s.cache.lookup(key)
+		entry, ok := s.cache.Lookup(key)
 		endLookup()
 		if ok {
 			resp := planResponse(entry, key, req.Platform, start, true, false, nil)
 			s.finishTrace(r.Context(), tr, resp)
 			return resp, req, http.StatusOK, nil
+		}
+	}
+
+	// Consistent-hash routing: when a cluster is attached and another peer
+	// owns this content address, answer from the owner — its cache holds
+	// (or will hold) the one copy of this plan. Requests already forwarded
+	// once are always planned here (single-hop loop prevention), and
+	// no_cache runs are private by definition. A peer failure inside
+	// ForwardPlan reports ok=false and the request degrades to the local
+	// planning path below — never to a client-visible error.
+	if s.cluster != nil && !pr.NoCache && r.Header.Get(ForwardedHeader) == "" {
+		endForward := tr.Phase("forward")
+		cresp, ok := s.cluster.ForwardPlan(r.Context(), key, pr)
+		endForward()
+		if ok {
+			// The relayed response keeps the owner's trace when one was
+			// requested: the planner phases happened there, not here.
+			return cresp, req, http.StatusOK, nil
 		}
 	}
 
@@ -784,10 +825,10 @@ func (s *Server) plan(r *http.Request, pr *PlanRequest) (*PlanResponse, core.Req
 			// A previous flight may have landed between our cache miss and
 			// this run starting; don't replan what is already cached — and
 			// record it for what it is, a hit.
-			if entry, ok := s.cache.lookup(key); ok {
+			if entry, ok := s.cache.Lookup(key); ok {
 				return flightResult{entry: entry, cached: true}
 			}
-			s.cache.noteMiss(key)
+			s.cache.NoteMiss(key)
 		}
 		var plan *core.Plan
 		var variants []portfolio.Result
@@ -999,16 +1040,53 @@ func (s *Server) handlePlatformList(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handlePlatformGet(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	p, ok := s.registry.Get(name)
+	p, version, ok := s.registry.GetVersion(name)
 	if !ok {
 		writeError(w, http.StatusNotFound, "platform %q not registered", name)
 		return
 	}
+	w.Header().Set("ETag", etagFor(version))
 	writeJSON(w, http.StatusOK, p)
+}
+
+// etagFor renders a registry version as the strong ETag carried by
+// platform responses and compared by If-Match.
+func etagFor(version uint64) string {
+	return `"` + strconv.FormatUint(version, 10) + `"`
+}
+
+// parseIfMatch decodes an If-Match header into PutIfMatch's expectation:
+// nil for an absent header (unconditional write), MatchAny for "*", else
+// the numeric version with optional quotes. A malformed value is a client
+// error, not an unconditional write — silently ignoring it would re-open
+// the lost-update hole the header exists to close.
+func parseIfMatch(header string) (*uint64, error) {
+	header = strings.TrimSpace(header)
+	if header == "" {
+		return nil, nil
+	}
+	if header == "*" {
+		v := MatchAny
+		return &v, nil
+	}
+	unquoted := strings.TrimPrefix(strings.TrimSuffix(header, `"`), `"`)
+	v, err := strconv.ParseUint(unquoted, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("malformed If-Match %q: want a version number, a quoted version, or *", header)
+	}
+	if v == MatchAny {
+		return nil, fmt.Errorf("malformed If-Match %q: version out of range", header)
+	}
+	return &v, nil
 }
 
 func (s *Server) handlePlatformPut(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	expect, err := parseIfMatch(r.Header.Get("If-Match"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	data, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "read body: %v", err)
@@ -1019,20 +1097,44 @@ func (s *Server) handlePlatformPut(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if err := s.registry.Put(name, p); err != nil {
+	version, err := s.registry.PutIfMatch(name, p, expect)
+	if err != nil {
+		if errors.Is(err, ErrVersionMismatch) {
+			// The writer's read is stale: reject it visibly instead of
+			// silently dropping the concurrent writer's update.
+			writeError(w, http.StatusPreconditionFailed, "%v", err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"name": name, "nodes": len(p.Nodes)})
+	s.broadcast(RegistryUpdate{Name: name, Version: version, Platform: p})
+	w.Header().Set("ETag", etagFor(version))
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "nodes": len(p.Nodes), "version": version})
 }
 
 func (s *Server) handlePlatformDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	if !s.registry.Delete(name) {
+	expect, err := parseIfMatch(r.Header.Get("If-Match"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	tombstone, existed, err := s.registry.DeleteIfMatch(name, expect)
+	if err != nil {
+		if errors.Is(err, ErrVersionMismatch) {
+			writeError(w, http.StatusPreconditionFailed, "%v", err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !existed {
 		writeError(w, http.StatusNotFound, "platform %q not registered", name)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+	s.broadcast(RegistryUpdate{Name: name, Version: tombstone, Deleted: true})
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": name, "version": tombstone})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -1048,6 +1150,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	rep.PlansExecuted = s.pool.Executed()
 	rep.Rejected = s.pool.Rejected()
 	rep.Coalesced = s.flights.Coalesced()
+	if s.cluster != nil {
+		peer := s.cluster.Report()
+		rep.Peer = &peer
+	}
 	writeJSON(w, http.StatusOK, rep)
 }
 
